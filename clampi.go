@@ -1,0 +1,325 @@
+package clampi
+
+import (
+	"clampi/internal/core"
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+	"clampi/internal/netsim"
+	"clampi/internal/simtime"
+)
+
+// Re-exported runtime types: the simulated MPI-3 environment.
+type (
+	// Rank is one simulated MPI process; see Run.
+	Rank = mpi.Rank
+	// Win is a raw (non-caching) RMA window.
+	Win = mpi.Win
+	// Info carries window-creation hints (MPI_Info).
+	Info = mpi.Info
+	// RunConfig selects the simulated machine (network model, rank
+	// placement).
+	RunConfig = mpi.Config
+	// NetModel is the interconnect latency model.
+	NetModel = netsim.Model
+	// Duration is a virtual duration (nanoseconds).
+	Duration = simtime.Duration
+	// Op is an accumulate reduction operator.
+	Op = mpi.Op
+	// LockType selects shared or exclusive passive-target locks.
+	LockType = mpi.LockType
+)
+
+// Accumulate operators (MPI_REPLACE, MPI_SUM, MPI_MAX, MPI_MIN).
+const (
+	OpReplace = mpi.OpReplace
+	OpSum     = mpi.OpSum
+	OpMax     = mpi.OpMax
+	OpMin     = mpi.OpMin
+)
+
+// Passive-target lock types (MPI_LOCK_SHARED, MPI_LOCK_EXCLUSIVE).
+const (
+	LockShared    = mpi.LockShared
+	LockExclusive = mpi.LockExclusive
+)
+
+// Run launches an SPMD program on size simulated ranks and waits for all
+// of them (the moral equivalent of mpirun).
+func Run(size int, cfg RunConfig, program func(*Rank) error) error {
+	return mpi.Run(size, cfg, program)
+}
+
+// DefaultNetModel returns the network model calibrated to the paper's
+// Piz Daint (Cray Aries) measurements.
+func DefaultNetModel() *NetModel { return netsim.DefaultModel() }
+
+// Re-exported datatype system (MPI derived datatypes).
+type Datatype = datatype.Datatype
+
+// Basic datatypes.
+var (
+	Byte   = datatype.Byte
+	Int32  = datatype.Int32
+	Int64  = datatype.Int64
+	Double = datatype.Double
+)
+
+// Datatype constructors (see internal/datatype for semantics).
+var (
+	Bytes      = datatype.Bytes
+	Contiguous = datatype.Contiguous
+	Vector     = datatype.Vector
+	Indexed    = datatype.Indexed
+	Struct     = datatype.Struct
+	Hvector    = datatype.Hvector
+	Hindexed   = datatype.Hindexed
+	Subarray   = datatype.Subarray
+)
+
+// Caching-layer types re-exported from the core.
+type (
+	// Stats aggregates the caching counters of the paper's figures.
+	Stats = core.Stats
+	// Access describes the classification and cost of one get.
+	Access = core.Access
+	// AccessType classifies a get (hitting/direct/conflicting/...).
+	AccessType = core.AccessType
+	// Mode is the operational mode of a caching-enabled window.
+	Mode = core.Mode
+	// EvictionScheme selects the victim-scoring function.
+	EvictionScheme = core.EvictionScheme
+	// Params is the full low-level parameter set (advanced use).
+	Params = core.Params
+)
+
+// Operational modes (paper §III-A).
+const (
+	Transparent = core.Transparent
+	AlwaysCache = core.AlwaysCache
+)
+
+// Access types (paper §III-B).
+const (
+	AccessHit         = core.AccessHit
+	AccessDirect      = core.AccessDirect
+	AccessConflicting = core.AccessConflicting
+	AccessCapacity    = core.AccessCapacity
+	AccessFailing     = core.AccessFailing
+)
+
+// Eviction schemes (paper §III-D1).
+const (
+	SchemeFull       = core.SchemeFull
+	SchemeTemporal   = core.SchemeTemporal
+	SchemePositional = core.SchemePositional
+)
+
+// InfoKey is the MPI_Info key read at window creation to select the
+// operational mode ("always-cache" or "transparent").
+const InfoKey = core.InfoKey
+
+// Option configures Wrap.
+type Option func(*Params)
+
+// WithMode selects the operational mode.
+func WithMode(m Mode) Option { return func(p *Params) { p.Mode = m } }
+
+// WithIndexSlots sets the initial index size |I_w| (hash-table slots).
+func WithIndexSlots(n int) Option { return func(p *Params) { p.IndexSlots = n } }
+
+// WithStorageBytes sets the initial cache buffer size |S_w|.
+func WithStorageBytes(n int) Option { return func(p *Params) { p.StorageBytes = n } }
+
+// WithScheme selects the eviction-scoring scheme.
+func WithScheme(s EvictionScheme) Option { return func(p *Params) { p.Scheme = s } }
+
+// WithAdaptive enables runtime parameter tuning (paper §III-E1).
+func WithAdaptive() Option { return func(p *Params) { p.Adaptive = true } }
+
+// WithSampleSize sets M, the eviction sample size (paper §III-D).
+func WithSampleSize(m int) Option { return func(p *Params) { p.SampleSize = m } }
+
+// WithSeed fixes the RNG seed of hashing and eviction sampling.
+func WithSeed(s int64) Option { return func(p *Params) { p.Seed = s } }
+
+// WithParams replaces the whole parameter set (advanced use); options
+// listed after it still apply on top.
+func WithParams(params Params) Option { return func(p *Params) { *p = params } }
+
+// Window is a caching-enabled RMA window: the public handle combining a
+// raw window with its CLaMPI layer. All RMA and synchronization calls of
+// the underlying window are available; Get is transparently cached.
+type Window struct {
+	win   *mpi.Win
+	cache *core.Cache
+}
+
+// Wrap attaches a caching layer to an existing window. The window's
+// InfoKey entry, if present, overrides the mode selected by options.
+func Wrap(win *Win, opts ...Option) (*Window, error) {
+	var p Params
+	for _, o := range opts {
+		o(&p)
+	}
+	c, err := core.New(win, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{win: win, cache: c}, nil
+}
+
+// Create is a convenience constructor: collectively creates a window
+// exposing region and wraps it. Equivalent to r.WinCreate + Wrap.
+func Create(r *Rank, region []byte, info Info, opts ...Option) (*Window, error) {
+	return Wrap(r.WinCreate(region, info), opts...)
+}
+
+// Allocate collectively creates a window of size bytes per rank and wraps
+// it, returning the caching window and the local region.
+func Allocate(r *Rank, size int, info Info, opts ...Option) (*Window, []byte, error) {
+	win, local := r.WinAllocate(size, info)
+	w, err := Wrap(win, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, local, nil
+}
+
+// Get reads count elements of dtype from target's region at byte
+// displacement disp into dst, serving from the cache when possible. As
+// with MPI_Get, dst is valid only after the next Flush/Unlock.
+func (w *Window) Get(dst []byte, dtype Datatype, count, target, disp int) error {
+	return w.cache.Get(dst, dtype, count, target, disp)
+}
+
+// GetBytes is shorthand for Get with a contiguous byte range.
+func (w *Window) GetBytes(dst []byte, target, disp int) error {
+	return w.cache.Get(dst, Byte, len(dst), target, disp)
+}
+
+// GetUncached bypasses the caching layer for one operation — the "special
+// get call" extension the paper sketches in §III-A as an alternative to
+// the two-window idiom. The fetched data neither hits nor populates the
+// cache.
+func (w *Window) GetUncached(dst []byte, dtype Datatype, count, target, disp int) error {
+	return w.win.Get(dst, dtype, count, target, disp)
+}
+
+// Put writes through to the underlying window; puts are not cached
+// (paper §II: the epoch model makes write caching pointless). As a
+// safety extension beyond the paper, cached entries of this origin that
+// overlap the written range are invalidated first, so a process never
+// reads its own stale writes back through the cache. Writes by *other*
+// processes remain the application's responsibility, as in the paper.
+func (w *Window) Put(src []byte, dtype Datatype, count, target, disp int) error {
+	return w.cache.Put(src, dtype, count, target, disp)
+}
+
+// InvalidateRange drops cached entries of target overlapping the byte
+// range [disp, disp+size), returning how many were dropped. Useful when
+// the application knows a remote region changed (e.g. after a
+// notification) without invalidating the whole cache.
+func (w *Window) InvalidateRange(target, disp, size int) int {
+	return w.cache.InvalidateRange(target, disp, size)
+}
+
+// Prefetch warms the cache with a remote range without delivering data to
+// the application; a later Get of the range (in a subsequent epoch) is a
+// pure local hit. Extension beyond the paper.
+func (w *Window) Prefetch(target, disp, size int) error {
+	return w.cache.Prefetch(target, disp, size)
+}
+
+// Lock opens a passive-target epoch towards target with a shared lock.
+func (w *Window) Lock(target int) error { return w.win.Lock(target) }
+
+// LockWithType opens a passive-target epoch with an explicit lock type;
+// LockExclusive blocks until all other holders of the target release.
+func (w *Window) LockWithType(typ LockType, target int) error {
+	return w.win.LockWithType(typ, target)
+}
+
+// LockAll opens a passive-target epoch towards all ranks.
+func (w *Window) LockAll() error { return w.win.LockAll() }
+
+// Flush completes outstanding operations towards target and closes the
+// current access epoch (gets issued before it become valid).
+func (w *Window) Flush(target int) error { return w.win.Flush(target) }
+
+// FlushAll completes all outstanding operations and closes the epoch.
+func (w *Window) FlushAll() error { return w.win.FlushAll() }
+
+// Unlock completes operations towards target and ends the epoch.
+func (w *Window) Unlock(target int) error { return w.win.Unlock(target) }
+
+// UnlockAll ends a lock-all epoch.
+func (w *Window) UnlockAll() error { return w.win.UnlockAll() }
+
+// Fence is the active-target collective synchronization.
+func (w *Window) Fence() error { return w.win.Fence() }
+
+// Post opens an exposure epoch towards the given origins
+// (MPI_Win_post; generalized active-target synchronization).
+func (w *Window) Post(origins []int) error { return w.win.Post(origins) }
+
+// Start opens an access epoch towards the given targets (MPI_Win_start),
+// blocking until each has posted.
+func (w *Window) Start(targets []int) error { return w.win.Start(targets) }
+
+// Complete closes the access epoch opened by Start (MPI_Win_complete);
+// like Flush and Unlock, it is an epoch-closure event for the cache.
+func (w *Window) Complete() error { return w.win.Complete() }
+
+// Wait closes the exposure epoch opened by Post (MPI_Win_wait).
+func (w *Window) Wait() error { return w.win.Wait() }
+
+// Accumulate combines src into target's region with op (MPI_Accumulate).
+// Like Put, it invalidates the origin-local cached entries overlapping
+// the written range before writing.
+func (w *Window) Accumulate(src []byte, dtype Datatype, count, target, disp int, op Op) error {
+	span := datatype2span(dtype, count)
+	w.cache.InvalidateRange(target, disp, span)
+	return w.win.Accumulate(src, dtype, count, target, disp, op)
+}
+
+func datatype2span(dtype Datatype, count int) int {
+	if count <= 0 {
+		return 0
+	}
+	return dtype.Extent() * count
+}
+
+// Free collectively releases the window.
+func (w *Window) Free() error { return w.win.Free() }
+
+// Invalidate drops all cache entries (the CLAMPI_Invalidate call of the
+// paper's user-defined mode).
+func (w *Window) Invalidate() { w.cache.Invalidate() }
+
+// Stats returns a snapshot of the caching counters.
+func (w *Window) Stats() Stats { return w.cache.Stats() }
+
+// LastAccess returns the classification of the most recent Get.
+func (w *Window) LastAccess() Access { return w.cache.LastAccess() }
+
+// Mode returns the operational mode in effect.
+func (w *Window) Mode() Mode { return w.cache.Mode() }
+
+// IndexSlots returns the current |I_w|.
+func (w *Window) IndexSlots() int { return w.cache.IndexSlots() }
+
+// StorageBytes returns the current |S_w|.
+func (w *Window) StorageBytes() int { return w.cache.StorageBytes() }
+
+// Occupancy returns the fraction of the cache buffer holding entries.
+func (w *Window) Occupancy() float64 { return w.cache.Occupancy() }
+
+// CachedEntries returns the number of entries currently cached.
+func (w *Window) CachedEntries() int { return w.cache.CachedEntries() }
+
+// Local returns this rank's exposed region.
+func (w *Window) Local() []byte { return w.win.Local() }
+
+// Raw returns the underlying non-caching window (gets through it bypass
+// the cache — the two-window idiom of paper §III-A).
+func (w *Window) Raw() *Win { return w.win }

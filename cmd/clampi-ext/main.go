@@ -1,0 +1,62 @@
+// Command clampi-ext runs the experiments that go beyond the paper's
+// figures: the ablations of DESIGN.md §6 and the extension workloads
+// (pull-BFS, persistent-window Barnes-Hut).
+//
+// Usage:
+//
+//	clampi-ext [-exp all|samplesize|allocpolicy|cuckoo|bfs|persistent] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clampi/internal/experiments"
+	"clampi/internal/lsb"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, samplesize, allocpolicy, cuckoo, bfs or persistent")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	emit := func(tbl *lsb.Table) {
+		if *csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Print(tbl)
+		}
+	}
+	run := func(name string, f func() (*lsb.Table, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		tbl, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		emit(tbl)
+	}
+
+	run("samplesize", func() (*lsb.Table, error) {
+		_, tbl, err := experiments.AblationSampleSize([]int{1, 4, 16, 64, 256}, 256, 4096)
+		return tbl, err
+	})
+	run("allocpolicy", func() (*lsb.Table, error) {
+		_, tbl, err := experiments.AblationAllocPolicy(256, 8192)
+		return tbl, err
+	})
+	run("cuckoo", func() (*lsb.Table, error) {
+		_, tbl, err := experiments.AblationCuckooWalk([]int{4, 16, 64, 256, 1024}, 4096, 5)
+		return tbl, err
+	})
+	run("bfs", func() (*lsb.Table, error) {
+		_, tbl, err := experiments.ExtensionBFS(11, 8, 4, 0)
+		return tbl, err
+	})
+	run("persistent", func() (*lsb.Table, error) {
+		_, tbl, err := experiments.ExtensionPersistentWindow(400, 2, 5)
+		return tbl, err
+	})
+}

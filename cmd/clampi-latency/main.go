@@ -1,0 +1,31 @@
+// Command clampi-latency regenerates Fig. 1 of the paper: RMA get
+// latency per message size and process/node mapping on the modelled Cray
+// Cascade network.
+//
+// Usage:
+//
+//	clampi-latency [-max 131072]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clampi/internal/experiments"
+)
+
+func main() {
+	maxSize := flag.Int("max", 128<<10, "largest message size in bytes")
+	flag.Parse()
+
+	var sizes []int
+	for s := 8; s <= *maxSize; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	_, tbl, err := experiments.Fig1Latency(sizes)
+	if err != nil {
+		log.Fatalf("fig1: %v", err)
+	}
+	fmt.Print(tbl)
+}

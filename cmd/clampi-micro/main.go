@@ -1,0 +1,95 @@
+// Command clampi-micro regenerates the micro-benchmark figures of the
+// paper (§IV-A): access-type costs (Fig. 7), communication overlap
+// (Fig. 8), adaptive parameter selection (Fig. 9), external fragmentation
+// (Fig. 10) and victim selection (Fig. 11).
+//
+// Usage:
+//
+//	clampi-micro [-fig all|7|8|9|10|11] [-paper] [-n 512] [-z 8192]
+//
+// -paper selects the paper's full parameters (N=1K; Z=20K for Figs 7-9,
+// Z=100K for Figs 10-11); the defaults are scaled for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clampi/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 or 11")
+	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
+	n := flag.Int("n", 512, "distinct gets N")
+	z := flag.Int("z", 8192, "sequence length Z")
+	reps := flag.Int("reps", 50, "repetitions per Fig 7 access-type sample")
+	flag.Parse()
+
+	if *paper {
+		*n, *z = 1000, 20000
+	}
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("fig %s: %v", name, err)
+		}
+	}
+
+	run("7", func() error {
+		sizes := []int{256, 4096, 16384, 65536}
+		_, tbl, err := experiments.Fig7AccessCosts(sizes, *reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+	run("8", func() error {
+		sizes := []int{512, 4096, 16384, 65536}
+		_, tbl, err := experiments.Fig8Overlap(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+	run("9", func() error {
+		sizes := []int{*n / 4, *n / 2, *n, 2 * *n, 4 * *n}
+		_, tbl, err := experiments.Fig9Adaptive(sizes, *n, *z)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+	run("10", func() error {
+		zz := *z
+		if *paper {
+			zz = 100000
+		}
+		_, tbl, err := experiments.Fig10Fragmentation(*n, zz, *n*3/2, 2<<20, 25)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+	run("11", func() error {
+		zz := *z
+		if *paper {
+			zz = 100000
+		}
+		sizes := []int{*n, 2 * *n, 4 * *n, 8 * *n, 16 * *n}
+		_, tbl, err := experiments.Fig11VictimSelection(sizes, *n, zz, 2<<20)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+}

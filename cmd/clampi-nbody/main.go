@@ -1,0 +1,93 @@
+// Command clampi-nbody regenerates the Barnes-Hut figures of the paper
+// (§IV-B): the get-reuse histogram (Fig. 2), force time vs cache
+// parameters (Fig. 12), access statistics (Fig. 13) and weak scaling
+// (Fig. 14).
+//
+// Usage:
+//
+//	clampi-nbody [-fig all|2|12|13|14] [-paper] [-n 2000] [-p 4]
+//
+// -paper selects the paper's parameters (Fig. 2: N=4000, P=4; Figs
+// 12-13: N=20K, P=16, |S_w| up to 4 MB; Fig. 14: 1.5K bodies/PE,
+// P=16..128). Expect a long single-core run at that scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clampi/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 12, 13 or 14")
+	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
+	n := flag.Int("n", 2000, "bodies N (Figs 12-13)")
+	p := flag.Int("p", 4, "processing elements P (Figs 12-13)")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("fig %s: %v", name, err)
+		}
+	}
+
+	run("2", func() error {
+		nn, pp := 1000, 4
+		if *paper {
+			nn = 4000
+		}
+		_, tbl, err := experiments.Fig2NBodyReuse(nn, pp)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+	run("12", func() error {
+		nn, pp, slots := *n, *p, 1<<13
+		sws := []int{64 << 10, 256 << 10, 1 << 20}
+		if *paper {
+			nn, pp, slots = 20000, 16, 1<<15
+			sws = []int{1 << 20, 2 << 20, 4 << 20}
+		}
+		_, tbl, err := experiments.Fig12NBodyParams(nn, pp, slots, sws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+	run("13", func() error {
+		nn, pp, sw := *n, *p, 256<<10
+		iws := []int{256, 1 << 12, 1 << 15}
+		if *paper {
+			nn, pp, sw = 20000, 16, 1<<20
+			iws = []int{1 << 10, 20 << 10, 1 << 17}
+		}
+		_, tbl, err := experiments.Fig13NBodyStats(nn, pp, sw, iws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+	run("14", func() error {
+		perPE, slots, sw := 200, 1<<13, 512<<10
+		ps := []int{2, 4, 8}
+		if *paper {
+			perPE, slots, sw = 1500, 30<<10, 2<<20
+			ps = []int{16, 32, 64, 128}
+		}
+		_, tbl, err := experiments.Fig14NBodyWeak(perPE, ps, slots, sw)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		return nil
+	})
+}

@@ -1,0 +1,106 @@
+package clampi_test
+
+import (
+	"fmt"
+
+	"clampi"
+)
+
+// ExampleWrap shows the canonical miss-then-hit flow on a caching window.
+func ExampleWrap() {
+	err := clampi.Run(2, clampi.RunConfig{}, func(r *clampi.Rank) error {
+		region := make([]byte, 1024)
+		for i := range region {
+			region[i] = byte(i)
+		}
+		w, err := clampi.Create(r, region, nil, clampi.WithMode(clampi.AlwaysCache))
+		if err != nil {
+			return err
+		}
+		defer w.Free()
+		if r.ID() != 0 {
+			r.Barrier()
+			return nil
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		buf := make([]byte, 16)
+		_ = w.GetBytes(buf, 1, 0) // miss
+		_ = w.FlushAll()
+		_ = w.GetBytes(buf, 1, 0) // hit
+		_ = w.UnlockAll()
+		s := w.Stats()
+		fmt.Printf("gets=%d hits=%d\n", s.Gets, s.Hits)
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: gets=2 hits=1
+}
+
+// ExampleWindow_Invalidate shows the paper's user-defined mode: cache
+// across a group of read-only epochs, invalidate when they end.
+func ExampleWindow_Invalidate() {
+	err := clampi.Run(2, clampi.RunConfig{}, func(r *clampi.Rank) error {
+		w, _, err := clampi.Allocate(r, 256, clampi.Info{clampi.InfoKey: "always-cache"})
+		if err != nil {
+			return err
+		}
+		defer w.Free()
+		if r.ID() != 0 {
+			r.Barrier()
+			return nil
+		}
+		if err := w.Lock(1); err != nil {
+			return err
+		}
+		buf := make([]byte, 8)
+		for epoch := 0; epoch < 3; epoch++ {
+			_ = w.GetBytes(buf, 1, 0)
+			_ = w.Flush(1) // closes the epoch; entries persist
+		}
+		w.Invalidate() // the read-only phase ends
+		_ = w.Unlock(1)
+		s := w.Stats()
+		fmt.Printf("hits=%d invalidations=%d\n", s.Hits, s.Invalidations)
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: hits=2 invalidations=1
+}
+
+// ExampleWindow_Prefetch warms the cache ahead of use.
+func ExampleWindow_Prefetch() {
+	err := clampi.Run(2, clampi.RunConfig{}, func(r *clampi.Rank) error {
+		w, _, err := clampi.Allocate(r, 256, nil, clampi.WithMode(clampi.AlwaysCache))
+		if err != nil {
+			return err
+		}
+		defer w.Free()
+		if r.ID() != 0 {
+			r.Barrier()
+			return nil
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		_ = w.Prefetch(1, 0, 64)
+		_ = w.FlushAll()
+		buf := make([]byte, 64)
+		_ = w.GetBytes(buf, 1, 0)
+		fmt.Printf("first get: %v\n", w.LastAccess().Type)
+		_ = w.UnlockAll()
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: first get: hitting
+}

@@ -1,0 +1,153 @@
+// Distributed histogram: accumulates and exclusive locks alongside
+// cached gets.
+//
+// Ranks draw samples and bin them into a histogram that is block-
+// partitioned over all ranks. Counting uses MPI_Accumulate(SUM) — writes
+// need no caching (paper §II) and atomically combine concurrent updates.
+// After the counting phase the histogram is read-only, so the analysis
+// phase (every rank scans the full histogram to find the global mode,
+// re-reading popular ranges) runs through a caching window in
+// always-cache mode. A final exclusive-lock epoch updates a shared
+// "winner" record — a read-modify-write that must not race.
+//
+// Run with: go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"clampi"
+)
+
+const (
+	ranks   = 4
+	bins    = 256
+	samples = 20000
+	rounds  = 3 // analysis passes (reuse for the cache)
+)
+
+func main() {
+	binsPerRank := bins / ranks
+	err := clampi.Run(ranks, clampi.RunConfig{}, func(r *clampi.Rank) error {
+		// Region: this rank's histogram block (8 B per bin) plus, on
+		// rank 0, a (mode, count) winner record at the end.
+		extra := 0
+		if r.ID() == 0 {
+			extra = 16
+		}
+		w, local, err := clampi.Allocate(r, binsPerRank*8+extra, nil,
+			clampi.WithMode(clampi.AlwaysCache))
+		if err != nil {
+			return err
+		}
+		defer w.Free()
+
+		// --- Phase 1: counting, via accumulates. ---
+		rng := rand.New(rand.NewSource(int64(r.ID()) + 5))
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		one := make([]byte, 8)
+		one[0] = 1 // little-endian int64(1)
+		for i := 0; i < samples; i++ {
+			// Roughly normal samples over the bins.
+			v := (rng.NormFloat64()*0.15 + 0.5) * bins
+			bin := int(v)
+			if bin < 0 {
+				bin = 0
+			}
+			if bin >= bins {
+				bin = bins - 1
+			}
+			owner := bin / binsPerRank
+			disp := (bin % binsPerRank) * 8
+			if err := w.Accumulate(one, clampi.Int64, 1, owner, disp, clampi.OpSum); err != nil {
+				return err
+			}
+		}
+		if err := w.FlushAll(); err != nil {
+			return err
+		}
+		if err := w.UnlockAll(); err != nil {
+			return err
+		}
+		r.Barrier() // counting done: histogram is now read-only
+
+		// --- Phase 2: analysis, via cached gets. ---
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		buf := make([]byte, binsPerRank*8)
+		bestBin, bestCount := 0, int64(-1)
+		for round := 0; round < rounds; round++ {
+			for owner := 0; owner < r.Size(); owner++ {
+				if err := w.GetBytes(buf, owner, 0); err != nil {
+					return err
+				}
+				if err := w.FlushAll(); err != nil {
+					return err
+				}
+				for b := 0; b < binsPerRank; b++ {
+					c := int64LE(buf[b*8:])
+					if c > bestCount {
+						bestCount = c
+						bestBin = owner*binsPerRank + b
+					}
+				}
+			}
+		}
+		if err := w.UnlockAll(); err != nil {
+			return err
+		}
+
+		// --- Phase 3: publish the winner under an exclusive lock. ---
+		if err := w.LockWithType(clampi.LockExclusive, 0); err != nil {
+			return err
+		}
+		rec := make([]byte, 16)
+		if err := w.GetBytes(rec, 0, binsPerRank*8); err != nil {
+			return err
+		}
+		if err := w.Flush(0); err != nil {
+			return err
+		}
+		if bestCount > int64LE(rec[8:]) {
+			putInt64LE(rec, int64(bestBin))
+			putInt64LE(rec[8:], bestCount)
+			if err := w.Put(rec, clampi.Byte, 16, 0, binsPerRank*8); err != nil {
+				return err
+			}
+		}
+		if err := w.Unlock(0); err != nil {
+			return err
+		}
+		r.Barrier()
+
+		if r.ID() == 0 {
+			s := w.Stats()
+			fmt.Printf("mode: bin %d with %d samples  (analysis hit rate %.0f%%)\n",
+				int64LE(local[binsPerRank*8:]), int64LE(local[binsPerRank*8+8:]), 100*s.HitRate())
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func int64LE(b []byte) int64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return int64(v)
+}
+
+func putInt64LE(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(v) >> (8 * i))
+	}
+}

@@ -1,0 +1,138 @@
+// A miniature distributed N-body step using the user-defined caching mode
+// (the paper's Listing 1 pattern).
+//
+// Each rank owns a block of bodies, exposed through an RMA window as
+// packed (x, y, z, mass) records. Computing the force on a local body
+// requires reading every remote body — so each remote block is read once
+// per local body, a reuse factor equal to the local body count. The
+// bodies only move after all forces are computed: the window is read-only
+// for the whole force phase, gets are cached across epochs, and the cache
+// is invalidated explicitly before the integration step, exactly like
+// CLAMPI_Invalidate in the paper.
+//
+// Run with: go run ./examples/nbody
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"clampi"
+)
+
+const (
+	ranks        = 4
+	bodiesPerPE  = 64
+	recordBytes  = 32 // x, y, z, mass float64
+	steps        = 3
+	dt           = 1e-3
+	softening    = 1e-3
+	fetchPerCall = 8 // bodies fetched per get
+)
+
+type body struct{ x, y, z, m, vx, vy, vz float64 }
+
+func main() {
+	err := clampi.Run(ranks, clampi.RunConfig{}, func(r *clampi.Rank) error {
+		rng := rand.New(rand.NewSource(int64(r.ID()) + 1))
+		local := make([]body, bodiesPerPE)
+		for i := range local {
+			local[i] = body{x: rng.Float64(), y: rng.Float64(), z: rng.Float64(), m: 1.0 / (ranks * bodiesPerPE)}
+		}
+
+		region := make([]byte, bodiesPerPE*recordBytes)
+		w, err := clampi.Create(r, region, nil,
+			clampi.WithMode(clampi.AlwaysCache),
+			clampi.WithStorageBytes(1<<20))
+		if err != nil {
+			return err
+		}
+		defer w.Free()
+
+		buf := make([]byte, fetchPerCall*recordBytes)
+		for step := 0; step < steps; step++ {
+			// Publish current positions into the local window region.
+			for i, b := range local {
+				putF64(region[i*recordBytes:], b.x)
+				putF64(region[i*recordBytes+8:], b.y)
+				putF64(region[i*recordBytes+16:], b.z)
+				putF64(region[i*recordBytes+24:], b.m)
+			}
+			r.Barrier() // everyone's region is ready
+
+			if err := w.LockAll(); err != nil {
+				return err
+			}
+			t0 := r.Clock().Now()
+			for i := range local {
+				var ax, ay, az float64
+				for q := 0; q < r.Size(); q++ {
+					for blk := 0; blk < bodiesPerPE; blk += fetchPerCall {
+						if err := w.GetBytes(buf, q, blk*recordBytes); err != nil {
+							return err
+						}
+						if err := w.FlushAll(); err != nil {
+							return err
+						}
+						for k := 0; k < fetchPerCall; k++ {
+							bx := getF64(buf[k*recordBytes:])
+							by := getF64(buf[k*recordBytes+8:])
+							bz := getF64(buf[k*recordBytes+16:])
+							bm := getF64(buf[k*recordBytes+24:])
+							dx, dy, dz := bx-local[i].x, by-local[i].y, bz-local[i].z
+							d2 := dx*dx + dy*dy + dz*dz + softening*softening
+							inv := bm / (d2 * math.Sqrt(d2))
+							ax += dx * inv
+							ay += dy * inv
+							az += dz * inv
+						}
+					}
+				}
+				local[i].vx += ax * dt
+				local[i].vy += ay * dt
+				local[i].vz += az * dt
+			}
+			forceTime := r.Clock().Now() - t0
+
+			// Read-only phase over: invalidate before bodies move
+			// (the paper's user-defined mode, Listing 1).
+			w.Invalidate()
+			if err := w.UnlockAll(); err != nil {
+				return err
+			}
+
+			for i := range local {
+				local[i].x += local[i].vx * dt
+				local[i].y += local[i].vy * dt
+				local[i].z += local[i].vz * dt
+			}
+			if r.ID() == 0 {
+				s := w.Stats()
+				fmt.Printf("step %d: force phase %-12v  hit rate %.0f%%  invalidations %d\n",
+					step, forceTime, 100*s.HitRate(), s.Invalidations)
+			}
+			r.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func putF64(b []byte, v float64) {
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func getF64(b []byte) float64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}

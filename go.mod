@@ -1,0 +1,3 @@
+module clampi
+
+go 1.22

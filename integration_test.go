@@ -1,0 +1,119 @@
+package clampi
+
+import (
+	"testing"
+)
+
+// TestMultipleCachingWindowsPerRank runs two independently cached windows
+// (one always-cache, one transparent) side by side on every rank,
+// interleaving gets, puts and epoch closures: the epoch listeners, caches
+// and statistics of the two windows must stay fully isolated.
+func TestMultipleCachingWindowsPerRank(t *testing.T) {
+	err := Run(4, RunConfig{}, func(r *Rank) error {
+		mk := func(seed byte) []byte {
+			region := make([]byte, 4096)
+			for i := range region {
+				region[i] = byte(i)*seed + byte(r.ID())
+			}
+			return region
+		}
+		regionA := mk(3)
+		regionB := mk(7)
+		wa, err := Create(r, regionA, nil, WithMode(AlwaysCache), WithSeed(1))
+		if err != nil {
+			return err
+		}
+		defer wa.Free()
+		wb, err := Create(r, regionB, nil, WithMode(Transparent), WithSeed(2))
+		if err != nil {
+			return err
+		}
+		defer wb.Free()
+
+		if err := wa.LockAll(); err != nil {
+			return err
+		}
+		if err := wb.LockAll(); err != nil {
+			return err
+		}
+		target := (r.ID() + 1) % r.Size()
+		bufA := make([]byte, 128)
+		bufB := make([]byte, 128)
+		for round := 0; round < 5; round++ {
+			if err := wa.GetBytes(bufA, target, 256); err != nil {
+				return err
+			}
+			if err := wb.GetBytes(bufB, target, 256); err != nil {
+				return err
+			}
+			if err := wa.FlushAll(); err != nil {
+				return err
+			}
+			if err := wb.FlushAll(); err != nil {
+				return err
+			}
+			for i := range bufA {
+				wantA := byte(256+i)*3 + byte(target)
+				wantB := byte(256+i)*7 + byte(target)
+				if bufA[i] != wantA {
+					t.Errorf("round %d window A byte %d: got %d want %d", round, i, bufA[i], wantA)
+					break
+				}
+				if bufB[i] != wantB {
+					t.Errorf("round %d window B byte %d: got %d want %d", round, i, bufB[i], wantB)
+					break
+				}
+			}
+		}
+		if err := wa.UnlockAll(); err != nil {
+			return err
+		}
+		if err := wb.UnlockAll(); err != nil {
+			return err
+		}
+
+		// Window A (always-cache) hit 4 of 5 rounds; window B
+		// (transparent) was invalidated at every flush and never hit.
+		sa, sb := wa.Stats(), wb.Stats()
+		if sa.Hits != 4 {
+			t.Errorf("window A hits = %d, want 4 (%s)", sa.Hits, sa)
+		}
+		if sb.Hits != 0 {
+			t.Errorf("window B hits = %d, want 0 (%s)", sb.Hits, sb)
+		}
+		// A's flushes must not have invalidated B or vice versa:
+		// transparent B accumulated one invalidation per epoch closure
+		// on B only.
+		if sa.Invalidations != 0 {
+			t.Errorf("window A invalidations = %d", sa.Invalidations)
+		}
+		if sb.Invalidations == 0 {
+			t.Errorf("window B never invalidated")
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsString covers the human-readable stats summary.
+func TestStatsString(t *testing.T) {
+	s := Stats{Gets: 10, Hits: 5, FullHits: 4, PartialHits: 1, Direct: 3, Failing: 2}
+	out := s.String()
+	for _, want := range []string{"gets=10", "hits=5", "50.0%", "failing=2"} {
+		if !contains(out, want) {
+			t.Errorf("Stats.String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

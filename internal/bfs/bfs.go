@@ -1,0 +1,167 @@
+// Package bfs implements a distributed pull-based Breadth-First Search
+// over RMA — a third irregular workload for the caching layer, beyond the
+// paper's two.
+//
+// The graph is 1-D partitioned as in the LCC kernel. Each level, every
+// rank exposes a byte map marking which of its owned vertices are in the
+// current frontier. An unvisited vertex v joins the next frontier if any
+// neighbour u is in the current one; checking a remote u costs a one-byte
+// get into the owner's frontier map. Popular (hub) vertices are checked
+// by many of their neighbours, so the same remote bytes are fetched over
+// and over — and the frontier map is immutable for the whole level, so
+// the gets are cached in the paper's user-defined mode and the cache is
+// invalidated at the level boundary, where the maps change.
+package bfs
+
+import (
+	"clampi/internal/getter"
+	"clampi/internal/graph"
+	"clampi/internal/mpi"
+	"clampi/internal/simtime"
+)
+
+// Unreached marks a vertex not yet visited.
+const Unreached int32 = -1
+
+// Result summarizes one rank's search.
+type Result struct {
+	Levels     []int32 // level of each owned vertex (index: v - d.Lo)
+	Reached    int     // owned vertices reached
+	MaxLevel   int32
+	Gets       int64 // frontier-byte fetches issued (local + remote)
+	RemoteGets int64
+	Time       simtime.Duration
+}
+
+// Config tunes a run.
+type Config struct {
+	// Source is the global id of the BFS root.
+	Source int
+	// ComputePerEdge is the modelled CPU cost per scanned edge; zero
+	// selects the default (a handful of ALU ops).
+	ComputePerEdge simtime.Duration
+}
+
+// DefaultComputeCost is the modelled per-edge scan cost.
+const DefaultComputeCost = 2 * simtime.Nanosecond
+
+// Run executes a level-synchronous pull BFS on this rank. frontierWin
+// must expose exactly d.Hi-d.Lo bytes (this rank's frontier map); gt
+// reads other ranks' maps through it. The caller must NOT hold an access
+// epoch: Run manages its own Lock/Unlock around each level.
+func Run(r *mpi.Rank, d *graph.Dist, frontierWin *mpi.Win, frontier []byte, gt getter.Getter, cfg Config) (Result, error) {
+	if cfg.ComputePerEdge <= 0 {
+		cfg.ComputePerEdge = DefaultComputeCost
+	}
+	clock := r.Clock()
+	start := clock.Now()
+
+	n := d.Hi - d.Lo
+	res := Result{Levels: make([]int32, n)}
+	for i := range res.Levels {
+		res.Levels[i] = Unreached
+	}
+	next := make([]bool, n)
+
+	// Level 0: the source vertex.
+	for i := range frontier {
+		frontier[i] = 0
+	}
+	if d.Owned(cfg.Source) {
+		frontier[cfg.Source-d.Lo] = 1
+		res.Levels[cfg.Source-d.Lo] = 0
+		res.Reached++
+	}
+	r.Barrier() // all frontier maps initialized
+
+	var buf [1]byte
+	for level := int32(0); ; level++ {
+		if err := frontierWin.LockAll(); err != nil {
+			return res, err
+		}
+		discovered := 0
+		var scanned int64
+		for v := d.Lo; v < d.Hi; v++ {
+			if res.Levels[v-d.Lo] != Unreached {
+				continue
+			}
+			for _, u := range d.G.Neighbors(v) {
+				scanned++
+				res.Gets++
+				var inFrontier bool
+				if d.Owned(int(u)) {
+					inFrontier = frontier[int(u)-d.Lo] != 0
+				} else {
+					owner := d.Part.Owner(int(u))
+					olo, _ := d.Part.Range(owner)
+					if err := gt.Get(buf[:], owner, int(u)-olo); err != nil {
+						return res, err
+					}
+					if err := gt.Flush(); err != nil {
+						return res, err
+					}
+					res.RemoteGets++
+					inFrontier = buf[0] != 0
+				}
+				if inFrontier {
+					res.Levels[v-d.Lo] = level + 1
+					next[v-d.Lo] = true
+					discovered++
+					break
+				}
+			}
+		}
+		clock.Advance(simtime.Duration(scanned) * cfg.ComputePerEdge)
+		// The frontier maps are about to change: end of the read-only
+		// phase (CLAMPI_Invalidate in the paper's Listing 1).
+		gt.Invalidate()
+		if err := frontierWin.UnlockAll(); err != nil {
+			return res, err
+		}
+
+		total := r.AllreduceSum(float64(discovered))
+		if total == 0 {
+			break
+		}
+		res.Reached += discovered
+		if discovered > 0 {
+			res.MaxLevel = level + 1
+		}
+		// Publish the next frontier.
+		for i := range frontier {
+			if next[i] {
+				frontier[i] = 1
+				next[i] = false
+			} else {
+				frontier[i] = 0
+			}
+		}
+		r.Barrier() // maps rewritten before anyone reads them
+	}
+	res.Time = clock.Now() - start
+	return res, nil
+}
+
+// Reference computes BFS levels serially (the validation oracle).
+func Reference(g *graph.CSR, source int) []int32 {
+	levels := make([]int32, g.N)
+	for i := range levels {
+		levels[i] = Unreached
+	}
+	if source < 0 || source >= g.N {
+		return levels
+	}
+	levels[source] = 0
+	queue := []int32{int32(source)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(int(v)) {
+			if levels[u] == Unreached {
+				levels[u] = levels[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return levels
+}

@@ -1,0 +1,131 @@
+package bfs
+
+import (
+	"testing"
+
+	"clampi/internal/core"
+	"clampi/internal/getter"
+	"clampi/internal/graph"
+	"clampi/internal/mpi"
+	"clampi/internal/rmat"
+)
+
+func testGraph(t *testing.T, scale, ef int) *graph.CSR {
+	t.Helper()
+	g := graph.Build(1<<scale, rmat.Generate(scale, ef, rmat.Graph500, 77))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runDistributed executes BFS over p ranks and returns the combined
+// levels array plus the per-rank results.
+func runDistributed(t *testing.T, g *graph.CSR, p, source int, mk func(win *mpi.Win) (getter.Getter, error)) ([]int32, []Result) {
+	t.Helper()
+	levels := make([]int32, g.N)
+	results := make([]Result, p)
+	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+		d := graph.Distribute(g, p, r.ID())
+		frontier := make([]byte, d.Hi-d.Lo)
+		win := r.WinCreate(frontier, nil)
+		defer win.Free()
+		gt, err := mk(win)
+		if err != nil {
+			return err
+		}
+		res, err := Run(r, d, win, frontier, gt, Config{Source: source})
+		if err != nil {
+			return err
+		}
+		copy(levels[d.Lo:d.Hi], res.Levels)
+		results[r.ID()] = res
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return levels, results
+}
+
+func rawFactory(win *mpi.Win) (getter.Getter, error) { return getter.NewRaw(win), nil }
+
+func cachedFactory(win *mpi.Win) (getter.Getter, error) {
+	c, err := core.New(win, core.Params{Mode: core.AlwaysCache, IndexSlots: 1 << 14, StorageBytes: 1 << 20, Seed: 9})
+	if err != nil {
+		return nil, err
+	}
+	return getter.NewCached(c), nil
+}
+
+func TestReferenceBFS(t *testing.T) {
+	// Path graph 0-1-2-3 plus isolated 4.
+	g := graph.Build(5, []rmat.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	levels := Reference(g, 0)
+	want := []int32{0, 1, 2, 3, Unreached}
+	for v, w := range want {
+		if levels[v] != w {
+			t.Errorf("level(%d) = %d, want %d", v, levels[v], w)
+		}
+	}
+	// Out-of-range source: all unreached.
+	for _, l := range Reference(g, -1) {
+		if l != Unreached {
+			t.Fatalf("bad-source BFS reached a vertex")
+		}
+	}
+}
+
+func TestDistributedMatchesReference(t *testing.T) {
+	g := testGraph(t, 9, 8)
+	want := Reference(g, 3)
+	for _, mk := range []func(*mpi.Win) (getter.Getter, error){rawFactory, cachedFactory} {
+		got, results := runDistributed(t, g, 4, 3, mk)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("level(%d) = %d, want %d", v, got[v], want[v])
+			}
+		}
+		var remote int64
+		for _, r := range results {
+			remote += r.RemoteGets
+		}
+		if remote == 0 {
+			t.Fatalf("no remote frontier checks in a 4-rank run")
+		}
+	}
+}
+
+func TestCachingHelpsBFS(t *testing.T) {
+	g := testGraph(t, 10, 8)
+	_, raw := runDistributed(t, g, 4, 0, rawFactory)
+	_, cached := runDistributed(t, g, 4, 0, cachedFactory)
+	var rawT, cachedT int64
+	for i := range raw {
+		rawT += int64(raw[i].Time)
+		cachedT += int64(cached[i].Time)
+	}
+	if cachedT >= rawT {
+		t.Fatalf("caching did not help BFS: %d vs %d", cachedT, rawT)
+	}
+	t.Logf("BFS speedup with caching: %.2fx", float64(rawT)/float64(cachedT))
+}
+
+func TestSingleRankBFS(t *testing.T) {
+	// Degenerate distribution: everything local, no remote gets.
+	g := testGraph(t, 8, 8)
+	want := Reference(g, 1)
+	got, results := runDistributed(t, g, 1, 1, rawFactory)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("level(%d) = %d, want %d", v, got[v], want[v])
+		}
+	}
+	if results[0].RemoteGets != 0 {
+		t.Fatalf("single-rank run issued %d remote gets", results[0].RemoteGets)
+	}
+	if results[0].MaxLevel <= 0 {
+		t.Fatalf("MaxLevel = %d", results[0].MaxLevel)
+	}
+}

@@ -1,0 +1,268 @@
+package blockcache
+
+import (
+	"errors"
+	"testing"
+
+	"clampi/internal/mpi"
+)
+
+func pattern(off int) byte { return byte((off*11 + 5) ^ (off >> 2)) }
+
+func withCache(t *testing.T, regionSize, memory, blockSize int, fn func(c *Cache, r *mpi.Rank) error) {
+	t.Helper()
+	err := mpi.Run(2, mpi.Config{}, func(r *mpi.Rank) error {
+		region := make([]byte, regionSize)
+		if r.ID() == 1 {
+			for i := range region {
+				region[i] = pattern(i)
+			}
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		if r.ID() == 0 {
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			c, err := New(win, memory, blockSize)
+			if err != nil {
+				return err
+			}
+			if err := fn(c, r); err != nil {
+				return err
+			}
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkData(t *testing.T, dst []byte, disp int) {
+	t.Helper()
+	for i, b := range dst {
+		if b != pattern(disp+i) {
+			t.Fatalf("byte %d (disp %d): got %d want %d", i, disp, b, pattern(disp+i))
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	err := mpi.Run(1, mpi.Config{}, func(r *mpi.Rank) error {
+		win, _ := r.WinAllocate(64, nil)
+		defer win.Free()
+		if _, err := New(win, 10, 1024); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("New with memory < block = %v", err)
+		}
+		c, err := New(win, 4096, 0)
+		if err != nil {
+			return err
+		}
+		if c.BlockSize() != DefaultBlockSize {
+			t.Errorf("default block size = %d", c.BlockSize())
+		}
+		if c.Blocks() != 4 {
+			t.Errorf("blocks = %d", c.Blocks())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	withCache(t, 8192, 8192, 256, func(c *Cache, r *mpi.Rank) error {
+		dst := make([]byte, 100)
+		if err := c.Get(dst, 1, 300); err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		checkData(t, dst, 300)
+		s := c.Stats()
+		if s.BlockMisses == 0 || s.BlockHits != 0 {
+			t.Errorf("first get stats: %+v", s)
+		}
+		// Same range again: all block hits, no new fetched bytes.
+		fetched := s.FetchedBytes
+		if err := c.Get(dst, 1, 300); err != nil {
+			return err
+		}
+		checkData(t, dst, 300)
+		s = c.Stats()
+		if s.BlockHits == 0 || s.FetchedBytes != fetched {
+			t.Errorf("repeat get stats: %+v", s)
+		}
+		return nil
+	})
+}
+
+func TestCrossBlockGet(t *testing.T) {
+	withCache(t, 8192, 8192, 256, func(c *Cache, r *mpi.Rank) error {
+		// A get spanning three blocks.
+		dst := make([]byte, 600)
+		if err := c.Get(dst, 1, 200); err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		checkData(t, dst, 200)
+		if s := c.Stats(); s.BlockMisses != 4 { // blocks 0..3 cover [200,800)
+			t.Errorf("misses = %d, want 4", s.BlockMisses)
+		}
+		return nil
+	})
+}
+
+func TestInternalFragmentationAccounting(t *testing.T) {
+	// Small requests fetch whole blocks: fetched >> served (the
+	// motivation for CLaMPI's variable-size entries, paper §II).
+	withCache(t, 1<<16, 1<<16, 1024, func(c *Cache, r *mpi.Rank) error {
+		dst := make([]byte, 16)
+		for i := 0; i < 16; i++ {
+			if err := c.Get(dst, 1, i*2048); err != nil {
+				return err
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		s := c.Stats()
+		if s.FetchedBytes != 16*1024 {
+			t.Errorf("fetched %d bytes", s.FetchedBytes)
+		}
+		if s.ServedBytes != 16*16 {
+			t.Errorf("served %d bytes", s.ServedBytes)
+		}
+		if s.FetchedBytes < 60*s.ServedBytes {
+			t.Errorf("expected heavy internal fragmentation: fetched=%d served=%d", s.FetchedBytes, s.ServedBytes)
+		}
+		return nil
+	})
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	// Two blocks mapping to the same slot displace each other: with a
+	// 1-block cache every alternating access conflicts.
+	withCache(t, 8192, 256, 256, func(c *Cache, r *mpi.Rank) error {
+		a := make([]byte, 64)
+		b := make([]byte, 64)
+		for i := 0; i < 4; i++ {
+			if err := c.Get(a, 1, 0); err != nil {
+				return err
+			}
+			if err := c.Get(b, 1, 4096); err != nil {
+				return err
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		checkData(t, a, 0)
+		checkData(t, b, 4096)
+		s := c.Stats()
+		if s.Conflicts < 7 {
+			t.Errorf("conflicts = %d, want >= 7 (thrash)", s.Conflicts)
+		}
+		return nil
+	})
+}
+
+func TestLargerMemoryRemovesConflicts(t *testing.T) {
+	// The paper's Fig. 12 observation: the native cache's performance
+	// depends directly on its memory size.
+	for _, mem := range []int{256, 8192} {
+		var conflicts int64
+		withCache(t, 8192, mem, 256, func(c *Cache, r *mpi.Rank) error {
+			a := make([]byte, 64)
+			b := make([]byte, 64)
+			for i := 0; i < 4; i++ {
+				if err := c.Get(a, 1, 0); err != nil {
+					return err
+				}
+				if err := c.Get(b, 1, 4096); err != nil {
+					return err
+				}
+			}
+			if err := c.Flush(); err != nil {
+				return err
+			}
+			conflicts = c.Stats().Conflicts
+			return nil
+		})
+		if mem == 256 && conflicts == 0 {
+			t.Errorf("small cache had no conflicts")
+		}
+		if mem == 8192 && conflicts != 0 {
+			t.Errorf("large cache still conflicts: %d", conflicts)
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	withCache(t, 4096, 4096, 256, func(c *Cache, r *mpi.Rank) error {
+		dst := make([]byte, 64)
+		if err := c.Get(dst, 1, 0); err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		c.Invalidate()
+		missesBefore := c.Stats().BlockMisses
+		if err := c.Get(dst, 1, 0); err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		checkData(t, dst, 0)
+		if c.Stats().BlockMisses != missesBefore+1 {
+			t.Errorf("no miss after invalidate")
+		}
+		return nil
+	})
+}
+
+func TestBlockClampAtRegionEnd(t *testing.T) {
+	// Region not a multiple of the block size: the final block fetch
+	// must clamp.
+	withCache(t, 300, 4096, 256, func(c *Cache, r *mpi.Rank) error {
+		dst := make([]byte, 40)
+		if err := c.Get(dst, 1, 260); err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		checkData(t, dst, 260)
+		return nil
+	})
+}
+
+func TestGetErrors(t *testing.T) {
+	withCache(t, 256, 4096, 256, func(c *Cache, r *mpi.Rank) error {
+		dst := make([]byte, 64)
+		if err := c.Get(dst, 1, 250); !errors.Is(err, mpi.ErrBounds) {
+			t.Errorf("out of bounds = %v", err)
+		}
+		if err := c.Get(dst, 1, -1); !errors.Is(err, mpi.ErrBounds) {
+			t.Errorf("negative disp = %v", err)
+		}
+		if err := c.Get(dst, 9, 0); !errors.Is(err, mpi.ErrRankRange) {
+			t.Errorf("bad rank = %v", err)
+		}
+		if c.Name() != "native" {
+			t.Errorf("Name = %q", c.Name())
+		}
+		return nil
+	})
+}

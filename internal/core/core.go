@@ -1,0 +1,709 @@
+// Package core implements CLaMPI, the caching layer for MPI-3 RMA get
+// operations (paper §III).
+//
+// A Cache attaches to one mpi.Win and intercepts get operations issued
+// through it. Each get_c is looked up in a Cuckoo hash index I_w keyed by
+// (target, displacement); hits are served from a contiguous storage buffer
+// S_w with a local memory copy, misses fall through to the underlying
+// MPI_Get and are opportunistically inserted into the cache. Inserts may
+// fail ("weak caching"): at most one eviction is performed per miss, so
+// the overhead added to an uncached get is strictly bounded.
+//
+// Consistency follows the MPI-3 epoch model: data requested in epoch i is
+// only complete at the closure of epoch i, so a missed get's payload is
+// copied into the cache at the epoch-closure event (Flush/Unlock), when
+// the entry transitions PENDING→CACHED. In Transparent mode the entire
+// cache is additionally invalidated at every epoch closure; AlwaysCache
+// keeps entries across epochs (read-only windows); user code may call
+// Invalidate explicitly (the paper's user-defined mode).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"clampi/internal/cuckoo"
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+	"clampi/internal/simtime"
+	"clampi/internal/storage"
+)
+
+// Mode is the operational mode of a caching-enabled window (§III-A).
+type Mode int
+
+const (
+	// Transparent requires no application knowledge: the cache is
+	// invalidated at every epoch closure.
+	Transparent Mode = iota
+	// AlwaysCache never invalidates automatically: for windows whose
+	// memory is read-only over their whole lifespan. The user-defined
+	// mode of the paper is AlwaysCache plus explicit Invalidate calls.
+	AlwaysCache
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Transparent:
+		return "transparent"
+	case AlwaysCache:
+		return "always-cache"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// InfoKey is the MPI_Info key CLaMPI reads at window creation to select
+// the operational mode ("transparent" or "always-cache").
+const InfoKey = "clampi_mode"
+
+// EvictionScheme selects the victim-scoring function (§III-D1, Fig. 10).
+type EvictionScheme int
+
+const (
+	// SchemeFull scores victims by R_P × R_T (the paper's proposal).
+	SchemeFull EvictionScheme = iota
+	// SchemeTemporal uses only R_T (LRU-like).
+	SchemeTemporal
+	// SchemePositional uses only R_P (fragmentation-only).
+	SchemePositional
+)
+
+func (s EvictionScheme) String() string {
+	switch s {
+	case SchemeFull:
+		return "full"
+	case SchemeTemporal:
+		return "temporal"
+	case SchemePositional:
+		return "positional"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Params configures a Cache. Zero values select the defaults below.
+type Params struct {
+	// IndexSlots is the initial |I_w| (number of hash-table slots).
+	IndexSlots int
+	// StorageBytes is the initial |S_w| (cache buffer size).
+	StorageBytes int
+	// SampleSize is M, the number of index slots sampled per capacity
+	// eviction (§III-D).
+	SampleSize int
+	// Scheme selects the victim-scoring function.
+	Scheme EvictionScheme
+	// Mode is the operational mode.
+	Mode Mode
+	// Adaptive enables runtime parameter tuning (§III-E1).
+	Adaptive bool
+	// Seed makes hash functions and sampling deterministic.
+	Seed int64
+
+	// Adaptive-tuning thresholds and factors (§III-E1). Zero selects
+	// the defaults.
+	ConflictThreshold  float64 // conflicting/gets above this grows |I_w|
+	CapacityThreshold  float64 // (capacity+failed)/gets above this grows |S_w|
+	StableThreshold    float64 // hits/gets above this allows shrinking |S_w|
+	SparsityThreshold  float64 // eviction-scan density below this shrinks |I_w|
+	FreeSpaceThreshold float64 // free/capacity above this allows shrinking |S_w|
+	IndexGrowFactor    float64
+	IndexShrinkFactor  float64
+	MemGrowFactor      float64
+	MemShrinkFactor    float64
+	// TuneInterval is the number of gets between adaptive checks
+	// (evaluated at epoch closures).
+	TuneInterval int64
+	// MaxIndexSlots / MaxStorageBytes bound adaptive growth.
+	MaxIndexSlots   int
+	MaxStorageBytes int
+	// CostMeasured switches cache-management cost accounting from the
+	// calibrated analytic model (default, deterministic) to real wall
+	// time measured around each operation (see costs.go).
+	CostMeasured bool
+	// AllocPolicy selects the storage allocation strategy; the default
+	// is the paper's best-fit (storage.BestFit). FirstFit exists as an
+	// ablation baseline.
+	AllocPolicy storage.Policy
+}
+
+// Defaults for Params fields left zero.
+const (
+	DefaultIndexSlots     = 4096
+	DefaultStorageBytes   = 4 << 20
+	DefaultSampleSize     = 16
+	DefaultTuneInterval   = 1024
+	defaultConflictThresh = 0.10
+	defaultCapacityThresh = 0.10
+	defaultStableThresh   = 0.80
+	defaultSparsityThresh = 0.20
+	// Shrinking |S_w| only with >75% free keeps the tuner from
+	// oscillating between a shrink (stable, half-empty) and the
+	// capacity-driven grow it immediately causes.
+	defaultFreeThresh   = 0.75
+	defaultGrowFactor   = 2.0
+	defaultShrinkFactor = 0.5
+)
+
+func (p *Params) setDefaults() {
+	if p.IndexSlots <= 0 {
+		p.IndexSlots = DefaultIndexSlots
+	}
+	if p.StorageBytes <= 0 {
+		p.StorageBytes = DefaultStorageBytes
+	}
+	if p.SampleSize <= 0 {
+		p.SampleSize = DefaultSampleSize
+	}
+	if p.ConflictThreshold <= 0 {
+		p.ConflictThreshold = defaultConflictThresh
+	}
+	if p.CapacityThreshold <= 0 {
+		p.CapacityThreshold = defaultCapacityThresh
+	}
+	if p.StableThreshold <= 0 {
+		p.StableThreshold = defaultStableThresh
+	}
+	if p.SparsityThreshold <= 0 {
+		p.SparsityThreshold = defaultSparsityThresh
+	}
+	if p.FreeSpaceThreshold <= 0 {
+		p.FreeSpaceThreshold = defaultFreeThresh
+	}
+	if p.IndexGrowFactor <= 1 {
+		p.IndexGrowFactor = defaultGrowFactor
+	}
+	if p.IndexShrinkFactor <= 0 || p.IndexShrinkFactor >= 1 {
+		p.IndexShrinkFactor = defaultShrinkFactor
+	}
+	if p.MemGrowFactor <= 1 {
+		p.MemGrowFactor = defaultGrowFactor
+	}
+	if p.MemShrinkFactor <= 0 || p.MemShrinkFactor >= 1 {
+		p.MemShrinkFactor = defaultShrinkFactor
+	}
+	if p.TuneInterval <= 0 {
+		p.TuneInterval = DefaultTuneInterval
+	}
+	if p.MaxIndexSlots <= 0 {
+		p.MaxIndexSlots = 1 << 24
+	}
+	if p.MaxStorageBytes <= 0 {
+		p.MaxStorageBytes = 1 << 32
+	}
+}
+
+// entryState is the per-entry state machine of Fig. 5. MISSING is
+// represented by absence from the index; evicted entries that still have
+// in-flight bookkeeping are marked stateEvicted so deferred work skips
+// them.
+type entryState int
+
+const (
+	statePending entryState = iota
+	stateCached
+	stateEvicted
+)
+
+// entry is the cache-entry record stored in the index (the paper's
+// i = (trg, dsp, dtype, count, ptr) tuple; dtype/count are folded into the
+// stored payload size).
+type entry struct {
+	key     cuckoo.Key
+	region  *storage.Region
+	payload int // valid bytes cached (size(i))
+	state   entryState
+	last    int64 // index in C_w.G of the last matching get_c
+
+	// PENDING bookkeeping: src is the user destination buffer of the
+	// get that missed; its bytes are copied into region at epoch
+	// closure. waiters are same-epoch hits on this PENDING entry.
+	src     []byte
+	waiters []waiter
+	// pendingExt records an in-flight partial-hit extension: bytes
+	// [extFrom:extTo) of the entry will be valid at epoch closure.
+	extSrc  []byte
+	extFrom int
+	extTo   int
+}
+
+type waiter struct {
+	dst  []byte
+	size int
+}
+
+// Cache is the caching layer C_w attached to one window.
+type Cache struct {
+	win    *mpi.Win
+	clock  *simtime.Clock
+	params Params
+	mode   Mode
+
+	idx   *cuckoo.Table[*entry]
+	store *storage.Manager
+	rng   *rand.Rand
+
+	getSeq       int64 // index in C_w.G
+	sumGetSizes  int64 // for the average get size (ags)
+	lastTuneGets int64
+
+	pending []*entry // entries awaiting epoch-closure copy-in
+
+	stats     Stats // running totals since creation
+	tuneStats Stats // window since the last adaptive adjustment
+
+	last Access // last processed get_c
+
+	scratch []byte // staging buffer for strided remote gets
+}
+
+// Errors.
+var (
+	ErrNilWindow = errors.New("core: nil window")
+)
+
+// New attaches a caching layer to win. If params.Mode is not set
+// explicitly, the window's InfoKey entry is consulted ("always-cache"
+// selects AlwaysCache; anything else is Transparent).
+func New(win *mpi.Win, params Params) (*Cache, error) {
+	if win == nil {
+		return nil, ErrNilWindow
+	}
+	params.setDefaults()
+	mode := params.Mode
+	if info := win.Info(); info != nil {
+		if v, ok := info[InfoKey]; ok {
+			if v == "always-cache" {
+				mode = AlwaysCache
+			} else {
+				mode = Transparent
+			}
+		}
+	}
+	c := &Cache{
+		win:    win,
+		clock:  win.Rank().Clock(),
+		params: params,
+		mode:   mode,
+		idx:    cuckoo.New[*entry](params.IndexSlots, params.Seed),
+		store:  storage.NewWithPolicy(params.StorageBytes, params.AllocPolicy),
+		rng:    rand.New(rand.NewSource(params.Seed + 1)),
+	}
+	win.AddEpochListener(c.onEpochClose)
+	return c, nil
+}
+
+// Mode returns the operational mode.
+func (c *Cache) Mode() Mode { return c.mode }
+
+// Stats returns a snapshot of the running counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LastAccess returns the classification and cost breakdown of the most
+// recent get_c.
+func (c *Cache) LastAccess() Access { return c.last }
+
+// IndexSlots returns the current |I_w|.
+func (c *Cache) IndexSlots() int { return c.idx.Cap() }
+
+// StorageBytes returns the current |S_w|.
+func (c *Cache) StorageBytes() int { return c.store.Capacity() }
+
+// Occupancy returns the fraction of S_w holding entries (Fig. 10).
+func (c *Cache) Occupancy() float64 { return c.store.Occupancy() }
+
+// CachedEntries returns the number of entries currently indexed.
+func (c *Cache) CachedEntries() int { return c.idx.Len() }
+
+// Win returns the underlying window.
+func (c *Cache) Win() *mpi.Win { return c.win }
+
+// avgGetSize returns C_w.ags: the mean payload of all processed gets.
+func (c *Cache) avgGetSize() float64 {
+	if c.getSeq == 0 {
+		return 0
+	}
+	return float64(c.sumGetSizes) / float64(c.getSeq)
+}
+
+// Get processes a get_c (§III-B): it serves the request from the cache
+// when possible and falls through to the window's MPI_Get otherwise,
+// opportunistically caching the result. dst receives the packed payload,
+// valid — exactly as with a plain MPI_Get — after the next epoch-closure
+// call (Flush/Unlock) on the window.
+func (c *Cache) Get(dst []byte, dtype datatype.Datatype, count int, target, disp int) error {
+	size := datatype.TransferSize(dtype, count)
+	if len(dst) < size {
+		return mpi.ErrShortBuf
+	}
+	c.getSeq++
+	c.sumGetSizes += int64(size)
+	c.stats.Gets++
+	c.tuneStats.Gets++
+	c.last = Access{}
+
+	key := cuckoo.Key{Target: target, Disp: disp}
+	var (
+		e     *entry
+		found bool
+	)
+	lookupT := c.charge(CostLookup, func() {
+		e, _, found = c.idx.Lookup(key)
+	})
+	c.last.Lookup = lookupT
+	c.stats.LookupTime += lookupT
+	c.tuneStats.LookupTime += lookupT
+
+	if found && e.state != stateEvicted {
+		return c.serveHit(e, dst, dtype, count, target, disp, size)
+	}
+	return c.serveMiss(key, dst, dtype, count, target, disp, size)
+}
+
+// serveHit handles CACHED and PENDING lookups (§III-B1).
+func (c *Cache) serveHit(e *entry, dst []byte, dtype datatype.Datatype, count, target, disp, size int) error {
+	e.last = c.getSeq
+	c.stats.Hits++
+	c.tuneStats.Hits++
+	c.last.Type = AccessHit
+
+	full := size <= e.payload
+	if full {
+		c.stats.FullHits++
+		c.tuneStats.FullHits++
+	} else {
+		c.stats.PartialHits++
+		c.tuneStats.PartialHits++
+		c.last.Partial = true
+	}
+
+	// The suffix optimization below addresses the target region as a
+	// contiguous byte range; for strided datatypes the whole transfer
+	// is refetched instead (the cached prefix of a differently-shaped
+	// layout could not be trusted anyway).
+	contig := full || datatype.Contig(dtype, count)
+
+	switch e.state {
+	case stateCached:
+		served := min(size, e.payload)
+		copyT := c.charge(copyCost(served), func() {
+			copy(dst[:served], c.store.Bytes(e.region, served))
+		})
+		c.last.Copy = copyT
+		c.stats.CopyTime += copyT
+		c.tuneStats.CopyTime += copyT
+		c.stats.BytesFromCache += int64(served)
+		if full {
+			return nil
+		}
+		// Partial hit: fetch the missing part remotely and try to
+		// extend the entry (§III-B1).
+		from := served
+		if contig {
+			if err := c.remoteGetRange(dst[served:size], target, disp+served, size-served); err != nil {
+				return err
+			}
+		} else {
+			if err := c.remoteGet(dst, dtype, count, target, disp); err != nil {
+				return err
+			}
+			from = 0
+		}
+		c.last.Issued = true
+		c.stats.BytesFromNetwork += int64(size - from)
+		var grown bool
+		mgmtT := c.charge(CostAlloc, func() {
+			grown = c.store.Grow(e.region, size-e.region.Size())
+		})
+		c.last.Mgmt = mgmtT
+		c.stats.MgmtTime += mgmtT
+		c.tuneStats.MgmtTime += mgmtT
+		if grown {
+			e.extSrc = dst[from:size]
+			e.extFrom = from
+			e.extTo = size
+			c.pending = append(c.pending, e)
+		}
+		return nil
+
+	case statePending:
+		// Same-epoch repeat: the data is already on the wire; defer
+		// the copy to epoch closure (§III-B1).
+		c.stats.PendingHits++
+		c.tuneStats.PendingHits++
+		served := min(size, e.payload)
+		if full || contig {
+			e.waiters = append(e.waiters, waiter{dst: dst[:served], size: served})
+			c.stats.BytesFromCache += int64(served)
+			if full {
+				return nil
+			}
+			if err := c.remoteGetRange(dst[served:size], target, disp+served, size-served); err != nil {
+				return err
+			}
+			c.last.Issued = true
+			c.stats.BytesFromNetwork += int64(size - served)
+			return nil
+		}
+		// Strided partial pending hit: refetch everything.
+		if err := c.remoteGet(dst, dtype, count, target, disp); err != nil {
+			return err
+		}
+		c.last.Issued = true
+		c.stats.BytesFromNetwork += int64(size)
+		return nil
+	}
+	return nil
+}
+
+// remoteGetRange issues a plain byte-range MPI_Get.
+func (c *Cache) remoteGetRange(dst []byte, target, disp, n int) error {
+	return c.win.Get(dst, datatype.Byte, n, target, disp)
+}
+
+// remoteGet issues the full (possibly strided) MPI_Get for a miss.
+func (c *Cache) remoteGet(dst []byte, dtype datatype.Datatype, count, target, disp int) error {
+	return c.win.Get(dst, dtype, count, target, disp)
+}
+
+// serveMiss handles MISSING lookups: issue the remote get and try to
+// cache the incoming data (§III-B2). The remote get is issued first so
+// its network time overlaps the cache-management work.
+func (c *Cache) serveMiss(key cuckoo.Key, dst []byte, dtype datatype.Datatype, count, target, disp, size int) error {
+	if err := c.remoteGet(dst, dtype, count, target, disp); err != nil {
+		return err
+	}
+	c.last.Issued = true
+	c.stats.BytesFromNetwork += int64(size)
+
+	// --- Storage allocation (may require one capacity eviction). ---
+	var region *storage.Region
+	mgmtT := c.charge(CostAlloc, func() {
+		region = c.store.Alloc(size)
+	})
+	accessType := AccessDirect
+	if region == nil {
+		victim, evictT := c.selectCapacityVictim()
+		c.last.Evict += evictT
+		if victim != nil {
+			c.evictEntry(victim)
+			accessType = AccessCapacity
+		}
+		mgmtT += c.charge(CostAlloc, func() {
+			region = c.store.Alloc(size)
+		})
+		if region == nil {
+			// Weak caching: give up after a single eviction.
+			c.recordMgmt(mgmtT)
+			c.finish(AccessFailing)
+			return nil
+		}
+	}
+
+	// --- Index insertion (may require one conflict eviction). ---
+	e := &entry{key: key, region: region, payload: size, state: statePending, src: dst[:size], last: c.getSeq}
+	var res cuckoo.InsertResult[*entry]
+	mgmtT += c.charge(CostInsert, func() {
+		res = c.idx.Insert(key, e)
+	})
+	if !res.Placed {
+		victimSlot, evictT := c.selectConflictVictim(res.CandidateSlots)
+		c.last.Evict += evictT
+		if victimSlot < 0 {
+			// All candidate slots hold PENDING entries: cannot
+			// evict any; drop the homeless element. If the
+			// homeless element is not the new entry, the new
+			// entry was stored during the walk and stays PENDING.
+			c.dropHomeless(res.HomelessVal)
+			c.recordMgmt(mgmtT)
+			if res.HomelessKey == key {
+				c.finish(AccessFailing)
+				return nil
+			}
+			c.pending = append(c.pending, e)
+			c.finish(AccessConflicting)
+			return nil
+		}
+		mgmtT += c.charge(CostInsert+CostFree, func() {
+			evictedKey, evicted := c.idx.ReplaceAt(victimSlot, res.HomelessKey, res.HomelessVal)
+			_ = evictedKey
+			if evicted != nil {
+				c.freeEvicted(evicted)
+			}
+		})
+		accessType = AccessConflicting
+	}
+	c.pending = append(c.pending, e)
+	c.recordMgmt(mgmtT)
+	c.finish(accessType)
+	return nil
+}
+
+// dropHomeless releases the storage of a homeless element that could not
+// be indexed. If the homeless element is the brand-new entry, its region
+// is freed; otherwise the homeless element is an older entry whose index
+// slot was taken over during the walk — its storage is freed too, since
+// it is no longer reachable through the index.
+func (c *Cache) dropHomeless(homeless *entry) {
+	if homeless == nil {
+		return
+	}
+	homeless.state = stateEvicted
+	c.store.FreeRegion(homeless.region)
+}
+
+// freeEvicted releases an entry displaced by a conflict eviction.
+func (c *Cache) freeEvicted(e *entry) {
+	e.state = stateEvicted
+	c.store.FreeRegion(e.region)
+	c.stats.Evictions++
+	c.tuneStats.Evictions++
+}
+
+// evictEntry removes a capacity-eviction victim from index and storage.
+func (c *Cache) evictEntry(e *entry) {
+	c.charge(CostLookup+CostFree, func() {
+		c.idx.Delete(e.key)
+		e.state = stateEvicted
+		c.store.FreeRegion(e.region)
+	})
+	c.stats.Evictions++
+	c.tuneStats.Evictions++
+}
+
+func (c *Cache) recordMgmt(d simtime.Duration) {
+	c.last.Mgmt += d
+	c.stats.MgmtTime += d
+	c.tuneStats.MgmtTime += d
+}
+
+// finish classifies the completed miss.
+func (c *Cache) finish(t AccessType) {
+	c.last.Type = t
+	switch t {
+	case AccessDirect:
+		c.stats.Direct++
+		c.tuneStats.Direct++
+	case AccessConflicting:
+		c.stats.Conflicting++
+		c.tuneStats.Conflicting++
+	case AccessCapacity:
+		c.stats.Capacity++
+		c.tuneStats.Capacity++
+	case AccessFailing:
+		c.stats.Failing++
+		c.tuneStats.Failing++
+	}
+}
+
+// onEpochClose is the window epoch listener: it completes PENDING entries
+// (the deferred user→cache copies, §II), then applies transparent-mode
+// invalidation and adaptive tuning.
+func (c *Cache) onEpochClose(int64) {
+	copiedBytes := 0
+	copyT := c.chargeFn(func() {
+		for _, e := range c.pending {
+			if e.state == stateEvicted {
+				continue
+			}
+			if e.state == statePending {
+				copy(c.store.Bytes(e.region, e.payload), e.src)
+				copiedBytes += e.payload
+				e.state = stateCached
+				e.src = nil
+				for _, w := range e.waiters {
+					copy(w.dst, c.store.Bytes(e.region, w.size))
+					copiedBytes += w.size
+				}
+				e.waiters = nil
+			}
+			if e.extTo > e.extFrom {
+				// Partial-hit extension: append the suffix.
+				buf := c.store.Bytes(e.region, e.extTo)
+				copy(buf[e.extFrom:e.extTo], e.extSrc)
+				copiedBytes += e.extTo - e.extFrom
+				if e.extTo > e.payload {
+					e.payload = e.extTo
+				}
+				e.extSrc = nil
+				e.extFrom, e.extTo = 0, 0
+			}
+		}
+	}, func() simtime.Duration {
+		if copiedBytes == 0 {
+			return 0
+		}
+		return copyCost(copiedBytes)
+	})
+	c.last.Copy += copyT
+	c.stats.CopyTime += copyT
+	c.tuneStats.CopyTime += copyT
+	c.pending = c.pending[:0]
+
+	if c.mode == Transparent {
+		c.invalidate()
+		return // tuning pointless when every epoch starts cold
+	}
+	if c.params.Adaptive && c.tuneStats.Gets >= c.params.TuneInterval {
+		c.tune()
+	}
+}
+
+// Invalidate drops every cache entry (the CLAMPI_Invalidate call of the
+// user-defined mode). In-flight PENDING copies of the current epoch are
+// cancelled.
+func (c *Cache) Invalidate() {
+	c.invalidate()
+}
+
+func (c *Cache) invalidate() {
+	// A mid-epoch invalidation must not lose same-epoch PENDING hits:
+	// their destination buffers are normally filled at the epoch
+	// closure from the cached copy, which is about to disappear. The
+	// payload is already complete in the missing get's own destination
+	// buffer (and may not be consumed before the flush anyway), so the
+	// waiters are satisfied from there before the entry is dropped.
+	for _, e := range c.pending {
+		if e.state != statePending {
+			continue
+		}
+		c.charge(copyCost(waiterBytes(e)), func() {
+			for _, w := range e.waiters {
+				copy(w.dst, e.src[:w.size])
+			}
+		})
+		e.waiters = nil
+		e.state = stateEvicted
+	}
+	est := CostInvalidateBase + simtime.Duration(c.idx.Cap())*CostInvalidatePerSlot
+	c.charge(est, func() {
+		c.idx.Clear()
+		c.store.Reset()
+	})
+	c.pending = c.pending[:0]
+	c.stats.Invalidations++
+	c.tuneStats.Invalidations++
+}
+
+// waiterBytes sums the bytes owed to an entry's same-epoch waiters.
+func waiterBytes(e *entry) int {
+	n := 0
+	for _, w := range e.waiters {
+		n += w.size
+	}
+	return n
+}
+
+// newIndex builds a Cuckoo index of the given size; split out so tuning
+// and construction share it.
+func newIndex(slots int, seed int64) *cuckoo.Table[*entry] {
+	return cuckoo.New[*entry](slots, seed)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+
+	"clampi/internal/cuckoo"
+	"clampi/internal/simtime"
+)
+
+// temporalScore is R_T(x) = x.last / i: the older the last matching get,
+// the lower the score (§III-D1).
+func (c *Cache) temporalScore(e *entry) float64 {
+	if c.getSeq == 0 {
+		return 0
+	}
+	return float64(e.last) / float64(c.getSeq)
+}
+
+// positionalScore is R_P(c) = min(|ags − d_c| / ags, 1): entries whose
+// adjacent free space is close to the average get size score low — i.e.
+// evicting them likely frees a hole of a usable size (§III-C2).
+func (c *Cache) positionalScore(e *entry) float64 {
+	ags := c.avgGetSize()
+	if ags <= 0 {
+		return 1
+	}
+	d := float64(c.store.AdjacentFree(e.region))
+	s := math.Abs(ags-d) / ags
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// score combines the two factors per the configured scheme: R = R_P × R_T
+// for the Full scheme; the ablation schemes use one factor only
+// (Figs. 10–11).
+func (c *Cache) score(e *entry) float64 {
+	switch c.params.Scheme {
+	case SchemeTemporal:
+		return c.temporalScore(e)
+	case SchemePositional:
+		return c.positionalScore(e)
+	default:
+		return c.positionalScore(e) * c.temporalScore(e)
+	}
+}
+
+// selectCapacityVictim implements the sampling procedure of §III-D: visit
+// M consecutive index slots from a random start (wrapping at most once),
+// extending the scan until at least one evictable entry has been seen —
+// v_i = max(M, k_i) — and return the lowest-scoring CACHED entry among
+// the visited ones. PENDING entries are not evictable: their payload is
+// still in flight and same-epoch waiters may reference them. Returns nil
+// if the index holds no evictable entry.
+func (c *Cache) selectCapacityVictim() (*entry, simtime.Duration) {
+	var (
+		victim   *entry
+		visited  int
+		nonEmpty int
+	)
+	d := c.chargeFn(func() {
+		best := math.Inf(1)
+		start := c.idx.RandomSlot()
+		c.idx.Scan(start, func(_ int, _ cuckoo.Key, e *entry, used bool) bool {
+			visited++
+			if used && e.state == stateCached {
+				nonEmpty++
+				if s := c.score(e); s < best {
+					best = s
+					victim = e
+				}
+			}
+			// Stop once the sample size is reached AND at least
+			// one candidate was seen; otherwise keep scanning
+			// (the paper's v_i = max(M, k_i)).
+			return visited < c.params.SampleSize || nonEmpty == 0
+		})
+	}, func() simtime.Duration {
+		return simtime.Duration(visited)*CostPerScanSlot + simtime.Duration(nonEmpty)*CostPerScoredEntry
+	})
+	c.stats.EvictionScans++
+	c.tuneStats.EvictionScans++
+	c.stats.VisitedSlots += int64(visited)
+	c.tuneStats.VisitedSlots += int64(visited)
+	c.stats.NonEmptyVisited += int64(nonEmpty)
+	c.tuneStats.NonEmptyVisited += int64(nonEmpty)
+	c.stats.EvictTime += d
+	c.tuneStats.EvictTime += d
+	return victim, d
+}
+
+// selectConflictVictim picks the victim of a conflicting access among the
+// homeless element's candidate slots (the tail of the Cuckoo insertion
+// path, §III-C1): the lowest-scoring CACHED occupant. Returns -1 if none
+// of the candidates is evictable (all PENDING).
+func (c *Cache) selectConflictVictim(candidates [cuckoo.NumHashes]int) (int, simtime.Duration) {
+	victimSlot := -1
+	d := c.charge(cuckoo.NumHashes*CostPerScoredEntry, func() {
+		best := math.Inf(1)
+		for _, s := range candidates {
+			_, e, used := c.idx.At(s)
+			if !used || e.state != stateCached {
+				continue
+			}
+			if sc := c.score(e); sc < best {
+				best = sc
+				victimSlot = s
+			}
+		}
+	})
+	c.stats.EvictTime += d
+	c.tuneStats.EvictTime += d
+	return victimSlot, d
+}

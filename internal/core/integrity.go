@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"clampi/internal/cuckoo"
+	"clampi/internal/storage"
+)
+
+// CheckIntegrity validates the cross-structure invariants between the
+// index and the storage manager. It is O(|I_w| + entries) and intended
+// for tests and debugging assertions:
+//
+//   - every indexed entry is CACHED or PENDING (never evicted),
+//   - entry payloads fit their storage regions, and regions are
+//     allocated (not free),
+//   - no two entries share a region,
+//   - every PENDING entry is queued for epoch-closure processing,
+//   - the storage manager's own invariants hold.
+func (c *Cache) CheckIntegrity() error {
+	if err := c.store.CheckInvariants(); err != nil {
+		return err
+	}
+	pendingSet := make(map[*entry]bool, len(c.pending))
+	for _, e := range c.pending {
+		pendingSet[e] = true
+	}
+	regions := make(map[*storage.Region]cuckoo.Key)
+	indexed := 0
+	var err error
+	c.idx.Walk(func(k cuckoo.Key, e *entry) bool {
+		indexed++
+		if e == nil {
+			err = fmt.Errorf("core: nil entry indexed at %v", k)
+			return false
+		}
+		if e.key != k {
+			err = fmt.Errorf("core: entry key %v indexed under %v", e.key, k)
+			return false
+		}
+		switch e.state {
+		case stateEvicted:
+			err = fmt.Errorf("core: evicted entry %v still indexed", k)
+			return false
+		case statePending:
+			if !pendingSet[e] {
+				err = fmt.Errorf("core: PENDING entry %v not queued for epoch closure", k)
+				return false
+			}
+			if e.src == nil {
+				err = fmt.Errorf("core: PENDING entry %v has no source buffer", k)
+				return false
+			}
+		case stateCached:
+			if len(e.waiters) != 0 {
+				err = fmt.Errorf("core: CACHED entry %v has %d waiters", k, len(e.waiters))
+				return false
+			}
+		}
+		if e.region == nil || e.region.Free() {
+			err = fmt.Errorf("core: entry %v has free/nil region", k)
+			return false
+		}
+		if e.payload > e.region.Size() {
+			err = fmt.Errorf("core: entry %v payload %d exceeds region %v", k, e.payload, e.region)
+			return false
+		}
+		if prev, dup := regions[e.region]; dup {
+			err = fmt.Errorf("core: entries %v and %v share region %v", prev, k, e.region)
+			return false
+		}
+		regions[e.region] = k
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if indexed != c.idx.Len() {
+		return fmt.Errorf("core: walked %d entries, index reports %d", indexed, c.idx.Len())
+	}
+	// Entries not reachable through the index must not hold storage:
+	// every allocated region belongs to an indexed entry, except the
+	// regions of PENDING entries that lost their index slot — which we
+	// forbid (dropHomeless frees them), so counts must match exactly.
+	if c.store.Entries() != len(regions) {
+		return fmt.Errorf("core: storage holds %d regions, index references %d", c.store.Entries(), len(regions))
+	}
+	return nil
+}

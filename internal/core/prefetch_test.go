@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+)
+
+func TestPrefetchWarmsCache(t *testing.T) {
+	withCache(t, 4096, alwaysParams(), func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
+		if err := c.Prefetch(1, 512, 256); err != nil {
+			return err
+		}
+		if err := win.FlushAll(); err != nil {
+			return err
+		}
+		if c.CachedEntries() != 1 {
+			t.Errorf("CachedEntries = %d", c.CachedEntries())
+		}
+		// The first application Get is already a pure hit.
+		dst := make([]byte, 256)
+		if err := c.Get(dst, datatype.Byte, 256, 1, 512); err != nil {
+			return err
+		}
+		if a := c.LastAccess(); a.Type != AccessHit || a.Issued {
+			t.Errorf("post-prefetch get = %+v, want pure hit", a)
+		}
+		checkData(t, dst, 512)
+		s := c.Stats()
+		if s.Prefetches != 1 || s.Gets != 2 {
+			t.Errorf("stats = %s", s.String())
+		}
+		return c.CheckIntegrity()
+	})
+}
+
+func TestPrefetchOfCachedDataIsHit(t *testing.T) {
+	withCache(t, 4096, alwaysParams(), func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
+		dst := make([]byte, 128)
+		if err := c.Get(dst, datatype.Byte, 128, 1, 0); err != nil {
+			return err
+		}
+		if err := win.FlushAll(); err != nil {
+			return err
+		}
+		if err := c.Prefetch(1, 0, 128); err != nil {
+			return err
+		}
+		if a := c.LastAccess(); a.Type != AccessHit {
+			t.Errorf("prefetch of cached data = %v", a.Type)
+		}
+		if err := c.Prefetch(1, 0, 0); err != nil { // no-op
+			return err
+		}
+		s := c.Stats()
+		if s.Prefetches != 1 || s.Gets != 2 {
+			t.Errorf("stats = %s", s.String())
+		}
+		return win.FlushAll()
+	})
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+)
+
+// TestCacheOverPSCWEpochs demonstrates the paper's claim that CLaMPI
+// depends only on the epoch-closure event, not on the synchronization
+// mode: over generalized active-target (post-start-complete-wait)
+// epochs, Complete plays the role Flush plays in passive mode — PENDING
+// entries become CACHED there, and repeats in later epochs hit.
+func TestCacheOverPSCWEpochs(t *testing.T) {
+	err := mpi.Run(2, mpi.Config{}, func(r *mpi.Rank) error {
+		region := make([]byte, 1024)
+		if r.ID() == 1 {
+			for i := range region {
+				region[i] = pattern(i)
+			}
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+
+		var fnErr error
+		if r.ID() == 0 {
+			var c *Cache
+			c, fnErr = New(win, alwaysParams())
+			if fnErr == nil {
+				fnErr = func() error {
+					dst := make([]byte, 128)
+					for round := 0; round < 3; round++ {
+						if err := win.Start([]int{1}); err != nil {
+							return err
+						}
+						if err := c.Get(dst, datatype.Byte, 128, 1, 64); err != nil {
+							return err
+						}
+						if err := win.Complete(); err != nil {
+							return err
+						}
+						checkData(t, dst, 64)
+						want := AccessDirect
+						if round > 0 {
+							want = AccessHit
+						}
+						if a := c.LastAccess(); a.Type != want {
+							t.Errorf("round %d: access %v, want %v", round, a.Type, want)
+						}
+					}
+					if s := c.Stats(); s.Hits != 2 || s.Direct != 1 {
+						t.Errorf("stats = %s", s.String())
+					}
+					return c.CheckIntegrity()
+				}()
+			}
+		} else {
+			for round := 0; round < 3; round++ {
+				if err := win.Post([]int{0}); err != nil {
+					return err
+				}
+				if err := win.Wait(); err != nil {
+					return err
+				}
+			}
+		}
+		r.Barrier()
+		return fnErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"clampi/internal/cuckoo"
+	"clampi/internal/datatype"
+	"clampi/internal/simtime"
+)
+
+// Range invalidation (an extension beyond the paper).
+//
+// CLaMPI's modes assume windows are read-only while caching is active;
+// a put issued *by the caching process itself* through the same window
+// would silently leave stale entries behind. The paper leaves write
+// consistency to the user. As a safety extension, Put routes writes
+// through the cache layer and invalidates the (origin-local) entries
+// overlapping the written range first, so a process never reads its own
+// stale writes back. Remote writers are still the user's responsibility,
+// exactly as in the paper — no coherence traffic is ever generated.
+
+// InvalidateRange drops every cached entry of target that overlaps the
+// byte range [disp, disp+size). The index has no spatial structure (the
+// paper's design trades range queries for O(1) lookups), so this is a
+// linear scan over the cached entries — acceptable because writes to
+// cached windows are rare by assumption. Returns the number of entries
+// dropped.
+func (c *Cache) InvalidateRange(target, disp, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	var victims []*entry
+	c.charge(simtime.Duration(c.idx.Len())*CostPerScanSlot, func() {
+		c.idx.Walk(func(k cuckoo.Key, e *entry) bool {
+			if k.Target == target && k.Disp < disp+size && disp < k.Disp+e.payload {
+				victims = append(victims, e)
+			}
+			return true
+		})
+	})
+	for _, e := range victims {
+		if e.state == statePending {
+			// Same-epoch waiters keep their data (it is complete in
+			// the in-flight source buffer; see invalidate()).
+			c.charge(copyCost(waiterBytes(e)), func() {
+				for _, w := range e.waiters {
+					copy(w.dst, e.src[:w.size])
+				}
+			})
+			e.waiters = nil
+		}
+		c.charge(CostLookup+CostFree, func() {
+			c.idx.Delete(e.key)
+			e.state = stateEvicted
+			c.store.FreeRegion(e.region)
+		})
+	}
+	return len(victims)
+}
+
+// Put writes through to the window after invalidating the overlapping
+// cached range, keeping the origin's own cache coherent with its writes.
+func (c *Cache) Put(src []byte, dtype datatype.Datatype, count, target, disp int) error {
+	size := datatype.TransferSize(dtype, count)
+	// Invalidate the full extent touched by the (possibly strided)
+	// write: the span is conservative for sparse datatypes.
+	span := size
+	if count > 0 {
+		span = dtype.Extent() * count
+	}
+	c.InvalidateRange(target, disp, span)
+	return c.win.Put(src, dtype, count, target, disp)
+}
+
+// Prefetch warms the cache with size bytes at target's displacement disp
+// without delivering data to the application (an extension beyond the
+// paper): the remote get lands in a cache-owned buffer and the entry
+// becomes CACHED at the next epoch closure, so a later Get in a
+// subsequent epoch is a pure local hit. A prefetch of already-cached
+// data only refreshes its temporal score. Prefetches flow through the
+// normal get path and are classified in the statistics like any get.
+func (c *Cache) Prefetch(target, disp, size int) error {
+	if size <= 0 {
+		return nil
+	}
+	c.stats.Prefetches++
+	buf := make([]byte, size)
+	return c.Get(buf, datatype.Byte, size, target, disp)
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clampi/internal/cuckoo"
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+)
+
+// TestCheckIntegrityDetectsCorruption deliberately corrupts internal
+// structures and verifies the checker reports each corruption class.
+func TestCheckIntegrityDetectsCorruption(t *testing.T) {
+	withCache(t, 4096, alwaysParams(), func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
+		dst := make([]byte, 64)
+		for i := 0; i < 3; i++ {
+			if err := c.Get(dst, datatype.Byte, 64, 1, i*64); err != nil {
+				return err
+			}
+		}
+		if err := win.FlushAll(); err != nil {
+			return err
+		}
+		if err := c.CheckIntegrity(); err != nil {
+			t.Fatalf("clean cache flagged: %v", err)
+		}
+
+		// 1. Evicted-but-indexed entry.
+		var victim *entry
+		c.idx.Walk(func(_ cuckoo.Key, e *entry) bool { victim = e; return false })
+		old := victim.state
+		victim.state = stateEvicted
+		if err := c.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "evicted") {
+			t.Errorf("evicted corruption not detected: %v", err)
+		}
+		victim.state = old
+
+		// 2. Payload exceeding the region.
+		oldPayload := victim.payload
+		victim.payload = victim.region.Size() + 1
+		if err := c.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "exceeds region") {
+			t.Errorf("payload corruption not detected: %v", err)
+		}
+		victim.payload = oldPayload
+
+		// 3. CACHED entry with waiters.
+		victim.waiters = append(victim.waiters, waiter{dst: dst, size: 8})
+		if err := c.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "waiters") {
+			t.Errorf("waiter corruption not detected: %v", err)
+		}
+		victim.waiters = nil
+
+		// 4. Key mismatch between slot and entry.
+		oldKey := victim.key
+		victim.key.Disp += 8
+		if err := c.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "indexed under") {
+			t.Errorf("key corruption not detected: %v", err)
+		}
+		victim.key = oldKey
+
+		// 5. Storage/index accounting mismatch: allocate a region no
+		// entry references.
+		extra := c.store.Alloc(64)
+		if err := c.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "regions") {
+			t.Errorf("orphan region not detected: %v", err)
+		}
+		c.store.FreeRegion(extra)
+
+		if err := c.CheckIntegrity(); err != nil {
+			t.Fatalf("cache did not recover after corruption repair: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestAdaptiveShrinksOversizedStorage exercises the |S_w| shrink path:
+// a stable, hit-dominated workload in a mostly-empty buffer.
+func TestAdaptiveShrinksOversizedStorage(t *testing.T) {
+	p := alwaysParams()
+	p.StorageBytes = 8 << 20 // vastly oversized for a 16-entry working set
+	p.Adaptive = true
+	p.TuneInterval = 64
+	withCache(t, 1<<14, p, func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
+		dst := make([]byte, 128)
+		for i := 0; i < 600; i++ {
+			if err := c.Get(dst, datatype.Byte, 128, 1, (i%16)*128); err != nil {
+				return err
+			}
+			if err := win.FlushAll(); err != nil {
+				return err
+			}
+		}
+		if c.StorageBytes() >= 8<<20 {
+			t.Errorf("oversized storage never shrank: %d", c.StorageBytes())
+		}
+		if s := c.Stats(); s.Adjustments == 0 {
+			t.Errorf("no adjustments: %s", s.String())
+		}
+		return nil
+	})
+}
+
+// TestTuneShrinksSparseIndex exercises the |I_w| shrink branch directly:
+// a stats window showing capacity evictions with very sparse scans (low
+// q) and no pressure must shrink the index. The branch is hard to pin
+// down through a workload because capacity pressure (which grows |S_w|)
+// takes priority — see tune()'s ordering.
+func TestTuneShrinksSparseIndex(t *testing.T) {
+	p := alwaysParams()
+	p.IndexSlots = 1 << 14
+	p.Adaptive = true
+	withCache(t, 1<<14, p, func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
+		c.tuneStats = Stats{
+			Gets:            1000,
+			Hits:            400, // below StableThreshold: no |S_w| shrink
+			Capacity:        20,  // 2%: below CapacityThreshold
+			EvictionScans:   20,
+			VisitedSlots:    2000,
+			NonEmptyVisited: 40, // q = 0.02 << SparsityThreshold
+		}
+		c.tune()
+		if c.IndexSlots() >= 1<<14 {
+			t.Errorf("sparse index did not shrink: %d", c.IndexSlots())
+		}
+		if c.stats.Adjustments != 1 {
+			t.Errorf("Adjustments = %d", c.stats.Adjustments)
+		}
+		// The shrink is clamped at minIndexSlots.
+		for i := 0; i < 20; i++ {
+			c.tuneStats = Stats{Gets: 1000, EvictionScans: 20, VisitedSlots: 2000, NonEmptyVisited: 1}
+			c.tune()
+		}
+		if c.IndexSlots() < minIndexSlots {
+			t.Errorf("index shrank below the floor: %d", c.IndexSlots())
+		}
+		return nil
+	})
+}
+
+// TestTuneShrinkStorageClamp drives the |S_w| shrink branch to its floor.
+func TestTuneShrinkStorageClamp(t *testing.T) {
+	p := alwaysParams()
+	p.StorageBytes = 64 << 10
+	p.Adaptive = true
+	withCache(t, 1<<14, p, func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
+		for i := 0; i < 20; i++ {
+			c.tuneStats = Stats{Gets: 1000, Hits: 950} // stable, empty buffer
+			c.tune()
+		}
+		if c.StorageBytes() < minStorageBytes {
+			t.Errorf("storage shrank below the floor: %d", c.StorageBytes())
+		}
+		if c.StorageBytes() >= 64<<10 {
+			t.Errorf("stable empty storage never shrank: %d", c.StorageBytes())
+		}
+		return nil
+	})
+}
+
+// TestAdaptiveGrowthClamps verifies MaxIndexSlots/MaxStorageBytes bound
+// adaptive growth (clamped adjustments do not count or invalidate).
+func TestAdaptiveGrowthClamps(t *testing.T) {
+	p := alwaysParams()
+	p.IndexSlots = 64
+	p.MaxIndexSlots = 64 // growth impossible
+	p.StorageBytes = 1 << 20
+	p.Adaptive = true
+	p.TuneInterval = 64
+	withCache(t, 1<<16, p, func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
+		dst := make([]byte, 64)
+		for i := 0; i < 400; i++ {
+			if err := c.Get(dst, datatype.Byte, 64, 1, (i%256)*64); err != nil {
+				return err
+			}
+			if err := win.FlushAll(); err != nil {
+				return err
+			}
+		}
+		if c.IndexSlots() != 64 {
+			t.Errorf("clamped index changed: %d", c.IndexSlots())
+		}
+		return nil
+	})
+}

@@ -1,0 +1,331 @@
+// Package cuckoo implements the hash index used by CLaMPI to name cache
+// entries (paper §III-C1).
+//
+// Entries are keyed by (target rank, window displacement) — the hit
+// condition of §III-B1 — and stored in a Cuckoo hash table with p = 4
+// universal hash functions, giving constant lookup cost (at most p probes)
+// and up to ~97% space utilization (Fotakis et al.).
+//
+// Insertion uses the random-walk scheme: a new element is placed at one of
+// its p positions, displacing any occupant, which is then re-placed at one
+// of its other positions, and so on up to a maximum number of iterations.
+// Where a classical Cuckoo table would re-hash on insertion failure,
+// CLaMPI instead reports the failure as a *conflicting access*: the caller
+// picks a victim among the homeless element's candidate slots (the tail of
+// the insertion path) and completes the placement with ReplaceAt.
+package cuckoo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NumHashes is the paper's p: the number of hash functions, hence the
+// number of candidate slots per key.
+const NumHashes = 4
+
+// DefaultMaxIterations bounds the random-walk displacement chain; hitting
+// the bound signals a (possible) cycle in the Cuckoo graph. Random-walk
+// insertion needs O(log n) steps in expectation but has a heavy tail near
+// high load factors, so the bound is generous — a failed walk is not fatal
+// in CLaMPI, merely a conflicting access.
+const DefaultMaxIterations = 128
+
+// Key identifies a cache entry: the paper's hit rule matches on target
+// rank and displacement only (§III-B1).
+type Key struct {
+	Target int
+	Disp   int
+}
+
+func (k Key) String() string { return fmt.Sprintf("t%d+%d", k.Target, k.Disp) }
+
+// Table is a Cuckoo hash table mapping Keys to values of type V.
+// Not safe for concurrent use: each caching layer owns one table and runs
+// on its rank's goroutine.
+type Table[V any] struct {
+	slots   []slot[V]
+	a, b    [NumHashes]uint64
+	rng     *rand.Rand
+	len     int
+	maxIter int
+}
+
+type slot[V any] struct {
+	key  Key
+	val  V
+	used bool
+}
+
+// New creates a table with the given number of slots (minimum 2*p) and a
+// deterministic RNG seed for hash-function selection and walk randomness.
+func New[V any](size int, seed int64) *Table[V] {
+	if size < 2*NumHashes {
+		size = 2 * NumHashes
+	}
+	t := &Table[V]{
+		slots:   make([]slot[V], size),
+		rng:     rand.New(rand.NewSource(seed)),
+		maxIter: DefaultMaxIterations,
+	}
+	t.reseedHashes()
+	return t
+}
+
+// reseedHashes draws a fresh universal hash family.
+func (t *Table[V]) reseedHashes() {
+	for i := 0; i < NumHashes; i++ {
+		t.a[i] = t.rng.Uint64() | 1 // odd multiplier
+		t.b[i] = t.rng.Uint64()
+	}
+}
+
+// SetMaxIterations adjusts the displacement-walk bound (tests/ablations).
+func (t *Table[V]) SetMaxIterations(n int) {
+	if n > 0 {
+		t.maxIter = n
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Table[V]) Len() int { return t.len }
+
+// Cap returns the number of slots (the paper's |I_w|).
+func (t *Table[V]) Cap() int { return len(t.slots) }
+
+// LoadFactor returns Len/Cap.
+func (t *Table[V]) LoadFactor() float64 {
+	return float64(t.len) / float64(len(t.slots))
+}
+
+// mix folds a key into a 64-bit word before universal hashing.
+func mix(k Key) uint64 {
+	x := uint64(k.Target)*0x9E3779B97F4A7C15 ^ uint64(uint(k.Disp))
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// hash returns the i-th candidate slot of key. The product's high half is
+// used (multiply-shift) so every bit of x influences the slot; reducing
+// the low half modulo the table size would make keys that agree modulo the
+// size collide under *all* hash functions at once.
+func (t *Table[V]) hash(i int, k Key) int {
+	x := mix(k)
+	return int(((t.a[i]*x + t.b[i]) >> 32) % uint64(len(t.slots)))
+}
+
+// Candidates returns the p candidate slot indices of key. Slots may
+// repeat if hash functions collide.
+func (t *Table[V]) Candidates(k Key) [NumHashes]int {
+	var c [NumHashes]int
+	for i := 0; i < NumHashes; i++ {
+		c[i] = t.hash(i, k)
+	}
+	return c
+}
+
+// Lookup returns the value stored for key and the slot holding it.
+func (t *Table[V]) Lookup(k Key) (val V, slotIdx int, ok bool) {
+	for i := 0; i < NumHashes; i++ {
+		s := t.hash(i, k)
+		if t.slots[s].used && t.slots[s].key == k {
+			return t.slots[s].val, s, true
+		}
+	}
+	var zero V
+	return zero, -1, false
+}
+
+// Update overwrites the value stored for key; it returns false if the key
+// is absent.
+func (t *Table[V]) Update(k Key, v V) bool {
+	for i := 0; i < NumHashes; i++ {
+		s := t.hash(i, k)
+		if t.slots[s].used && t.slots[s].key == k {
+			t.slots[s].val = v
+			return true
+		}
+	}
+	return false
+}
+
+// InsertResult reports the outcome of an Insert.
+type InsertResult[V any] struct {
+	// Placed is true if every element found a slot. If false, the
+	// caller must resolve the conflict via ReplaceAt or drop the
+	// homeless element.
+	Placed bool
+	// Path is the sequence of slot indices visited by the displacement
+	// walk (the paper's insertion path).
+	Path []int
+	// HomelessKey/HomelessVal identify the element left without a slot
+	// after a failed walk. It is not necessarily the key passed to
+	// Insert: displacements may leave a previously stored element
+	// homeless instead.
+	HomelessKey Key
+	HomelessVal V
+	// CandidateSlots are the homeless element's p hash positions — the
+	// valid homes among which a conflict victim must be chosen. Only
+	// meaningful when Placed is false.
+	CandidateSlots [NumHashes]int
+}
+
+// Insert places key/val using the random-walk scheme. The key must not
+// already be present (callers Lookup first; a duplicate insert panics, as
+// it would corrupt the structure).
+func (t *Table[V]) Insert(k Key, v V) InsertResult[V] {
+	if _, _, ok := t.Lookup(k); ok {
+		panic(fmt.Sprintf("cuckoo: duplicate insert of %v", k))
+	}
+	res := InsertResult[V]{}
+	curKey, curVal := k, v
+	// The hash-function index whose slot currently holds the walking
+	// element; -1 means unconstrained (first placement).
+	avoid := -1
+	for iter := 0; iter < t.maxIter; iter++ {
+		// Pick a random hash index, avoiding the position the
+		// element was just displaced from.
+		i := t.rng.Intn(NumHashes)
+		if i == avoid {
+			i = (i + 1 + t.rng.Intn(NumHashes-1)) % NumHashes
+		}
+		s := t.hash(i, curKey)
+		res.Path = append(res.Path, s)
+		if !t.slots[s].used {
+			t.slots[s] = slot[V]{key: curKey, val: curVal, used: true}
+			t.len++
+			res.Placed = true
+			return res
+		}
+		// Displace the occupant and walk on with it.
+		t.slots[s].key, curKey = curKey, t.slots[s].key
+		t.slots[s].val, curVal = curVal, t.slots[s].val
+		// The displaced element sat in slot s; find which of its
+		// hash indices maps there so the next step avoids it.
+		avoid = -1
+		for j := 0; j < NumHashes; j++ {
+			if t.hash(j, curKey) == s {
+				avoid = j
+				break
+			}
+		}
+	}
+	// Walk exhausted: curKey/curVal is homeless. Its candidate slots
+	// are all occupied (otherwise the walk would have placed it).
+	res.HomelessKey, res.HomelessVal = curKey, curVal
+	res.CandidateSlots = t.Candidates(curKey)
+	// The element that started the walk is now stored (unless the walk
+	// never displaced anyone, i.e. curKey == k after 0 swaps — then
+	// nothing was stored). Either way t.len reflects stored entries:
+	// every swap kept the count unchanged, and no empty slot was
+	// filled, so len is unchanged; the homeless element is simply not
+	// stored yet.
+	return res
+}
+
+// ReplaceAt evicts the entry in slotIdx and stores key/val there. The
+// slot must be one of key's candidate positions; otherwise lookups for
+// key would fail, so ReplaceAt panics. It returns the evicted key/value.
+func (t *Table[V]) ReplaceAt(slotIdx int, k Key, v V) (Key, V) {
+	valid := false
+	for i := 0; i < NumHashes; i++ {
+		if t.hash(i, k) == slotIdx {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		panic(fmt.Sprintf("cuckoo: slot %d is not a candidate of %v", slotIdx, k))
+	}
+	if !t.slots[slotIdx].used {
+		t.slots[slotIdx] = slot[V]{key: k, val: v, used: true}
+		t.len++
+		var zero V
+		return Key{}, zero
+	}
+	ek, ev := t.slots[slotIdx].key, t.slots[slotIdx].val
+	t.slots[slotIdx] = slot[V]{key: k, val: v, used: true}
+	return ek, ev
+}
+
+// At returns the occupant of slotIdx.
+func (t *Table[V]) At(slotIdx int) (Key, V, bool) {
+	if slotIdx < 0 || slotIdx >= len(t.slots) {
+		var zero V
+		return Key{}, zero, false
+	}
+	s := t.slots[slotIdx]
+	return s.key, s.val, s.used
+}
+
+// Delete removes key, returning its value.
+func (t *Table[V]) Delete(k Key) (V, bool) {
+	for i := 0; i < NumHashes; i++ {
+		s := t.hash(i, k)
+		if t.slots[s].used && t.slots[s].key == k {
+			v := t.slots[s].val
+			t.slots[s] = slot[V]{}
+			t.len--
+			return v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// DeleteAt clears slotIdx, returning the evicted entry.
+func (t *Table[V]) DeleteAt(slotIdx int) (Key, V, bool) {
+	if slotIdx < 0 || slotIdx >= len(t.slots) || !t.slots[slotIdx].used {
+		var zero V
+		return Key{}, zero, false
+	}
+	k, v := t.slots[slotIdx].key, t.slots[slotIdx].val
+	t.slots[slotIdx] = slot[V]{}
+	t.len--
+	return k, v, true
+}
+
+// Clear drops all entries, keeping the hash functions and capacity.
+func (t *Table[V]) Clear() {
+	for i := range t.slots {
+		t.slots[i] = slot[V]{}
+	}
+	t.len = 0
+}
+
+// Scan visits slots circularly starting at start, calling visit with the
+// slot index and occupancy. The visitor returns false to stop. Scan wraps
+// at most once around the table. It implements the eviction-procedure
+// sampling of §III-D: the caller counts visited/non-empty slots itself.
+func (t *Table[V]) Scan(start int, visit func(slotIdx int, k Key, v V, used bool) bool) {
+	n := len(t.slots)
+	if n == 0 {
+		return
+	}
+	start %= n
+	if start < 0 {
+		start += n
+	}
+	for i := 0; i < n; i++ {
+		s := (start + i) % n
+		sl := t.slots[s]
+		if !visit(s, sl.key, sl.val, sl.used) {
+			return
+		}
+	}
+}
+
+// RandomSlot returns a uniformly random slot index (the random sample
+// start of §III-D).
+func (t *Table[V]) RandomSlot() int { return t.rng.Intn(len(t.slots)) }
+
+// Walk visits every stored entry in slot order.
+func (t *Table[V]) Walk(visit func(k Key, v V) bool) {
+	for _, s := range t.slots {
+		if s.used && !visit(s.key, s.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package cuckoo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMinimumSize(t *testing.T) {
+	tb := New[int](1, 1)
+	if tb.Cap() < 2*NumHashes {
+		t.Fatalf("Cap() = %d, want >= %d", tb.Cap(), 2*NumHashes)
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tb := New[string](64, 7)
+	k := Key{Target: 3, Disp: 4096}
+	res := tb.Insert(k, "hello")
+	if !res.Placed {
+		t.Fatalf("insert into empty table failed")
+	}
+	if len(res.Path) == 0 {
+		t.Fatalf("no insertion path recorded")
+	}
+	v, slot, ok := tb.Lookup(k)
+	if !ok || v != "hello" {
+		t.Fatalf("Lookup = %q,%v", v, ok)
+	}
+	if gotK, gotV, used := tb.At(slot); !used || gotK != k || gotV != "hello" {
+		t.Fatalf("At(%d) = %v,%q,%v", slot, gotK, gotV, used)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if v, ok := tb.Delete(k); !ok || v != "hello" {
+		t.Fatalf("Delete = %q,%v", v, ok)
+	}
+	if _, _, ok := tb.Lookup(k); ok {
+		t.Fatalf("Lookup after delete succeeded")
+	}
+	if _, ok := tb.Delete(k); ok {
+		t.Fatalf("double delete succeeded")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tb := New[int](64, 7)
+	k := Key{1, 100}
+	if tb.Update(k, 5) {
+		t.Fatalf("Update of absent key succeeded")
+	}
+	tb.Insert(k, 1)
+	if !tb.Update(k, 9) {
+		t.Fatalf("Update failed")
+	}
+	if v, _, _ := tb.Lookup(k); v != 9 {
+		t.Fatalf("value after update = %d", v)
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	tb := New[int](64, 7)
+	tb.Insert(Key{1, 2}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate insert did not panic")
+		}
+	}()
+	tb.Insert(Key{1, 2}, 2)
+}
+
+func TestHighLoadFactor(t *testing.T) {
+	// Fotakis et al. report ~97% utilization with p=4 given long enough
+	// insertion walks. With the default walk bound, 85% must always
+	// succeed; with a generous bound, 95%.
+	const n = 1024
+	tb := New[int](n, 42)
+	inserted := 0
+	for i := 0; inserted < n*85/100; i++ {
+		k := Key{Target: i % 16, Disp: i * 64}
+		res := tb.Insert(k, i)
+		if !res.Placed {
+			t.Fatalf("insert failed at load factor %.2f with default walk bound", tb.LoadFactor())
+		}
+		inserted++
+	}
+	// Everything must still be findable.
+	for i := 0; i < inserted; i++ {
+		k := Key{Target: i % 16, Disp: i * 64}
+		if v, _, ok := tb.Lookup(k); !ok || v != i {
+			t.Fatalf("Lookup(%v) = %d,%v", k, v, ok)
+		}
+	}
+
+	tb2 := New[int](n, 42)
+	tb2.SetMaxIterations(1024)
+	for i := 0; tb2.Len() < n*95/100; i++ {
+		res := tb2.Insert(Key{Target: i % 16, Disp: i * 64}, i)
+		if !res.Placed {
+			t.Fatalf("insert failed at load factor %.2f with 1024-step walks", tb2.LoadFactor())
+		}
+	}
+	if tb2.Len() < n*95/100 {
+		t.Fatalf("Len = %d, want >= %d", tb2.Len(), n*95/100)
+	}
+}
+
+func TestInsertFailureReportsHomeless(t *testing.T) {
+	// Tiny table, forced to overflow: the walk must fail and report a
+	// homeless element whose candidate slots are all occupied.
+	tb := New[int](8, 3)
+	tb.SetMaxIterations(8)
+	stored := make(map[Key]int)
+	var fail InsertResult[int]
+	for i := 0; ; i++ {
+		k := Key{Target: 0, Disp: i * 8}
+		res := tb.Insert(k, i)
+		if !res.Placed {
+			fail = res
+			break
+		}
+		stored[k] = i
+		if i > 100 {
+			t.Fatalf("table of 8 slots never overflowed")
+		}
+	}
+	for _, s := range fail.CandidateSlots {
+		if _, _, used := tb.At(s); !used {
+			t.Fatalf("candidate slot %d of homeless element is empty", s)
+		}
+	}
+	// The homeless element is either the new key or a displaced one;
+	// every *other* previously stored key must still be findable.
+	for k, v := range stored {
+		if k == fail.HomelessKey {
+			continue
+		}
+		got, _, ok := tb.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("stored key %v lost after failed insert", k)
+		}
+	}
+	// In both cases (homeless is the new key, or an old key displaced
+	// by the new one) the table holds exactly len(stored) entries.
+	if tb.Len() != len(stored) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(stored))
+	}
+}
+
+func TestReplaceAtResolvesConflict(t *testing.T) {
+	tb := New[int](8, 3)
+	tb.SetMaxIterations(8)
+	var fail InsertResult[int]
+	for i := 0; ; i++ {
+		res := tb.Insert(Key{0, i * 8}, i)
+		if !res.Placed {
+			fail = res
+			break
+		}
+	}
+	lenBefore := tb.Len()
+	victimSlot := fail.CandidateSlots[0]
+	evictedK, _ := tb.ReplaceAt(victimSlot, fail.HomelessKey, fail.HomelessVal)
+	if tb.Len() != lenBefore {
+		t.Fatalf("Len changed on replace: %d -> %d", lenBefore, tb.Len())
+	}
+	if v, _, ok := tb.Lookup(fail.HomelessKey); !ok || v != fail.HomelessVal {
+		t.Fatalf("homeless element not findable after ReplaceAt: %d,%v", v, ok)
+	}
+	if _, _, ok := tb.Lookup(evictedK); ok {
+		t.Fatalf("evicted key still findable")
+	}
+}
+
+func TestReplaceAtInvalidSlotPanics(t *testing.T) {
+	tb := New[int](64, 3)
+	k := Key{5, 5}
+	cands := tb.Candidates(k)
+	// Find a slot that is NOT a candidate.
+	bad := -1
+	for s := 0; s < tb.Cap(); s++ {
+		isCand := false
+		for _, c := range cands {
+			if c == s {
+				isCand = true
+			}
+		}
+		if !isCand {
+			bad = s
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ReplaceAt on non-candidate slot did not panic")
+		}
+	}()
+	tb.ReplaceAt(bad, k, 0)
+}
+
+func TestReplaceAtEmptySlot(t *testing.T) {
+	tb := New[int](64, 3)
+	k := Key{5, 5}
+	s := tb.Candidates(k)[0]
+	tb.ReplaceAt(s, k, 42)
+	if v, _, ok := tb.Lookup(k); !ok || v != 42 {
+		t.Fatalf("Lookup after ReplaceAt on empty slot = %d,%v", v, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestDeleteAt(t *testing.T) {
+	tb := New[int](64, 3)
+	k := Key{2, 64}
+	tb.Insert(k, 7)
+	_, slot, _ := tb.Lookup(k)
+	gotK, gotV, ok := tb.DeleteAt(slot)
+	if !ok || gotK != k || gotV != 7 {
+		t.Fatalf("DeleteAt = %v,%d,%v", gotK, gotV, ok)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if _, _, ok := tb.DeleteAt(slot); ok {
+		t.Fatalf("DeleteAt on empty slot succeeded")
+	}
+	if _, _, ok := tb.DeleteAt(-1); ok {
+		t.Fatalf("DeleteAt(-1) succeeded")
+	}
+	if _, _, ok := tb.DeleteAt(1 << 20); ok {
+		t.Fatalf("DeleteAt(huge) succeeded")
+	}
+}
+
+func TestClear(t *testing.T) {
+	tb := New[int](64, 3)
+	for i := 0; i < 20; i++ {
+		tb.Insert(Key{0, i * 8}, i)
+	}
+	tb.Clear()
+	if tb.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", tb.Len())
+	}
+	if _, _, ok := tb.Lookup(Key{0, 0}); ok {
+		t.Fatalf("entry survived Clear")
+	}
+	// Table is reusable after Clear.
+	if res := tb.Insert(Key{0, 0}, 1); !res.Placed {
+		t.Fatalf("insert after Clear failed")
+	}
+}
+
+func TestScanCircular(t *testing.T) {
+	tb := New[int](16, 3)
+	tb.Insert(Key{0, 0}, 1)
+	tb.Insert(Key{0, 8}, 2)
+
+	visited := 0
+	tb.Scan(10, func(s int, k Key, v int, used bool) bool {
+		visited++
+		return true
+	})
+	if visited != 16 {
+		t.Fatalf("full scan visited %d, want 16", visited)
+	}
+
+	// Early stop at first used slot.
+	var foundVal int
+	steps := 0
+	tb.Scan(0, func(s int, k Key, v int, used bool) bool {
+		steps++
+		if used {
+			foundVal = v
+			return false
+		}
+		return true
+	})
+	if foundVal == 0 {
+		t.Fatalf("scan never found a used slot")
+	}
+	if steps > 16 {
+		t.Fatalf("scan overran the table: %d steps", steps)
+	}
+
+	// Negative and out-of-range starts are normalized.
+	visited = 0
+	tb.Scan(-5, func(int, Key, int, bool) bool { visited++; return true })
+	if visited != 16 {
+		t.Fatalf("negative-start scan visited %d", visited)
+	}
+	visited = 0
+	tb.Scan(100, func(int, Key, int, bool) bool { visited++; return true })
+	if visited != 16 {
+		t.Fatalf("wrapped-start scan visited %d", visited)
+	}
+}
+
+func TestWalkVisitsAllEntries(t *testing.T) {
+	tb := New[int](128, 3)
+	want := map[Key]int{}
+	for i := 0; i < 50; i++ {
+		k := Key{i % 4, i * 16}
+		tb.Insert(k, i)
+		want[k] = i
+	}
+	got := map[Key]int{}
+	tb.Walk(func(k Key, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Walk missed %v", k)
+		}
+	}
+	// Early stop.
+	n := 0
+	tb.Walk(func(Key, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Walk early stop visited %d", n)
+	}
+}
+
+func TestCandidatesAreLookupPositions(t *testing.T) {
+	// Property: after a successful insert, the stored slot is one of
+	// the key's candidates.
+	tb := New[int](256, 9)
+	f := func(target uint8, disp uint16) bool {
+		k := Key{int(target % 8), int(disp)}
+		if _, _, ok := tb.Lookup(k); ok {
+			return true // already inserted by a previous case
+		}
+		res := tb.Insert(k, 1)
+		if !res.Placed {
+			return true // table filled up; nothing to check
+		}
+		_, slot, ok := tb.Lookup(k)
+		if !ok {
+			return false
+		}
+		for _, c := range tb.Candidates(k) {
+			if c == slot {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	t1 := New[int](64, 11)
+	t2 := New[int](64, 11)
+	for i := 0; i < 30; i++ {
+		k := Key{0, i * 8}
+		r1 := t1.Insert(k, i)
+		r2 := t2.Insert(k, i)
+		if r1.Placed != r2.Placed || len(r1.Path) != len(r2.Path) {
+			t.Fatalf("same-seed tables diverged at insert %d", i)
+		}
+	}
+}
+
+func TestSetMaxIterationsIgnoresInvalid(t *testing.T) {
+	tb := New[int](64, 3)
+	tb.SetMaxIterations(0)
+	tb.SetMaxIterations(-1)
+	// Still able to insert (maxIter stayed positive).
+	if res := tb.Insert(Key{0, 0}, 1); !res.Placed {
+		t.Fatalf("insert failed after invalid SetMaxIterations")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if (Key{2, 512}).String() != "t2+512" {
+		t.Fatalf("String = %q", (Key{2, 512}).String())
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tb := New[int](1<<14, 1)
+	for i := 0; i < 1<<13; i++ {
+		tb.Insert(Key{i % 32, i * 64}, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(Key{i % 32, (i % (1 << 13)) * 64})
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tb := New[int](1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tb.LoadFactor() > 0.5 {
+			b.StopTimer()
+			tb.Clear()
+			b.StartTimer()
+		}
+		tb.Insert(Key{0, i * 8}, i)
+	}
+}

@@ -1,0 +1,252 @@
+package datatype
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitives(t *testing.T) {
+	cases := []struct {
+		dt   Datatype
+		size int
+		name string
+	}{
+		{Byte, 1, "BYTE"},
+		{Int32, 4, "INT32"},
+		{Int64, 8, "INT64"},
+		{Double, 8, "DOUBLE"},
+	}
+	for _, c := range cases {
+		if c.dt.Size() != c.size || c.dt.Extent() != c.size {
+			t.Errorf("%s: size=%d extent=%d, want %d", c.name, c.dt.Size(), c.dt.Extent(), c.size)
+		}
+		if c.dt.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.dt.String(), c.name)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	b := Bytes(100)
+	if b.Size() != 100 || b.Extent() != 100 {
+		t.Fatalf("Bytes(100): size=%d extent=%d", b.Size(), b.Extent())
+	}
+	if got := b.Flatten(nil, 8); !reflect.DeepEqual(got, []Block{{8, 100}}) {
+		t.Fatalf("Flatten = %v", got)
+	}
+	if got := Bytes(0).Flatten(nil, 0); len(got) != 0 {
+		t.Fatalf("empty type flattened to %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Bytes(-1) did not panic")
+		}
+	}()
+	Bytes(-1)
+}
+
+func TestContiguousCoalesces(t *testing.T) {
+	c := Contiguous(16, Int32)
+	if c.Size() != 64 || c.Extent() != 64 {
+		t.Fatalf("size=%d extent=%d, want 64/64", c.Size(), c.Extent())
+	}
+	blocks := c.Flatten(nil, 0)
+	if !reflect.DeepEqual(blocks, []Block{{0, 64}}) {
+		t.Fatalf("contiguous type should flatten to one block, got %v", blocks)
+	}
+}
+
+func TestVector(t *testing.T) {
+	// 3 blocks of 2 int32, stride 4 elements: |xx..|xx..|xx|
+	v := Vector(3, 2, 4, Int32)
+	if v.Size() != 24 {
+		t.Fatalf("Size() = %d, want 24", v.Size())
+	}
+	if v.Extent() != (2*4+2)*4 {
+		t.Fatalf("Extent() = %d, want 40", v.Extent())
+	}
+	want := []Block{{0, 8}, {16, 8}, {32, 8}}
+	if got := v.Flatten(nil, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Flatten = %v, want %v", got, want)
+	}
+	if Vector(0, 2, 4, Int32).Extent() != 0 {
+		t.Fatalf("empty vector extent nonzero")
+	}
+}
+
+func TestVectorUnitStrideCoalesces(t *testing.T) {
+	v := Vector(4, 2, 2, Int32) // stride == blockLen: fully dense
+	if got := v.Flatten(nil, 0); !reflect.DeepEqual(got, []Block{{0, 32}}) {
+		t.Fatalf("dense vector should coalesce, got %v", got)
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	// Blocks of 1,3 elements at displacements 5,0 (unsorted on purpose).
+	x := Indexed([]int{1, 3}, []int{5, 0}, Int32)
+	if x.Size() != 16 {
+		t.Fatalf("Size() = %d, want 16", x.Size())
+	}
+	if x.Extent() != 24 { // from 0 to (5+1)*4
+		t.Fatalf("Extent() = %d, want 24", x.Extent())
+	}
+	want := []Block{{0, 12}, {20, 4}} // sorted by offset
+	if got := x.Flatten(nil, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Flatten = %v, want %v", got, want)
+	}
+}
+
+func TestIndexedPanics(t *testing.T) {
+	mustPanic(t, func() { Indexed([]int{1}, []int{0, 1}, Byte) })
+	mustPanic(t, func() { Indexed([]int{-1}, []int{0}, Byte) })
+	mustPanic(t, func() { Vector(-1, 1, 1, Byte) })
+	mustPanic(t, func() { Contiguous(-1, Byte) })
+	mustPanic(t, func() { Struct([]Datatype{Byte}, []int{0, 1}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestStruct(t *testing.T) {
+	// struct { int64 at 0; int32 at 12 } — like a (mass, id) leaf record.
+	s := Struct([]Datatype{Int64, Int32}, []int{0, 12})
+	if s.Size() != 12 {
+		t.Fatalf("Size() = %d, want 12", s.Size())
+	}
+	if s.Extent() != 16 { // 12+4 aligned to 8
+		t.Fatalf("Extent() = %d, want 16", s.Extent())
+	}
+	want := []Block{{0, 8}, {12, 4}}
+	if got := s.Flatten(nil, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Flatten = %v, want %v", got, want)
+	}
+}
+
+func TestNestedTypes(t *testing.T) {
+	// A vector of structs: exercises recursion through the composers.
+	s := Struct([]Datatype{Double, Int32}, []int{0, 8})
+	v := Vector(2, 1, 2, s)
+	if v.Size() != 2*12 {
+		t.Fatalf("Size() = %d, want 24", v.Size())
+	}
+	blocks := v.Flatten(nil, 0)
+	// Each struct's two fields are adjacent, so they coalesce per element.
+	want := []Block{{0, 12}, {32, 12}}
+	if !reflect.DeepEqual(blocks, want) {
+		t.Fatalf("Flatten = %v, want %v", blocks, want)
+	}
+}
+
+func TestFlattenTransfer(t *testing.T) {
+	blocks := FlattenTransfer(Int64, 4, 100)
+	if !reflect.DeepEqual(blocks, []Block{{100, 32}}) {
+		t.Fatalf("FlattenTransfer = %v", blocks)
+	}
+	v := Vector(2, 1, 2, Int32)
+	blocks = FlattenTransfer(v, 2, 0)
+	// The second element starts at extent 12, so its first block {12,4}
+	// coalesces with the first element's trailing block {8,4}.
+	want := []Block{{0, 4}, {8, 8}, {20, 4}}
+	if !reflect.DeepEqual(blocks, want) {
+		t.Fatalf("FlattenTransfer(vector,2) = %v, want %v", blocks, want)
+	}
+}
+
+func TestTransferSize(t *testing.T) {
+	if TransferSize(Int32, 10) != 40 {
+		t.Fatalf("TransferSize = %d", TransferSize(Int32, 10))
+	}
+	if TransferSize(Int32, -1) != 0 {
+		t.Fatalf("negative count must size to 0")
+	}
+}
+
+func TestContig(t *testing.T) {
+	if !Contig(Bytes(128), 1) {
+		t.Fatalf("Bytes must be contiguous")
+	}
+	if !Contig(Int64, 16) {
+		t.Fatalf("contiguous transfer of primitives must be Contig")
+	}
+	if Contig(Vector(2, 1, 3, Int32), 1) {
+		t.Fatalf("strided vector must not be Contig")
+	}
+}
+
+func TestCopyScatterRoundTrip(t *testing.T) {
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	v := Vector(4, 2, 4, Int32) // 32 payload bytes, strided
+	blocks := v.Flatten(nil, 0)
+	packed := make([]byte, v.Size())
+	if n := CopyBlocks(packed, src, blocks); n != v.Size() {
+		t.Fatalf("CopyBlocks copied %d, want %d", n, v.Size())
+	}
+	out := make([]byte, 64)
+	if n := ScatterBlocks(out, packed, blocks); n != v.Size() {
+		t.Fatalf("ScatterBlocks wrote %d, want %d", n, v.Size())
+	}
+	for _, b := range blocks {
+		for i := b.Offset; i < b.Offset+b.Size; i++ {
+			if out[i] != src[i] {
+				t.Fatalf("byte %d: got %d want %d", i, out[i], src[i])
+			}
+		}
+	}
+}
+
+func TestFlattenInvariants(t *testing.T) {
+	// Property: for arbitrary vector shapes, the flattened blocks are
+	// sorted, non-overlapping, and sum to Size().
+	f := func(count, blockLen, extraStride uint8) bool {
+		c, bl := int(count%8), int(blockLen%8)
+		stride := bl + int(extraStride%8) // stride >= blockLen: no overlap
+		v := Vector(c, bl, stride, Int32)
+		blocks := v.Flatten(nil, 0)
+		sum, prevEnd := 0, -1
+		for _, b := range blocks {
+			if b.Size <= 0 || b.Offset < 0 || b.Offset < prevEnd {
+				return false
+			}
+			// Strictly after the previous block (coalescing
+			// guarantees a gap, otherwise they'd be merged).
+			if b.Offset == prevEnd {
+				return false
+			}
+			prevEnd = b.Offset + b.Size
+			sum += b.Size
+		}
+		return sum == v.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if Contiguous(4, Byte).String() != "CONTIG(4,BYTE)" {
+		t.Fatalf("got %q", Contiguous(4, Byte).String())
+	}
+	if Vector(1, 2, 3, Byte).String() != "VECTOR(1,2,3,BYTE)" {
+		t.Fatalf("got %q", Vector(1, 2, 3, Byte).String())
+	}
+	if Indexed([]int{1}, []int{0}, Byte).String() != "INDEXED(1 blocks,BYTE)" {
+		t.Fatalf("got %q", Indexed([]int{1}, []int{0}, Byte).String())
+	}
+	if Struct([]Datatype{Byte}, []int{0}).String() != "STRUCT(1 fields)" {
+		t.Fatalf("got %q", Struct([]Datatype{Byte}, []int{0}).String())
+	}
+	if Bytes(7).String() != "BYTES(7)" {
+		t.Fatalf("got %q", Bytes(7).String())
+	}
+}

@@ -1,0 +1,201 @@
+package datatype
+
+// Extended derived-datatype constructors: the byte-displacement variants
+// (MPI_Type_create_hvector / hindexed) and n-dimensional subarrays
+// (MPI_Type_create_subarray). None are required by the paper's workloads,
+// but they complete the datatype engine for applications with richer
+// layouts (halo exchanges, tensor tiles).
+
+import (
+	"fmt"
+	"sort"
+)
+
+// hvector is like vector but with the stride given in bytes.
+type hvector struct {
+	count    int
+	blockLen int
+	strideB  int // byte stride between block starts
+	base     Datatype
+}
+
+// Hvector builds an MPI_Type_create_hvector equivalent: count blocks of
+// blockLen base elements whose starts are strideBytes apart. Panics on
+// negative count/blockLen.
+func Hvector(count, blockLen, strideBytes int, base Datatype) Datatype {
+	if count < 0 || blockLen < 0 {
+		panic(fmt.Sprintf("datatype: negative hvector shape %d x %d", count, blockLen))
+	}
+	return hvector{count, blockLen, strideBytes, base}
+}
+
+func (v hvector) Size() int { return v.count * v.blockLen * v.base.Size() }
+func (v hvector) Extent() int {
+	if v.count == 0 {
+		return 0
+	}
+	return (v.count-1)*v.strideB + v.blockLen*v.base.Extent()
+}
+func (v hvector) Flatten(dst []Block, base int) []Block {
+	inner := Contiguous(v.blockLen, v.base)
+	for i := 0; i < v.count; i++ {
+		dst = inner.Flatten(dst, base+i*v.strideB)
+	}
+	return dst
+}
+func (v hvector) String() string {
+	return fmt.Sprintf("HVECTOR(%d,%d,%dB,%s)", v.count, v.blockLen, v.strideB, v.base)
+}
+
+// hindexed is like indexed but with byte displacements.
+type hindexed struct {
+	lengths []int
+	dispsB  []int // byte displacements
+	base    Datatype
+}
+
+// Hindexed builds an MPI_Type_create_hindexed equivalent: block i holds
+// lengths[i] base elements at byte displacement dispBytes[i].
+func Hindexed(lengths, dispBytes []int, base Datatype) Datatype {
+	if len(lengths) != len(dispBytes) {
+		panic(fmt.Sprintf("datatype: hindexed shape mismatch %d vs %d", len(lengths), len(dispBytes)))
+	}
+	for _, l := range lengths {
+		if l < 0 {
+			panic(fmt.Sprintf("datatype: negative hindexed block length %d", l))
+		}
+	}
+	ls := append([]int(nil), lengths...)
+	ds := append([]int(nil), dispBytes...)
+	return hindexed{ls, ds, base}
+}
+
+func (x hindexed) Size() int {
+	s := 0
+	for _, l := range x.lengths {
+		s += l
+	}
+	return s * x.base.Size()
+}
+func (x hindexed) Extent() int {
+	if len(x.lengths) == 0 {
+		return 0
+	}
+	hi := 0
+	for i := range x.lengths {
+		if end := x.dispsB[i] + x.lengths[i]*x.base.Extent(); end > hi {
+			hi = end
+		}
+	}
+	return hi
+}
+func (x hindexed) Flatten(dst []Block, base int) []Block {
+	order := make([]int, len(x.dispsB))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return x.dispsB[order[a]] < x.dispsB[order[b]] })
+	for _, i := range order {
+		inner := Contiguous(x.lengths[i], x.base)
+		dst = inner.Flatten(dst, base+x.dispsB[i])
+	}
+	return dst
+}
+func (x hindexed) String() string {
+	return fmt.Sprintf("HINDEXED(%d blocks,%s)", len(x.lengths), x.base)
+}
+
+// subarray selects an n-dimensional tile of a larger array.
+type subarray struct {
+	sizes    []int // full array shape (outermost first, C order)
+	subsizes []int // tile shape
+	starts   []int // tile origin
+	base     Datatype
+}
+
+// Subarray builds an MPI_Type_create_subarray equivalent (C order): the
+// tile of shape subsizes at origin starts inside an array of shape sizes,
+// with elements of the base type. The type's extent spans the entire
+// array, as in MPI.
+func Subarray(sizes, subsizes, starts []int, base Datatype) Datatype {
+	n := len(sizes)
+	if len(subsizes) != n || len(starts) != n || n == 0 {
+		panic("datatype: subarray shape mismatch")
+	}
+	for d := 0; d < n; d++ {
+		if sizes[d] <= 0 || subsizes[d] < 0 || starts[d] < 0 || starts[d]+subsizes[d] > sizes[d] {
+			panic(fmt.Sprintf("datatype: subarray dim %d out of range: size %d sub %d start %d",
+				d, sizes[d], subsizes[d], starts[d]))
+		}
+	}
+	return subarray{
+		sizes:    append([]int(nil), sizes...),
+		subsizes: append([]int(nil), subsizes...),
+		starts:   append([]int(nil), starts...),
+		base:     base,
+	}
+}
+
+func (s subarray) Size() int {
+	n := 1
+	for _, d := range s.subsizes {
+		n *= d
+	}
+	return n * s.base.Size()
+}
+
+func (s subarray) Extent() int {
+	n := 1
+	for _, d := range s.sizes {
+		n *= d
+	}
+	return n * s.base.Extent()
+}
+
+func (s subarray) Flatten(dst []Block, base int) []Block {
+	for _, d := range s.subsizes {
+		if d == 0 {
+			return dst // empty tile
+		}
+	}
+	// Row strides in elements, innermost dimension contiguous.
+	ext := s.base.Extent()
+	ndim := len(s.sizes)
+	// Iterate over all but the innermost dimension; emit one
+	// contiguous run of subsizes[last] elements per combination.
+	idx := make([]int, ndim-1)
+	for {
+		off := 0
+		stride := 1
+		// Compute the linear element offset of (starts + idx, starts[last]).
+		for d := ndim - 1; d >= 0; d-- {
+			var i int
+			if d == ndim-1 {
+				i = s.starts[d]
+			} else {
+				i = s.starts[d] + idx[d]
+			}
+			off += i * stride
+			stride *= s.sizes[d]
+		}
+		inner := Contiguous(s.subsizes[ndim-1], s.base)
+		dst = inner.Flatten(dst, base+off*ext)
+		// Odometer increment over the outer dimensions.
+		d := ndim - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < s.subsizes[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return dst
+}
+
+func (s subarray) String() string {
+	return fmt.Sprintf("SUBARRAY(%dd,%s)", len(s.sizes), s.base)
+}

@@ -1,0 +1,137 @@
+package datatype
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHvector(t *testing.T) {
+	// 3 blocks of 2 int32 (8 B) with starts 20 bytes apart.
+	v := Hvector(3, 2, 20, Int32)
+	if v.Size() != 24 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	if v.Extent() != 2*20+8 {
+		t.Fatalf("Extent = %d", v.Extent())
+	}
+	want := []Block{{0, 8}, {20, 8}, {40, 8}}
+	if got := v.Flatten(nil, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Flatten = %v", got)
+	}
+	if Hvector(0, 1, 4, Byte).Extent() != 0 {
+		t.Fatalf("empty hvector extent")
+	}
+	if v.String() != "HVECTOR(3,2,20B,INT32)" {
+		t.Fatalf("String = %q", v.String())
+	}
+	mustPanic(t, func() { Hvector(-1, 1, 4, Byte) })
+}
+
+func TestHindexed(t *testing.T) {
+	// Blocks of 2 and 1 int32 at byte displacements 10 and 0.
+	x := Hindexed([]int{2, 1}, []int{10, 0}, Int32)
+	if x.Size() != 12 {
+		t.Fatalf("Size = %d", x.Size())
+	}
+	if x.Extent() != 18 {
+		t.Fatalf("Extent = %d", x.Extent())
+	}
+	want := []Block{{0, 4}, {10, 8}}
+	if got := x.Flatten(nil, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Flatten = %v", got)
+	}
+	if Hindexed(nil, nil, Byte).Extent() != 0 {
+		t.Fatalf("empty hindexed extent")
+	}
+	if x.String() != "HINDEXED(2 blocks,INT32)" {
+		t.Fatalf("String = %q", x.String())
+	}
+	mustPanic(t, func() { Hindexed([]int{1}, []int{0, 1}, Byte) })
+	mustPanic(t, func() { Hindexed([]int{-1}, []int{0}, Byte) })
+}
+
+func TestSubarray2D(t *testing.T) {
+	// A 2x3 tile at (1,2) of a 4x8 byte array.
+	s := Subarray([]int{4, 8}, []int{2, 3}, []int{1, 2}, Byte)
+	if s.Size() != 6 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	if s.Extent() != 32 {
+		t.Fatalf("Extent = %d", s.Extent())
+	}
+	// Rows 1 and 2, columns 2..4: offsets 1*8+2=10 and 2*8+2=18.
+	want := []Block{{10, 3}, {18, 3}}
+	if got := s.Flatten(nil, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Flatten = %v", got)
+	}
+	if s.String() != "SUBARRAY(2d,BYTE)" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	// 2x2x2 corner tile of a 3x3x4 int32 array at origin.
+	s := Subarray([]int{3, 3, 4}, []int{2, 2, 2}, []int{0, 0, 0}, Int32)
+	if s.Size() != 8*4 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	blocks := s.Flatten(nil, 0)
+	// Rows: (0,0,0..1), (0,1,*), (1,0,*), (1,1,*): element offsets
+	// 0, 4, 12, 16 → byte offsets ×4.
+	want := []Block{{0, 8}, {16, 8}, {48, 8}, {64, 8}}
+	if !reflect.DeepEqual(blocks, want) {
+		t.Fatalf("Flatten = %v", blocks)
+	}
+}
+
+func TestSubarray1D(t *testing.T) {
+	s := Subarray([]int{10}, []int{4}, []int{3}, Byte)
+	if got := s.Flatten(nil, 0); !reflect.DeepEqual(got, []Block{{3, 4}}) {
+		t.Fatalf("Flatten = %v", got)
+	}
+	if s.Extent() != 10 {
+		t.Fatalf("Extent = %d", s.Extent())
+	}
+}
+
+func TestSubarrayEmptyTile(t *testing.T) {
+	s := Subarray([]int{4, 4}, []int{0, 2}, []int{0, 0}, Byte)
+	if s.Size() != 0 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	if got := s.Flatten(nil, 0); len(got) != 0 {
+		t.Fatalf("empty tile flattened to %v", got)
+	}
+}
+
+func TestSubarrayValidation(t *testing.T) {
+	mustPanic(t, func() { Subarray([]int{4}, []int{2, 2}, []int{0}, Byte) })
+	mustPanic(t, func() { Subarray([]int{4}, []int{5}, []int{0}, Byte) })
+	mustPanic(t, func() { Subarray([]int{4}, []int{2}, []int{3}, Byte) })
+	mustPanic(t, func() { Subarray([]int{4}, []int{2}, []int{-1}, Byte) })
+	mustPanic(t, func() { Subarray(nil, nil, nil, Byte) })
+}
+
+func TestExtendedCopyRoundTrip(t *testing.T) {
+	// Gather a subarray tile and scatter it back: bytes must land where
+	// they came from.
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	s := Subarray([]int{8, 8}, []int{3, 3}, []int{2, 2}, Byte)
+	blocks := s.Flatten(nil, 0)
+	packed := make([]byte, s.Size())
+	if n := CopyBlocks(packed, src, blocks); n != 9 {
+		t.Fatalf("gathered %d", n)
+	}
+	out := make([]byte, 64)
+	ScatterBlocks(out, packed, blocks)
+	for _, b := range blocks {
+		for i := b.Offset; i < b.Offset+b.Size; i++ {
+			if out[i] != src[i] {
+				t.Fatalf("byte %d: %d vs %d", i, out[i], src[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package datatype
+
+import "testing"
+
+// FuzzVectorFlatten checks the flattening invariants for arbitrary
+// non-overlapping vector shapes: sorted, disjoint, size-preserving
+// blocks, and gather/scatter round-tripping.
+func FuzzVectorFlatten(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(1), uint8(2))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, countRaw, blockRaw, gapRaw, countsRaw uint8) {
+		count := int(countRaw % 16)
+		blockLen := int(blockRaw % 16)
+		stride := blockLen + int(gapRaw%16) // >= blockLen: no overlap
+		n := int(countsRaw%4) + 1
+		v := Vector(count, blockLen, stride, Int32)
+		blocks := FlattenTransfer(v, n, 0)
+		sum, prevEnd := 0, -1
+		for _, b := range blocks {
+			if b.Size <= 0 || b.Offset < 0 || b.Offset <= prevEnd {
+				t.Fatalf("bad block %+v after end %d", b, prevEnd)
+			}
+			prevEnd = b.Offset + b.Size
+			sum += b.Size
+		}
+		if want := TransferSize(v, n); sum != want {
+			t.Fatalf("blocks sum %d, want %d", sum, want)
+		}
+		if prevEnd <= 0 {
+			return
+		}
+		// Round trip.
+		src := make([]byte, prevEnd)
+		for i := range src {
+			src[i] = byte(i*7 + 1)
+		}
+		packed := make([]byte, sum)
+		CopyBlocks(packed, src, blocks)
+		out := make([]byte, prevEnd)
+		ScatterBlocks(out, packed, blocks)
+		for _, b := range blocks {
+			for i := b.Offset; i < b.Offset+b.Size; i++ {
+				if out[i] != src[i] {
+					t.Fatalf("byte %d: %d vs %d", i, out[i], src[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package experiments
+
+// Ablations beyond the paper's figures, probing the design choices
+// DESIGN.md calls out: the eviction sample size M, the best-fit storage
+// allocator, and the Cuckoo insertion-walk bound.
+
+import (
+	"fmt"
+
+	"clampi/internal/cuckoo"
+	"clampi/internal/lsb"
+	"clampi/internal/simtime"
+	"clampi/internal/storage"
+	"clampi/internal/workload"
+)
+
+// SampleSizeRow is one eviction-sample-size measurement.
+type SampleSizeRow struct {
+	M         int
+	Time      simtime.Duration
+	HitRate   float64
+	Visited   float64 // average slots visited per eviction
+	Occupancy float64
+}
+
+// AblationSampleSize sweeps the eviction sample size M (paper §III-D uses
+// M = 16) on a capacity-bound micro workload: larger samples pick better
+// victims but cost more per eviction.
+func AblationSampleSize(ms []int, n, z int) ([]SampleSizeRow, *lsb.Table, error) {
+	specs, seq, regionSize := workload.Micro(n, z, 31)
+	var rows []SampleSizeRow
+	tbl := lsb.NewTable("Ablation: eviction sample size M",
+		"M", "time", "hit rate", "visited/evict", "occupancy")
+	for _, m := range ms {
+		p := alwaysCacheParams(n*2, 256<<10)
+		p.SampleSize = m
+		var row SampleSizeRow
+		err := withMicro(regionSize, &p, func(env *microEnv) error {
+			t, err := env.runSequence(specs, seq)
+			if err != nil {
+				return err
+			}
+			st := env.cache.Stats()
+			row = SampleSizeRow{
+				M:         m,
+				Time:      t,
+				HitRate:   st.HitRate(),
+				Visited:   st.AvgVisitedPerEviction(),
+				Occupancy: env.cache.Occupancy(),
+			}
+			return nil
+		})
+		if err != nil {
+			return rows, tbl, err
+		}
+		rows = append(rows, row)
+		tbl.AddRow(m, row.Time, fmt.Sprintf("%.3f", row.HitRate),
+			fmt.Sprintf("%.1f", row.Visited), fmt.Sprintf("%.3f", row.Occupancy))
+	}
+	return rows, tbl, nil
+}
+
+// AllocPolicyRow compares allocation policies.
+type AllocPolicyRow struct {
+	Policy    string
+	Time      simtime.Duration
+	HitRate   float64
+	FailRate  float64
+	Occupancy float64
+}
+
+// AblationAllocPolicy compares the paper's best-fit allocator against a
+// first-fit baseline on the same capacity-bound workload: best fit keeps
+// holes small and targeted, first fit splinters large regions.
+func AblationAllocPolicy(n, z int) ([]AllocPolicyRow, *lsb.Table, error) {
+	specs, seq, regionSize := workload.Micro(n, z, 67)
+	var rows []AllocPolicyRow
+	tbl := lsb.NewTable("Ablation: storage allocation policy",
+		"policy", "time", "hit rate", "failing rate", "occupancy")
+	for _, pol := range []storage.Policy{storage.BestFit, storage.FirstFit} {
+		p := alwaysCacheParams(n*2, 256<<10)
+		p.AllocPolicy = pol
+		var row AllocPolicyRow
+		err := withMicro(regionSize, &p, func(env *microEnv) error {
+			t, err := env.runSequence(specs, seq)
+			if err != nil {
+				return err
+			}
+			st := env.cache.Stats()
+			row = AllocPolicyRow{
+				Policy:    pol.String(),
+				Time:      t,
+				HitRate:   st.HitRate(),
+				FailRate:  float64(st.Failing) / float64(st.Gets),
+				Occupancy: env.cache.Occupancy(),
+			}
+			return nil
+		})
+		if err != nil {
+			return rows, tbl, err
+		}
+		rows = append(rows, row)
+		tbl.AddRow(row.Policy, row.Time, fmt.Sprintf("%.3f", row.HitRate),
+			fmt.Sprintf("%.3f", row.FailRate), fmt.Sprintf("%.3f", row.Occupancy))
+	}
+	return rows, tbl, nil
+}
+
+// CuckooWalkRow records the utilization reached before the first
+// insertion failure for one walk bound.
+type CuckooWalkRow struct {
+	MaxIter     int
+	FirstFail   float64 // load factor at first insertion failure
+	AvgPathLen  float64 // mean insertion-path length until then
+	MaxPathSeen int
+}
+
+// AblationCuckooWalk sweeps the insertion-walk bound of the Cuckoo index
+// (p = 4 hash functions): longer walks reach higher utilization before
+// the first conflicting access, at the price of a longer worst-case
+// insert. Fotakis et al. report ~97% achievable space utilization.
+func AblationCuckooWalk(maxIters []int, slots int, seeds int) ([]CuckooWalkRow, *lsb.Table, error) {
+	var rows []CuckooWalkRow
+	tbl := lsb.NewTable("Ablation: Cuckoo insertion-walk bound (p=4)",
+		"max iterations", "load at first failure", "avg path", "max path")
+	for _, mi := range maxIters {
+		var loadSum, pathSum float64
+		var pathCount, maxPath int
+		for seed := 0; seed < seeds; seed++ {
+			t := cuckoo.New[int](slots, int64(seed)*7+1)
+			t.SetMaxIterations(mi)
+			for i := 0; ; i++ {
+				res := t.Insert(cuckoo.Key{Target: i & 7, Disp: i * 64}, i)
+				pathSum += float64(len(res.Path))
+				pathCount++
+				if len(res.Path) > maxPath {
+					maxPath = len(res.Path)
+				}
+				if !res.Placed {
+					loadSum += t.LoadFactor()
+					break
+				}
+			}
+		}
+		row := CuckooWalkRow{
+			MaxIter:     mi,
+			FirstFail:   loadSum / float64(seeds),
+			AvgPathLen:  pathSum / float64(pathCount),
+			MaxPathSeen: maxPath,
+		}
+		rows = append(rows, row)
+		tbl.AddRow(mi, fmt.Sprintf("%.3f", row.FirstFail),
+			fmt.Sprintf("%.2f", row.AvgPathLen), row.MaxPathSeen)
+	}
+	return rows, tbl, nil
+}

@@ -1,0 +1,77 @@
+package getter
+
+import (
+	"testing"
+
+	"clampi/internal/core"
+	"clampi/internal/mpi"
+)
+
+func TestRawAndCachedDeliverSameData(t *testing.T) {
+	err := mpi.Run(2, mpi.Config{}, func(r *mpi.Rank) error {
+		region := make([]byte, 4096)
+		if r.ID() == 1 {
+			for i := range region {
+				region[i] = byte(i * 13)
+			}
+		}
+		rawWin := r.WinCreate(region, nil)
+		defer rawWin.Free()
+		cachedWin := r.WinCreate(region, nil)
+		defer cachedWin.Free()
+
+		if r.ID() == 0 {
+			if err := rawWin.LockAll(); err != nil {
+				return err
+			}
+			if err := cachedWin.LockAll(); err != nil {
+				return err
+			}
+			cache, err := core.New(cachedWin, core.Params{Mode: core.AlwaysCache})
+			if err != nil {
+				return err
+			}
+			var gts = []Getter{NewRaw(rawWin), NewCached(cache)}
+			bufs := [][]byte{make([]byte, 256), make([]byte, 256)}
+			for round := 0; round < 3; round++ {
+				for i, gt := range gts {
+					if err := gt.Get(bufs[i], 1, 512); err != nil {
+						return err
+					}
+					if err := gt.Flush(); err != nil {
+						return err
+					}
+				}
+				for i := range bufs[0] {
+					if bufs[0][i] != bufs[1][i] {
+						t.Fatalf("round %d byte %d: raw %d vs cached %d", round, i, bufs[0][i], bufs[1][i])
+					}
+				}
+			}
+			if s := cache.Stats(); s.Hits != 2 {
+				t.Errorf("cached getter hits = %d, want 2", s.Hits)
+			}
+			// Invalidate is a no-op for Raw, real for Cached.
+			for _, gt := range gts {
+				gt.Invalidate()
+			}
+			if cache.CachedEntries() != 0 {
+				t.Errorf("cache not invalidated")
+			}
+			if gts[0].Name() != "foMPI" || gts[1].Name() != "CLaMPI" {
+				t.Errorf("names: %q %q", gts[0].Name(), gts[1].Name())
+			}
+			if err := rawWin.UnlockAll(); err != nil {
+				return err
+			}
+			if err := cachedWin.UnlockAll(); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package lcc
+
+import (
+	"math"
+	"testing"
+
+	"clampi/internal/core"
+	"clampi/internal/getter"
+	"clampi/internal/graph"
+	"clampi/internal/mpi"
+	"clampi/internal/rmat"
+	"clampi/internal/trace"
+)
+
+func testGraph(t *testing.T, scale, ef int) *graph.CSR {
+	t.Helper()
+	g := graph.Build(1<<scale, rmat.Generate(scale, ef, rmat.Graph500, 33))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReferenceOnKnownGraphs(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 on vertex 2.
+	g := graph.Build(4, []rmat.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
+	lcc := Reference(g)
+	want := []float64{1, 1, 1.0 / 3.0, 0}
+	for v, w := range want {
+		if math.Abs(lcc[v]-w) > 1e-12 {
+			t.Errorf("LCC(%d) = %v, want %v", v, lcc[v], w)
+		}
+	}
+	// Complete graph K4: all coefficients 1.
+	k4 := graph.Build(4, []rmat.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}})
+	for v, c := range Reference(k4) {
+		if math.Abs(c-1) > 1e-12 {
+			t.Errorf("K4 LCC(%d) = %v", v, c)
+		}
+	}
+	// Star graph: center has LCC 0.
+	star := graph.Build(5, []rmat.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	if Reference(star)[0] != 0 {
+		t.Errorf("star center LCC = %v", Reference(star)[0])
+	}
+}
+
+// runDistributed computes the distributed LCC sum over P ranks with the
+// given getter factory and returns ΣLCC and aggregate per-rank results.
+// cfg is cloned per rank; a Recorder in it would be shared across rank
+// goroutines, so use runDistributedCfg for per-rank configs instead.
+func runDistributed(t *testing.T, g *graph.CSR, p int, mk func(win *mpi.Win) (getter.Getter, error), cfg Config) (float64, []Result) {
+	return runDistributedCfg(t, g, p, mk, func(int) Config { return cfg })
+}
+
+func runDistributedCfg(t *testing.T, g *graph.CSR, p int, mk func(win *mpi.Win) (getter.Getter, error), cfgOf func(rank int) Config) (float64, []Result) {
+	t.Helper()
+	sums := make([]float64, p)
+	results := make([]Result, p)
+	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+		d := graph.Distribute(g, p, r.ID())
+		win := r.WinCreate(d.LocalAdjBytes(), nil)
+		defer win.Free()
+		gt, err := mk(win)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		res, err := Run(r, d, gt, cfgOf(r.ID()))
+		if err != nil {
+			return err
+		}
+		if err := win.UnlockAll(); err != nil {
+			return err
+		}
+		sums[r.ID()] = res.SumLCC
+		results[r.ID()] = res
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total, results
+}
+
+func refSum(g *graph.CSR) float64 {
+	s := 0.0
+	for _, c := range Reference(g) {
+		s += c
+	}
+	return s
+}
+
+func TestDistributedMatchesReferenceRaw(t *testing.T) {
+	g := testGraph(t, 9, 8)
+	want := refSum(g)
+	got, results := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+		return getter.NewRaw(w), nil
+	}, Config{})
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("distributed ΣLCC = %v, reference %v", got, want)
+	}
+	var gets int64
+	for _, r := range results {
+		gets += r.RemoteGets
+	}
+	if gets == 0 {
+		t.Fatalf("no remote gets in a 4-rank run")
+	}
+}
+
+func TestDistributedMatchesReferenceCached(t *testing.T) {
+	g := testGraph(t, 9, 8)
+	want := refSum(g)
+	got, results := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+		c, err := core.New(w, core.Params{Mode: core.AlwaysCache, IndexSlots: 4096, StorageBytes: 1 << 22, Seed: 5})
+		if err != nil {
+			return nil, err
+		}
+		return getter.NewCached(c), nil
+	}, Config{})
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("cached ΣLCC = %v, reference %v", got, want)
+	}
+	for rank, r := range results {
+		if r.Vertices == 0 {
+			t.Errorf("rank %d processed no vertices", rank)
+		}
+	}
+}
+
+func TestCachedUnderPressureStillCorrect(t *testing.T) {
+	// Tiny cache: heavy eviction/failing traffic must not corrupt
+	// results.
+	g := testGraph(t, 9, 8)
+	want := refSum(g)
+	got, _ := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+		c, err := core.New(w, core.Params{Mode: core.AlwaysCache, IndexSlots: 32, StorageBytes: 4096, Seed: 5})
+		if err != nil {
+			return nil, err
+		}
+		return getter.NewCached(c), nil
+	}, Config{})
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("pressured ΣLCC = %v, reference %v", got, want)
+	}
+}
+
+func TestCachingReducesTime(t *testing.T) {
+	// The headline claim: CLaMPI beats foMPI on LCC thanks to reuse.
+	g := testGraph(t, 10, 8)
+	_, rawRes := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+		return getter.NewRaw(w), nil
+	}, Config{})
+	_, cachedRes := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+		c, err := core.New(w, core.Params{Mode: core.AlwaysCache, IndexSlots: 1 << 16, StorageBytes: 64 << 20, Seed: 5})
+		if err != nil {
+			return nil, err
+		}
+		return getter.NewCached(c), nil
+	}, Config{})
+	var rawT, cachedT int64
+	for i := range rawRes {
+		rawT += int64(rawRes[i].Time)
+		cachedT += int64(cachedRes[i].Time)
+	}
+	if cachedT >= rawT {
+		t.Fatalf("caching did not help: cached %d vs raw %d", cachedT, rawT)
+	}
+	speedup := float64(rawT) / float64(cachedT)
+	t.Logf("LCC speedup with ample cache: %.2fx", speedup)
+	if speedup < 1.3 {
+		t.Errorf("speedup %.2fx too small for a reuse-heavy R-MAT graph", speedup)
+	}
+}
+
+func TestRecorderCapturesSizes(t *testing.T) {
+	g := testGraph(t, 8, 8)
+	recs := []*trace.Recorder{trace.NewRecorder(), trace.NewRecorder()}
+	runDistributedCfg(t, g, 2, func(w *mpi.Win) (getter.Getter, error) {
+		return getter.NewRaw(w), nil
+	}, func(rank int) Config { return Config{Recorder: recs[rank]} })
+	merged := trace.NewRecorder()
+	for _, r := range recs {
+		merged.Merge(r)
+	}
+	if merged.Total() == 0 {
+		t.Fatalf("recorders saw no gets")
+	}
+	if merged.MeanSize() <= 0 {
+		t.Fatalf("mean size = %v", merged.MeanSize())
+	}
+	// Remote get sizes are 4 bytes per neighbour: multiples of 4.
+	for _, b := range merged.SizeHistogram() {
+		if b.Gets > 0 && b.HiBytes < 4 {
+			t.Fatalf("sub-4-byte gets recorded: %+v", b)
+		}
+	}
+	// R-MAT reuse: far fewer distinct gets than total (Fig. 3's setup
+	// has the same property).
+	if merged.ReuseFactor() <= 1.2 {
+		t.Errorf("reuse factor %.2f unexpectedly low", merged.ReuseFactor())
+	}
+}
+
+func TestMaxVerticesCap(t *testing.T) {
+	g := testGraph(t, 9, 8)
+	_, results := runDistributed(t, g, 2, func(w *mpi.Win) (getter.Getter, error) {
+		return getter.NewRaw(w), nil
+	}, Config{MaxVertices: 10})
+	for rank, r := range results {
+		if r.Vertices != 10 {
+			t.Errorf("rank %d processed %d vertices, want 10", rank, r.Vertices)
+		}
+	}
+}
+
+func TestTimePerVertex(t *testing.T) {
+	var r Result
+	if r.TimePerVertex() != 0 {
+		t.Fatalf("zero result TimePerVertex = %v", r.TimePerVertex())
+	}
+	r.Vertices = 4
+	r.Time = 400
+	if r.TimePerVertex() != 100 {
+		t.Fatalf("TimePerVertex = %v", r.TimePerVertex())
+	}
+}

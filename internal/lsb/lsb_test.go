@@ -1,0 +1,145 @@
+package lsb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"clampi/internal/simtime"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	r := Summarize(nil)
+	if r.N != 0 || r.Median != 0 {
+		t.Fatalf("empty summarize = %+v", r)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	r := Summarize([]simtime.Duration{5, 1, 3})
+	if r.Median != 3 || r.Min != 1 || r.Max != 5 || r.Mean != 3 || r.N != 3 {
+		t.Fatalf("summarize = %+v", r)
+	}
+	r = Summarize([]simtime.Duration{1, 2, 3, 4})
+	if r.Median != 2 { // (2+3)/2
+		t.Fatalf("even median = %v", r.Median)
+	}
+	if r.String() == "" {
+		t.Fatalf("empty String")
+	}
+}
+
+func TestCIBracketsMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]simtime.Duration, 200)
+	for i := range samples {
+		samples[i] = simtime.Duration(1000 + rng.Intn(100))
+	}
+	r := Summarize(samples)
+	if r.CILow > r.Median || r.CIHigh < r.Median {
+		t.Fatalf("CI [%v, %v] does not bracket median %v", r.CILow, r.CIHigh, r.Median)
+	}
+	if !r.Converged(0.2) {
+		t.Fatalf("tight distribution did not converge at 20%%: %+v", r)
+	}
+}
+
+func TestConvergedZeroMedian(t *testing.T) {
+	r := Summarize([]simtime.Duration{0, 0, 0, 0, 0})
+	if !r.Converged(0.05) {
+		t.Fatalf("all-zero samples should converge")
+	}
+}
+
+func TestMeasureStopsOnConvergence(t *testing.T) {
+	calls := 0
+	r := Measure(10, 10000, 0.05, func() simtime.Duration {
+		calls++
+		return 1000 // perfectly stable
+	})
+	if calls > 20 {
+		t.Fatalf("stable measurement took %d reps", calls)
+	}
+	if r.Median != 1000 {
+		t.Fatalf("median = %v", r.Median)
+	}
+}
+
+func TestMeasureRespectsMaxReps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	calls := 0
+	r := Measure(5, 50, 0.0001, func() simtime.Duration {
+		calls++
+		return simtime.Duration(rng.Intn(1000000)) // never converges at 0.01%
+	})
+	if calls != 50 {
+		t.Fatalf("ran %d reps, want max 50", calls)
+	}
+	if r.N != 50 {
+		t.Fatalf("N = %d", r.N)
+	}
+}
+
+func TestMeasureMinRepsFloor(t *testing.T) {
+	calls := 0
+	Measure(0, 3, 0.05, func() simtime.Duration {
+		calls++
+		return 1
+	})
+	if calls != 5 { // minReps floored to 5; maxReps raised to match
+		t.Fatalf("calls = %d, want 5", calls)
+	}
+}
+
+func TestPaperConvergenceCriterion(t *testing.T) {
+	// The paper's 95%-CI-within-5%-of-median criterion on a realistic
+	// noisy latency distribution (±10% uniform noise): must converge
+	// well before 10k reps.
+	rng := rand.New(rand.NewSource(3))
+	calls := 0
+	r := Measure(20, 10000, 0.05, func() simtime.Duration {
+		calls++
+		return simtime.Duration(1800 + rng.Intn(360) - 180)
+	})
+	if !r.Converged(0.05) {
+		t.Fatalf("did not converge: %+v after %d reps", r, calls)
+	}
+	if calls >= 10000 {
+		t.Fatalf("needed all %d reps", calls)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "size", "latency", "speedup")
+	tb.AddRow(4096, simtime.Duration(1234), 2.5)
+	tb.AddRow(16384, simtime.Duration(5678), 1.25)
+	out := tb.String()
+	if !strings.Contains(out, "Fig X") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "2.5") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableUntitled(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.Contains(tb.String(), "==") {
+		t.Fatalf("untitled table printed title marker")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", `with,comma and "quote"`)
+	out := tb.CSV()
+	want := "a,b\nplain,\"with,comma and \"\"quote\"\"\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}

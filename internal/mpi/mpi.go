@@ -1,0 +1,619 @@
+// Package mpi implements the subset of the MPI-3 standard that CLaMPI and
+// the paper's applications depend on, as an in-process simulated runtime.
+//
+// The paper layers CLaMPI on top of foMPI, a Cray-optimized MPI-3 RMA
+// implementation. No MPI implementation (let alone RDMA hardware) is
+// available to this reproduction, so this package substitutes the runtime:
+//
+//   - A World is the equivalent of MPI_COMM_WORLD; its ranks are
+//     goroutines launched by Run.
+//   - Windows expose per-rank byte regions (MPI_Win_create /
+//     MPI_Win_allocate); Get and Put transfer data between regions and
+//     private buffers.
+//   - Passive-target synchronization (Lock/Unlock/LockAll/UnlockAll/
+//     Flush) and active-target Fence provide the epoch structure CLaMPI
+//     keys on: every completion call closes an access epoch and notifies
+//     registered epoch listeners.
+//
+// Time is virtual (see internal/simtime): issuing an operation charges the
+// modelled CPU overhead on the origin's clock, and the operation's
+// completion time is the issue time plus the modelled network latency
+// (internal/netsim). Completion calls advance the origin clock to the
+// latest pending completion, which reproduces the overlap behaviour of a
+// real RDMA network: many gets issued back-to-back pipeline, and the
+// initiator only stalls at the flush.
+//
+// Data movement is physical: Get and Put really copy bytes between
+// buffers, so applications compute correct results. MPI-3's epoch rules
+// (no conflicting accesses within an epoch) are what make the immediate
+// copy indistinguishable from a deferred one.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"clampi/internal/datatype"
+	"clampi/internal/netsim"
+	"clampi/internal/simtime"
+)
+
+// Errors returned by window operations.
+var (
+	ErrRankRange  = errors.New("mpi: target rank out of range")
+	ErrBounds     = errors.New("mpi: access outside window bounds")
+	ErrShortBuf   = errors.New("mpi: origin buffer too small for transfer")
+	ErrFreedWin   = errors.New("mpi: window has been freed")
+	ErrBadEpoch   = errors.New("mpi: operation outside an access epoch")
+	ErrWorldSize  = errors.New("mpi: world size must be positive")
+	ErrNilProgram = errors.New("mpi: nil rank program")
+)
+
+// Config controls the simulated machine a World runs on.
+type Config struct {
+	// Model is the network latency model; nil selects
+	// netsim.DefaultModel.
+	Model *netsim.Model
+	// RanksPerNode controls the rank→node mapping used to derive
+	// distance classes; <=0 means one rank per node (the paper's
+	// default placement).
+	RanksPerNode int
+	// NodesPerGroup controls the node→Dragonfly-group mapping; <=0
+	// selects the Piz Daint group size.
+	NodesPerGroup int
+}
+
+// World is the communicator containing all ranks of a run.
+type World struct {
+	size int
+	cfg  Config
+
+	mu    sync.Mutex
+	colls map[int]*collSlot
+	wins  int // window id counter
+
+	// token serializes rank execution: exactly one rank goroutine runs
+	// user code at a time, yielding only inside collectives. Ranks
+	// interact solely through collectives (and through RMA data that
+	// epoch rules order across collectives), so serialization cannot
+	// change results — but it is essential for timing fidelity: the
+	// hybrid clocks measure real durations of cache-management code,
+	// and with several runnable goroutines per core a measured section
+	// could absorb a whole scheduler quantum of *another* rank's work.
+	token sync.Mutex
+
+	ranks []*Rank
+}
+
+// collSlot is one in-flight collective rendezvous.
+type collSlot struct {
+	arrived int
+	data    []any
+	clock   simtime.Duration
+	done    chan struct{}
+}
+
+// Rank is the per-process handle passed to each rank's program. All
+// methods must be called only from the owning goroutine.
+type Rank struct {
+	world *World
+	id    int
+	clock *simtime.Clock
+	colls int // per-rank collective sequence number
+}
+
+// Run executes program on size simulated ranks, one goroutine each, and
+// blocks until all return. It is the moral equivalent of mpirun.
+func Run(size int, cfg Config, program func(*Rank) error) error {
+	if size <= 0 {
+		return ErrWorldSize
+	}
+	if program == nil {
+		return ErrNilProgram
+	}
+	if cfg.Model == nil {
+		cfg.Model = netsim.DefaultModel()
+	}
+	w := &World{
+		size:  size,
+		cfg:   cfg,
+		colls: make(map[int]*collSlot),
+		ranks: make([]*Rank, size),
+	}
+	for i := 0; i < size; i++ {
+		w.ranks[i] = &Rank{world: w, id: i, clock: simtime.NewClock()}
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for i := 0; i < size; i++ {
+		go func(r *Rank) {
+			defer wg.Done()
+			w.token.Lock()
+			defer w.token.Unlock()
+			errs[r.id] = program(r)
+		}(w.ranks[i])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ID returns the rank's id in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return r.world.size }
+
+// Clock returns the rank's virtual clock.
+func (r *Rank) Clock() *simtime.Clock { return r.clock }
+
+// Model returns the network model of the world the rank runs in.
+func (r *Rank) Model() *netsim.Model { return r.world.cfg.Model }
+
+// Distance returns the distance class between this rank and target.
+func (r *Rank) Distance(target int) netsim.Distance {
+	return netsim.MapDistance(r.id, target, r.world.cfg.RanksPerNode, r.world.cfg.NodesPerGroup)
+}
+
+// collective performs a rendezvous of all ranks, gathering one value per
+// rank and aligning clocks to the slowest participant plus cost. All ranks
+// must call collectives in the same order (the usual SPMD contract).
+func (r *Rank) collective(contrib any, cost simtime.Duration) []any {
+	w := r.world
+	seq := r.colls
+	r.colls++
+
+	w.mu.Lock()
+	slot, ok := w.colls[seq]
+	if !ok {
+		slot = &collSlot{data: make([]any, w.size), done: make(chan struct{})}
+		w.colls[seq] = slot
+	}
+	slot.data[r.id] = contrib
+	if r.clock.Now() > slot.clock {
+		slot.clock = r.clock.Now()
+	}
+	slot.arrived++
+	last := slot.arrived == w.size
+	if last {
+		delete(w.colls, seq)
+	}
+	w.mu.Unlock()
+
+	if last {
+		close(slot.done)
+	} else {
+		// Yield the run token while blocked so the remaining ranks
+		// can reach the rendezvous (see World.token).
+		w.token.Unlock()
+		<-slot.done
+		w.token.Lock()
+	}
+	r.clock.AdvanceTo(slot.clock + cost)
+	return slot.data
+}
+
+// barrierCost models a dissemination barrier: ceil(log2 P) network rounds.
+func (r *Rank) barrierCost() simtime.Duration {
+	p := r.world.size
+	rounds := 0
+	for n := 1; n < p; n <<= 1 {
+		rounds++
+	}
+	base := r.world.cfg.Model.GetLatency(0, netsim.OtherNode)
+	return simtime.Duration(rounds) * base
+}
+
+// Barrier synchronizes all ranks (MPI_Barrier) and aligns virtual clocks.
+func (r *Rank) Barrier() {
+	r.collective(nil, r.barrierCost())
+}
+
+// Allgather gathers one value from every rank into a slice indexed by
+// rank id (MPI_Allgather for a single element of any Go type).
+func (r *Rank) Allgather(v any) []any {
+	return r.collective(v, r.barrierCost())
+}
+
+// AllgatherInt is a convenience wrapper for the common int payload.
+func (r *Rank) AllgatherInt(v int) []int {
+	raw := r.Allgather(v)
+	out := make([]int, len(raw))
+	for i, x := range raw {
+		out[i] = x.(int)
+	}
+	return out
+}
+
+// AllreduceMax returns the maximum of the per-rank contributions.
+func (r *Rank) AllreduceMax(v float64) float64 {
+	raw := r.Allgather(v)
+	m := v
+	for _, x := range raw {
+		if f := x.(float64); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// AllreduceSum returns the sum of the per-rank contributions.
+func (r *Rank) AllreduceSum(v float64) float64 {
+	raw := r.Allgather(v)
+	s := 0.0
+	for _, x := range raw {
+		s += x.(float64)
+	}
+	return s
+}
+
+// Bcast distributes root's value to all ranks.
+func (r *Rank) Bcast(v any, root int) any {
+	raw := r.Allgather(v)
+	if root < 0 || root >= len(raw) {
+		root = 0
+	}
+	return raw[root]
+}
+
+// ---------------------------------------------------------------------------
+// Windows
+// ---------------------------------------------------------------------------
+
+// Info carries window-creation hints (MPI_Info). CLaMPI reads its
+// operational mode from here (paper §III-A).
+type Info map[string]string
+
+// pendingOp is one issued-but-not-completed RMA operation.
+type pendingOp struct {
+	seq        int64 // unique per window, for request-based completion
+	target     int
+	completion simtime.Duration
+}
+
+// winShared is the state shared by all ranks attached to one window.
+type winShared struct {
+	id      int
+	regions [][]byte
+	info    Info
+
+	pscwOnce  sync.Once
+	pscwState *pscwState
+
+	lockOnce sync.Once
+	locks    []*targetLock
+}
+
+// EpochListener observes epoch closures on a window. CLaMPI registers one
+// to trigger deferred copy-in and transparent-mode invalidation.
+//
+// The listener runs on the origin rank's goroutine, inside the completion
+// call, after the clock has advanced past all pending completions and
+// before the epoch counter increments.
+type EpochListener func(epoch int64)
+
+// Win is a rank's handle on a window (origin-side state is private to the
+// rank, per MPI semantics).
+type Win struct {
+	rank   *Rank
+	shared *winShared
+
+	epoch         int64
+	pending       []pendingOp
+	lockedTargets map[int]LockType
+	lockedAll     bool
+	fenceOpen     bool
+	started       []int            // PSCW: targets of the current Start epoch
+	exposed       []int            // PSCW: origins of the current Post exposure
+	opSeq         int64            // issued-operation counter (request ids)
+	lastInj       simtime.Duration // last network injection (LogGP gap pacing)
+	freed         bool
+
+	listeners []EpochListener
+}
+
+// WinCreate collectively creates a window exposing each rank's region
+// (MPI_Win_create). region may be nil for ranks exposing no memory.
+func (r *Rank) WinCreate(region []byte, info Info) *Win {
+	w := r.world
+	w.mu.Lock()
+	id := w.wins // same value observed by all ranks via the collective below
+	w.mu.Unlock()
+
+	gathered := r.collective(region, r.barrierCost())
+	// Rank 0 materializes the single shared window state and broadcasts
+	// it, so cross-rank synchronization state (PSCW handshakes) lives
+	// in exactly one place.
+	var shared *winShared
+	if r.id == 0 {
+		shared = &winShared{id: id, regions: make([][]byte, len(gathered)), info: info}
+		for i, g := range gathered {
+			if g != nil {
+				shared.regions[i] = g.([]byte)
+			}
+		}
+		w.mu.Lock()
+		w.wins++
+		w.mu.Unlock()
+	}
+	shared = r.Bcast(shared, 0).(*winShared)
+	r.Barrier()
+	return &Win{rank: r, shared: shared}
+}
+
+// WinAllocate collectively creates a window, allocating size bytes on each
+// rank (MPI_Win_allocate). It returns the window and the local region.
+func (r *Rank) WinAllocate(size int, info Info) (*Win, []byte) {
+	if size < 0 {
+		size = 0
+	}
+	region := make([]byte, size)
+	return r.WinCreate(region, info), region
+}
+
+// Info returns the window's creation info.
+func (w *Win) Info() Info { return w.shared.info }
+
+// Rank returns the owning rank handle.
+func (w *Win) Rank() *Rank { return w.rank }
+
+// Epoch returns the number of epochs closed on this window by this origin
+// since creation (the w.eph counter of the paper's notation).
+func (w *Win) Epoch() int64 { return w.epoch }
+
+// Local returns this rank's exposed region.
+func (w *Win) Local() []byte { return w.shared.regions[w.rank.id] }
+
+// RegionSize returns the size of target's exposed region.
+func (w *Win) RegionSize(target int) (int, error) {
+	if target < 0 || target >= len(w.shared.regions) {
+		return 0, ErrRankRange
+	}
+	return len(w.shared.regions[target]), nil
+}
+
+// AddEpochListener registers f to run at every epoch closure by this
+// origin on this window.
+func (w *Win) AddEpochListener(f EpochListener) {
+	if f != nil {
+		w.listeners = append(w.listeners, f)
+	}
+}
+
+// Lock opens a passive-target access epoch towards target with a shared
+// lock (MPI_Win_lock with MPI_LOCK_SHARED) — the mode the paper's
+// workloads use. LockWithType selects exclusive locks.
+func (w *Win) Lock(target int) error {
+	return w.LockWithType(LockShared, target)
+}
+
+// LockAll opens a passive-target epoch towards all ranks
+// (MPI_Win_lock_all).
+func (w *Win) LockAll() error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	w.lockedAll = true
+	w.rank.clock.Advance(w.rank.Model().GetLatency(8, netsim.OtherNode))
+	return nil
+}
+
+// inEpoch reports whether RMA calls are currently legal.
+func (w *Win) inEpoch() bool {
+	return len(w.lockedTargets) > 0 || w.lockedAll || w.fenceOpen || len(w.started) > 0
+}
+
+// Get reads count elements of dtype from target's region at byte
+// displacement disp into dst (MPI_Get). The origin buffer dst receives the
+// packed payload (size = dtype.Size() * count); the target side is
+// interpreted with the full (possibly strided) datatype layout.
+//
+// The call is non-blocking in the MPI-3 sense: dst's contents may be
+// consumed only after the next Flush/Unlock on the window. The runtime
+// copies the bytes immediately — valid because MPI forbids conflicting
+// accesses within an epoch — but the virtual clock only accounts for the
+// issue overhead here; the latency is paid at the completion call.
+func (w *Win) Get(dst []byte, dtype datatype.Datatype, count int, target, disp int) error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	if !w.inEpoch() {
+		return ErrBadEpoch
+	}
+	if target < 0 || target >= len(w.shared.regions) {
+		return ErrRankRange
+	}
+	size := datatype.TransferSize(dtype, count)
+	if len(dst) < size {
+		return ErrShortBuf
+	}
+	region := w.shared.regions[target]
+	blocks := datatype.FlattenTransfer(dtype, count, disp)
+	for _, b := range blocks {
+		if b.Offset < 0 || b.Offset+b.Size > len(region) {
+			return ErrBounds
+		}
+	}
+	datatype.CopyBlocks(dst, region, blocks)
+
+	w.enqueueOp(target, size)
+	return nil
+}
+
+// Put writes count elements of dtype from src (packed) into target's
+// region at byte displacement disp (MPI_Put), with the target-side layout
+// given by dtype.
+func (w *Win) Put(src []byte, dtype datatype.Datatype, count int, target, disp int) error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	if !w.inEpoch() {
+		return ErrBadEpoch
+	}
+	if target < 0 || target >= len(w.shared.regions) {
+		return ErrRankRange
+	}
+	size := datatype.TransferSize(dtype, count)
+	if len(src) < size {
+		return ErrShortBuf
+	}
+	region := w.shared.regions[target]
+	blocks := datatype.FlattenTransfer(dtype, count, disp)
+	for _, b := range blocks {
+		if b.Offset < 0 || b.Offset+b.Size > len(region) {
+			return ErrBounds
+		}
+	}
+	datatype.ScatterBlocks(region, src, blocks)
+
+	w.enqueueOp(target, size)
+	return nil
+}
+
+// enqueueOp charges the issue overhead of one RMA operation and records
+// its completion time: injection (paced by LogGP's gap g when the model
+// sets one) plus the wire latency. Gets and puts of equal size cost the
+// same on the modelled network.
+func (w *Win) enqueueOp(target, size int) {
+	dist := w.rank.Distance(target)
+	model := w.rank.Model()
+	w.rank.clock.Busy(model.IssueOverhead(dist))
+	inj := w.rank.clock.Now()
+	if g := model.Gap(dist); g > 0 {
+		if t := w.lastInj + g; t > inj {
+			inj = t
+		}
+	}
+	w.lastInj = inj
+	w.opSeq++
+	w.pending = append(w.pending, pendingOp{
+		seq:        w.opSeq,
+		target:     target,
+		completion: inj + model.GetLatency(size, dist) - model.IssueOverhead(dist),
+	})
+}
+
+// completePending advances the clock past every pending completion that
+// matches target (-1 = all targets) and drops them from the pending list.
+func (w *Win) completePending(target int) {
+	kept := w.pending[:0]
+	for _, op := range w.pending {
+		if target < 0 || op.target == target {
+			w.rank.clock.AdvanceTo(op.completion)
+		} else {
+			kept = append(kept, op)
+		}
+	}
+	w.pending = kept
+}
+
+// closeEpoch fires listeners and bumps the epoch counter.
+func (w *Win) closeEpoch() {
+	e := w.epoch
+	for _, f := range w.listeners {
+		f(e)
+	}
+	w.epoch++
+}
+
+// Flush completes all outstanding operations towards target without
+// closing the lock (MPI_Win_flush). Per the paper (Listing 1), a flush is
+// an epoch-closure event for CLaMPI.
+func (w *Win) Flush(target int) error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	if !w.inEpoch() {
+		return ErrBadEpoch
+	}
+	if target < 0 || target >= len(w.shared.regions) {
+		return ErrRankRange
+	}
+	w.completePending(target)
+	w.closeEpoch()
+	return nil
+}
+
+// FlushAll completes all outstanding operations towards every target
+// (MPI_Win_flush_all) and closes the epoch.
+func (w *Win) FlushAll() error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	if !w.inEpoch() {
+		return ErrBadEpoch
+	}
+	w.completePending(-1)
+	w.closeEpoch()
+	return nil
+}
+
+// Unlock completes outstanding operations towards target and ends the
+// passive epoch (MPI_Win_unlock).
+func (w *Win) Unlock(target int) error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	typ, held := w.lockedTargets[target]
+	if !held {
+		return ErrBadEpoch
+	}
+	w.completePending(target)
+	w.closeEpoch()
+	delete(w.lockedTargets, target)
+	w.release(target, typ)
+	return nil
+}
+
+// UnlockAll ends a lock-all epoch (MPI_Win_unlock_all).
+func (w *Win) UnlockAll() error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	if !w.lockedAll {
+		return ErrBadEpoch
+	}
+	w.completePending(-1)
+	w.closeEpoch()
+	w.lockedAll = false
+	return nil
+}
+
+// Fence is the active-target synchronization call (MPI_Win_fence): a
+// collective that completes all outstanding operations, closes the epoch,
+// and opens the next one. Between fences, RMA calls are legal.
+func (w *Win) Fence() error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	w.completePending(-1)
+	if w.epochOpenedByFence() {
+		w.closeEpoch()
+	}
+	w.rank.Barrier()
+	w.fenceOpen = true
+	return nil
+}
+
+// fenceOpen tracks whether a fence-delimited epoch is active.
+func (w *Win) epochOpenedByFence() bool { return w.fenceOpen }
+
+// Free releases the window (MPI_Win_free). It is collective.
+func (w *Win) Free() error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	w.rank.Barrier()
+	w.freed = true
+	return nil
+}
+
+// PendingOps returns the number of incomplete operations (for tests and
+// the overlap study).
+func (w *Win) PendingOps() int { return len(w.pending) }
+
+// String identifies the window for diagnostics.
+func (w *Win) String() string {
+	return fmt.Sprintf("win%d@rank%d", w.shared.id, w.rank.id)
+}

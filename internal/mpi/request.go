@@ -1,0 +1,76 @@
+package mpi
+
+// Request-based RMA operations (MPI_Rget / MPI_Rput). A request completes
+// its single operation independently of the epoch's other operations —
+// useful for software pipelining: wait for the one transfer the next
+// computation step needs instead of flushing everything.
+
+import (
+	"errors"
+
+	"clampi/internal/datatype"
+	"clampi/internal/simtime"
+)
+
+// ErrDoneRequest reports a Wait on an already-completed request.
+var ErrDoneRequest = errors.New("mpi: request already completed")
+
+// Request is the handle of one request-based operation.
+type Request struct {
+	win        *Win
+	seq        int64
+	completion simtime.Duration
+	done       bool
+}
+
+// Rget is Get returning a completable request (MPI_Rget). The operation
+// also completes with the epoch's Flush/Unlock like any other.
+func (w *Win) Rget(dst []byte, dtype datatype.Datatype, count int, target, disp int) (*Request, error) {
+	if err := w.Get(dst, dtype, count, target, disp); err != nil {
+		return nil, err
+	}
+	return w.lastRequest(), nil
+}
+
+// Rput is Put returning a completable request (MPI_Rput).
+func (w *Win) Rput(src []byte, dtype datatype.Datatype, count int, target, disp int) (*Request, error) {
+	if err := w.Put(src, dtype, count, target, disp); err != nil {
+		return nil, err
+	}
+	return w.lastRequest(), nil
+}
+
+// lastRequest wraps the most recently issued pending operation.
+func (w *Win) lastRequest() *Request {
+	op := w.pending[len(w.pending)-1]
+	return &Request{win: w, seq: op.seq, completion: op.completion}
+}
+
+// Wait blocks (in virtual time) until the request's operation completes:
+// the rank's clock advances to the operation's completion time. Unlike
+// Flush, Wait is not an epoch-closure event. Waiting twice is an error,
+// mirroring MPI's request semantics.
+func (req *Request) Wait() error {
+	if req.done {
+		return ErrDoneRequest
+	}
+	req.done = true
+	req.win.rank.clock.AdvanceTo(req.completion)
+	// Drop the op from the pending list so a later flush does not
+	// account it again (it would be harmless — AdvanceTo is
+	// idempotent — but the pending count should reflect reality).
+	kept := req.win.pending[:0]
+	for _, op := range req.win.pending {
+		if op.seq != req.seq {
+			kept = append(kept, op)
+		}
+	}
+	req.win.pending = kept
+	return nil
+}
+
+// Test reports whether the operation has completed by the rank's current
+// virtual time (MPI_Test). It never advances the clock.
+func (req *Request) Test() bool {
+	return req.done || req.win.rank.clock.Now() >= req.completion
+}

@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"clampi/internal/datatype"
+)
+
+func TestRgetWaitCompletesOneOperation(t *testing.T) {
+	err := Run(2, Config{}, func(r *Rank) error {
+		region := make([]byte, 4096)
+		if r.ID() == 1 {
+			for i := range region {
+				region[i] = byte(i)
+			}
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		if r.ID() == 0 {
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			a := make([]byte, 64)
+			b := make([]byte, 2048)
+			reqA, err := win.Rget(a, datatype.Byte, 64, 1, 0)
+			if err != nil {
+				return err
+			}
+			reqB, err := win.Rget(b, datatype.Byte, 2048, 1, 64)
+			if err != nil {
+				return err
+			}
+			if win.PendingOps() != 2 {
+				t.Errorf("PendingOps = %d", win.PendingOps())
+			}
+			// Completing only A advances the clock to A's completion,
+			// which is before B's (smaller transfer, issued first).
+			if err := reqA.Wait(); err != nil {
+				return err
+			}
+			if win.PendingOps() != 1 {
+				t.Errorf("PendingOps after Wait = %d", win.PendingOps())
+			}
+			if reqB.Test() {
+				t.Errorf("B complete right after waiting on A")
+			}
+			if !reqA.Test() {
+				t.Errorf("A not complete after Wait")
+			}
+			if err := reqB.Wait(); err != nil {
+				return err
+			}
+			if err := reqA.Wait(); !errors.Is(err, ErrDoneRequest) {
+				t.Errorf("double Wait: %v", err)
+			}
+			// Data of both is valid after their waits.
+			for i := range a {
+				if a[i] != byte(i) {
+					t.Errorf("a[%d] = %d", i, a[i])
+					break
+				}
+			}
+			for i := range b {
+				if b[i] != byte(64+i) {
+					t.Errorf("b[%d] = %d", i, b[i])
+					break
+				}
+			}
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRputAndErrors(t *testing.T) {
+	err := Run(2, Config{}, func(r *Rank) error {
+		win, local := r.WinAllocate(128, nil)
+		defer win.Free()
+		if r.ID() == 0 {
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			req, err := win.Rput([]byte{5, 6}, datatype.Byte, 2, 1, 8)
+			if err != nil {
+				return err
+			}
+			if err := req.Wait(); err != nil {
+				return err
+			}
+			// Propagated argument errors return no request.
+			if _, err := win.Rget(make([]byte, 8), datatype.Byte, 8, 9, 0); !errors.Is(err, ErrRankRange) {
+				t.Errorf("Rget bad rank: %v", err)
+			}
+			if _, err := win.Rput(make([]byte, 8), datatype.Byte, 8, 1, 999); !errors.Is(err, ErrBounds) {
+				t.Errorf("Rput out of bounds: %v", err)
+			}
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		if r.ID() == 1 && (local[8] != 5 || local[9] != 6) {
+			t.Errorf("rput data: %v", local[8:10])
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestPipelining(t *testing.T) {
+	// Software pipelining: waiting on op i while ops i+1.. remain in
+	// flight must cost one latency total, not one per op.
+	err := Run(2, Config{}, func(r *Rank) error {
+		win, _ := r.WinAllocate(1<<16, nil)
+		defer win.Free()
+		if r.ID() == 0 {
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			const k = 16
+			dst := make([]byte, 1024)
+			reqs := make([]*Request, k)
+			t0 := r.Clock().Now()
+			for i := 0; i < k; i++ {
+				var err error
+				reqs[i], err = win.Rget(dst, datatype.Byte, 1024, 1, 0)
+				if err != nil {
+					return err
+				}
+			}
+			for _, req := range reqs {
+				if err := req.Wait(); err != nil {
+					return err
+				}
+			}
+			elapsed := r.Clock().Now() - t0
+			single := r.Model().GetLatency(1024, r.Distance(1))
+			if elapsed >= single*k/2 {
+				t.Errorf("request waits serialized: %v for %d ops (single %v)", elapsed, k, single)
+			}
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

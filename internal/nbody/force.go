@@ -1,0 +1,174 @@
+package nbody
+
+import (
+	"math"
+
+	"clampi/internal/getter"
+	"clampi/internal/simtime"
+	"clampi/internal/trace"
+)
+
+// Modeled compute costs of the force phase (2.6 GHz Xeon class): one
+// body-cell interaction is ~a dozen FLOPs plus a sqrt; a traversal step
+// is a handful of compares and stack operations.
+const (
+	// CostInteraction is charged per accepted body-cell interaction.
+	CostInteraction = 25 * simtime.Nanosecond
+	// CostVisit is charged per visited tree node.
+	CostVisit = 8 * simtime.Nanosecond
+	// CostUpdate is charged per body for the leapfrog update.
+	CostUpdate = 15 * simtime.Nanosecond
+)
+
+// RootInfo describes one rank's tree as seen by remote ranks.
+type RootInfo struct {
+	Center Vec3
+	Half   float64
+	Nodes  int
+}
+
+// Clock abstracts the virtual clock the traversal charges compute to
+// (satisfied by *simtime.Clock).
+type Clock interface {
+	Advance(simtime.Duration)
+}
+
+// Space is a rank's view of the distributed tree forest during one force
+// phase. Local tree nodes are read directly; remote nodes are fetched
+// through the getter (and a fetch is accounted as one 64-byte get).
+type Space struct {
+	Rank  int
+	Local *Tree
+	Roots []RootInfo
+	Gt    getter.Getter
+	Theta float64
+	Clock Clock
+	// Recorder, if set, records every remote node fetch (Fig. 2).
+	Recorder *trace.Recorder
+
+	// Counters for the step statistics.
+	Interactions int64
+	NodeVisits   int64
+	RemoteGets   int64
+
+	buf [NodeBytes]byte
+}
+
+// fetch returns node idx of rank's tree.
+func (s *Space) fetch(rank int, idx int32, n *Node) error {
+	s.NodeVisits++
+	if rank == s.Rank {
+		*n = s.Local.Nodes[idx]
+		return nil
+	}
+	disp := int(idx) * NodeBytes
+	if err := s.Gt.Get(s.buf[:], rank, disp); err != nil {
+		return err
+	}
+	if err := s.Gt.Flush(); err != nil {
+		return err
+	}
+	s.RemoteGets++
+	if s.Recorder != nil {
+		s.Recorder.Record(rank, disp, NodeBytes)
+	}
+	DecodeNode(s.buf[:], n)
+	return nil
+}
+
+// frame is one traversal stack entry.
+type frame struct {
+	rank int
+	idx  int32
+	half float64
+}
+
+// Accel computes the gravitational acceleration at p (for a unit-mass
+// test particle) by walking all P trees with the Barnes-Hut opening
+// criterion: a cell of half-extent h at distance d is accepted when
+// (2h)/d < θ. θ = 0 never accepts internal cells — the traversal
+// degenerates to exact pairwise summation over leaves.
+func (s *Space) Accel(p Vec3) (Vec3, error) {
+	var acc Vec3
+	var stack []frame
+	for rank := range s.Roots {
+		if s.Roots[rank].Nodes == 0 {
+			continue
+		}
+		stack = append(stack, frame{rank: rank, idx: 0, half: s.Roots[rank].Half})
+	}
+	var visits, interactions int64
+	var n Node
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if err := s.fetch(f.rank, f.idx, &n); err != nil {
+			return Vec3{}, err
+		}
+		visits++
+		if n.Mass == 0 {
+			continue
+		}
+		d := n.COM.Sub(p)
+		dist2 := d.Norm2()
+		open := !n.Leaf() && 4*f.half*f.half >= s.Theta*s.Theta*dist2
+		if open {
+			for _, c := range n.Children {
+				if c != NoChild {
+					stack = append(stack, frame{rank: f.rank, idx: c, half: f.half / 2})
+				}
+			}
+			continue
+		}
+		// Accept: body-cell interaction with Plummer softening.
+		interactions++
+		denom := dist2 + Softening*Softening
+		inv := 1 / (denom * math.Sqrt(denom))
+		acc = acc.Add(d.Scale(n.Mass * inv))
+	}
+	s.Interactions += interactions
+	if s.Clock != nil {
+		s.Clock.Advance(simtime.Duration(visits)*CostVisit + simtime.Duration(interactions)*CostInteraction)
+	}
+	return acc, nil
+}
+
+// DirectAccel is the O(N²) reference: the exact softened acceleration at
+// p due to all bodies.
+func DirectAccel(p Vec3, bodies []Body) Vec3 {
+	var acc Vec3
+	for i := range bodies {
+		d := bodies[i].Pos.Sub(p)
+		denom := d.Norm2() + Softening*Softening
+		inv := 1 / (denom * math.Sqrt(denom))
+		acc = acc.Add(d.Scale(bodies[i].Mass * inv))
+	}
+	return acc
+}
+
+// Integrate advances bodies one leapfrog-Euler step under accs.
+func Integrate(bodies []Body, accs []Vec3, dt float64, clock Clock) {
+	for i := range bodies {
+		bodies[i].Vel = bodies[i].Vel.Add(accs[i].Scale(dt))
+		bodies[i].Pos = bodies[i].Pos.Add(bodies[i].Vel.Scale(dt))
+	}
+	if clock != nil {
+		clock.Advance(simtime.Duration(len(bodies)) * CostUpdate)
+	}
+}
+
+// Energy returns the total energy (kinetic + softened potential) of a
+// body set — a conservation diagnostic for tests.
+func Energy(bodies []Body) float64 {
+	e := 0.0
+	for i := range bodies {
+		e += 0.5 * bodies[i].Mass * bodies[i].Vel.Norm2()
+	}
+	for i := range bodies {
+		for j := i + 1; j < len(bodies); j++ {
+			d2 := bodies[i].Pos.Sub(bodies[j].Pos).Norm2()
+			e -= bodies[i].Mass * bodies[j].Mass / math.Sqrt(d2+Softening*Softening)
+		}
+	}
+	return e
+}

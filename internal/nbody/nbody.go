@@ -1,0 +1,431 @@
+// Package nbody implements the distributed Barnes-Hut N-body simulation
+// of the paper's §IV-B.
+//
+// Bodies are Morton-order partitioned across ranks; every rank builds an
+// octree over its bodies and exposes the serialized tree through an RMA
+// window. The force-computation phase walks all P trees top-down: local
+// nodes are read from memory, remote nodes are fetched with one-sided
+// gets — a latency-bound pointer chase in which the top of every remote
+// tree is re-fetched for nearly every local body. That reuse (the paper's
+// Fig. 2 measures it at up to ~3,500 repeats) is what the caching layer
+// converts into local copies. The tree is immutable during the force
+// phase, so the paper drives CLaMPI in user-defined mode: cache across
+// the whole phase, invalidate before the next tree rebuild.
+package nbody
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Vec3 is a 3-component vector.
+type Vec3 [3]float64
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v[0] + o[0], v[1] + o[1], v[2] + o[2]} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v[0] - o[0], v[1] - o[1], v[2] - o[2]} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v[0] * s, v[1] * s, v[2] * s} }
+
+// Norm2 returns |v|².
+func (v Vec3) Norm2() float64 { return v[0]*v[0] + v[1]*v[1] + v[2]*v[2] }
+
+// Body is one simulated particle.
+type Body struct {
+	Pos  Vec3
+	Vel  Vec3
+	Mass float64
+}
+
+// Softening is the Plummer softening length ε: forces are
+// m·d/(|d|²+ε²)^{3/2}, regularizing close encounters (and making a
+// body's interaction with itself exactly zero).
+const Softening = 1e-3
+
+// RandomBodies generates n bodies uniformly in the unit cube with small
+// random velocities and equal masses summing to 1. Deterministic in seed.
+func RandomBodies(n int, seed int64) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]Body, n)
+	for i := range bodies {
+		bodies[i] = Body{
+			Pos:  Vec3{rng.Float64(), rng.Float64(), rng.Float64()},
+			Vel:  Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}.Scale(0.01),
+			Mass: 1 / float64(n),
+		}
+	}
+	return bodies
+}
+
+// mortonKey interleaves 21 bits per dimension of the position, assumed
+// in [0,1)³ (values outside are clamped).
+func mortonKey(p Vec3) uint64 {
+	var key uint64
+	for d := 0; d < 3; d++ {
+		v := p[d]
+		if v < 0 {
+			v = 0
+		}
+		if v >= 1 {
+			v = math.Nextafter(1, 0)
+		}
+		key |= spread(uint64(v*(1<<21))) << d
+	}
+	return key
+}
+
+// spread distributes the low 21 bits of x to every third bit position.
+func spread(x uint64) uint64 {
+	x &= 0x1FFFFF
+	x = (x | x<<32) & 0x1F00000000FFFF
+	x = (x | x<<16) & 0x1F0000FF0000FF
+	x = (x | x<<8) & 0x100F00F00F00F00F
+	x = (x | x<<4) & 0x10C30C30C30C30C3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// PartitionBodies sorts bodies by Morton key and block-partitions them
+// over p ranks, returning rank's slice (a copy). Morton order keeps each
+// rank's bodies spatially clustered, so upper remote-tree levels satisfy
+// the opening criterion for most bodies — maximizing reuse.
+func PartitionBodies(bodies []Body, p, rank int) []Body {
+	sorted := make([]Body, len(bodies))
+	copy(sorted, bodies)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return mortonKey(sorted[i].Pos) < mortonKey(sorted[j].Pos)
+	})
+	n := len(sorted)
+	q, r := n/p, n%p
+	lo := rank*q + min(rank, r)
+	hi := lo + q
+	if rank < r {
+		hi++
+	}
+	out := make([]Body, hi-lo)
+	copy(out, sorted[lo:hi])
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Octree
+// ---------------------------------------------------------------------------
+
+// NodeBytes is the size of one serialized tree node: mass (8) + centre of
+// mass (24) + 8 child indices (32).
+const NodeBytes = 64
+
+// NoChild marks an absent child slot.
+const NoChild int32 = -1
+
+// Node is one octree cell as stored in a window region. For a leaf all
+// children are NoChild and (Mass, COM) describe a single (possibly
+// aggregated) body; for an internal node they are the subtree totals.
+type Node struct {
+	Mass     float64
+	COM      Vec3
+	Children [8]int32
+}
+
+// Leaf reports whether the node has no children.
+func (n *Node) Leaf() bool {
+	for _, c := range n.Children {
+		if c != NoChild {
+			return false
+		}
+	}
+	return true
+}
+
+// maxDepth bounds tree height; bodies colliding below it are aggregated.
+const maxDepth = 32
+
+// Tree is a rank-local octree.
+type Tree struct {
+	Nodes  []Node
+	Center Vec3
+	Half   float64 // half-extent of the root cell
+}
+
+// buildNode is the construction-time node representation.
+type buildNode struct {
+	children [8]int32
+	leaf     bool
+	mass     float64
+	com      Vec3 // for leaves: position accumulator (mass-weighted)
+}
+
+// BuildTree constructs an octree over the bodies. The root cell is the
+// cube bounding all bodies. An empty body set yields a tree with a
+// zero-mass root leaf.
+func BuildTree(bodies []Body) *Tree {
+	t := &Tree{}
+	if len(bodies) == 0 {
+		t.Center = Vec3{0.5, 0.5, 0.5}
+		t.Half = 0.5
+		t.Nodes = []Node{{Children: noChildren()}}
+		return t
+	}
+	lo, hi := bodies[0].Pos, bodies[0].Pos
+	for _, b := range bodies[1:] {
+		for d := 0; d < 3; d++ {
+			lo[d] = math.Min(lo[d], b.Pos[d])
+			hi[d] = math.Max(hi[d], b.Pos[d])
+		}
+	}
+	t.Center = lo.Add(hi).Scale(0.5)
+	t.Half = 0
+	for d := 0; d < 3; d++ {
+		t.Half = math.Max(t.Half, (hi[d]-lo[d])/2)
+	}
+	if t.Half == 0 {
+		t.Half = 1e-9 // all bodies coincide
+	}
+	// Slightly inflate so boundary bodies stay strictly inside.
+	t.Half *= 1.0000001
+
+	nodes := []buildNode{newBuildNode()}
+	for i := range bodies {
+		nodes = insert(nodes, 0, t.Center, t.Half, &bodies[i], 0)
+	}
+	t.Nodes = finalize(nodes)
+	return t
+}
+
+func noChildren() [8]int32 {
+	var c [8]int32
+	for i := range c {
+		c[i] = NoChild
+	}
+	return c
+}
+
+func newBuildNode() buildNode {
+	return buildNode{children: noChildren()}
+}
+
+// octant returns the child index of p relative to center.
+func octant(center, p Vec3) int {
+	o := 0
+	for d := 0; d < 3; d++ {
+		if p[d] >= center[d] {
+			o |= 1 << d
+		}
+	}
+	return o
+}
+
+// childCenter returns the center of child octant o of (center, half).
+func childCenter(center Vec3, half float64, o int) Vec3 {
+	q := half / 2
+	c := center
+	for d := 0; d < 3; d++ {
+		if o&(1<<d) != 0 {
+			c[d] += q
+		} else {
+			c[d] -= q
+		}
+	}
+	return c
+}
+
+// insert places body b into node idx of nodes, splitting leaves as
+// needed, and returns the (possibly grown) node slice.
+func insert(nodes []buildNode, idx int, center Vec3, half float64, b *Body, depth int) []buildNode {
+	n := &nodes[idx]
+	if n.mass == 0 && !n.leaf && n.isEmptyInternal() {
+		// Fresh node: become a leaf for this body.
+		n.leaf = true
+		n.mass = b.Mass
+		n.com = b.Pos.Scale(b.Mass)
+		return nodes
+	}
+	if n.leaf {
+		if depth >= maxDepth {
+			// Aggregate coincident bodies.
+			n.mass += b.Mass
+			n.com = n.com.Add(b.Pos.Scale(b.Mass))
+			return nodes
+		}
+		// Split: push the existing aggregate down as a pseudo-body,
+		// then fall through to internal insertion.
+		old := Body{Pos: n.com.Scale(1 / n.mass), Mass: n.mass}
+		n.leaf = false
+		n.mass = 0
+		n.com = Vec3{}
+		nodes = insertChild(nodes, idx, center, half, &old, depth)
+	}
+	return insertChild(nodes, idx, center, half, b, depth)
+}
+
+// isEmptyInternal reports a node with no children and no leaf payload.
+func (n *buildNode) isEmptyInternal() bool {
+	for _, c := range n.children {
+		if c != NoChild {
+			return false
+		}
+	}
+	return true
+}
+
+func insertChild(nodes []buildNode, idx int, center Vec3, half float64, b *Body, depth int) []buildNode {
+	o := octant(center, b.Pos)
+	child := nodes[idx].children[o]
+	if child == NoChild {
+		nodes = append(nodes, newBuildNode())
+		child = int32(len(nodes) - 1)
+		nodes[idx].children[o] = child
+	}
+	return insert(nodes, int(child), childCenter(center, half, o), half/2, b, depth+1)
+}
+
+// finalize computes subtree moments bottom-up and converts to Nodes.
+func finalize(nodes []buildNode) []Node {
+	out := make([]Node, len(nodes))
+	var rec func(i int32) (float64, Vec3)
+	rec = func(i int32) (float64, Vec3) {
+		n := &nodes[i]
+		if n.leaf {
+			com := n.com.Scale(1 / n.mass)
+			out[i] = Node{Mass: n.mass, COM: com, Children: noChildren()}
+			return n.mass, n.com
+		}
+		var mass float64
+		var wcom Vec3
+		for _, c := range n.children {
+			if c == NoChild {
+				continue
+			}
+			m, w := rec(c)
+			mass += m
+			wcom = wcom.Add(w)
+		}
+		node := Node{Mass: mass, Children: n.children}
+		if mass > 0 {
+			node.COM = wcom.Scale(1 / mass)
+		}
+		out[i] = node
+		return mass, wcom
+	}
+	rec(0)
+	return out
+}
+
+// Serialize encodes the tree's nodes into a byte region (little-endian,
+// NodeBytes per node) suitable for exposure through an RMA window.
+func (t *Tree) Serialize() []byte {
+	buf := make([]byte, len(t.Nodes)*NodeBytes)
+	for i := range t.Nodes {
+		EncodeNode(buf[i*NodeBytes:], &t.Nodes[i])
+	}
+	return buf
+}
+
+// EncodeNode writes n into the first NodeBytes of b.
+func EncodeNode(b []byte, n *Node) {
+	putF64(b[0:], n.Mass)
+	putF64(b[8:], n.COM[0])
+	putF64(b[16:], n.COM[1])
+	putF64(b[24:], n.COM[2])
+	for i, c := range n.Children {
+		putI32(b[32+i*4:], c)
+	}
+}
+
+// DecodeNode reads a node from the first NodeBytes of b.
+func DecodeNode(b []byte, n *Node) {
+	n.Mass = getF64(b[0:])
+	n.COM[0] = getF64(b[8:])
+	n.COM[1] = getF64(b[16:])
+	n.COM[2] = getF64(b[24:])
+	for i := range n.Children {
+		n.Children[i] = getI32(b[32+i*4:])
+	}
+}
+
+func putF64(b []byte, v float64) { putU64(b, math.Float64bits(v)) }
+func getF64(b []byte) float64    { return math.Float64frombits(getU64(b)) }
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putI32(b []byte, v int32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getI32(b []byte) int32 {
+	return int32(b[0]) | int32(b[1])<<8 | int32(b[2])<<16 | int32(b[3])<<24
+}
+
+// Validate checks tree structural invariants (test helper).
+func (t *Tree) Validate(totalMass float64) error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("nbody: empty tree")
+	}
+	if math.Abs(t.Nodes[0].Mass-totalMass) > 1e-9*math.Max(1, totalMass) {
+		return fmt.Errorf("nbody: root mass %v, want %v", t.Nodes[0].Mass, totalMass)
+	}
+	seen := make([]bool, len(t.Nodes))
+	var rec func(i int32) error
+	rec = func(i int32) error {
+		if i < 0 || int(i) >= len(t.Nodes) {
+			return fmt.Errorf("nbody: child index %d out of range", i)
+		}
+		if seen[i] {
+			return fmt.Errorf("nbody: node %d reachable twice", i)
+		}
+		seen[i] = true
+		n := &t.Nodes[i]
+		if !n.Leaf() {
+			var m float64
+			for _, c := range n.Children {
+				if c == NoChild {
+					continue
+				}
+				if err := rec(c); err != nil {
+					return err
+				}
+				m += t.Nodes[c].Mass
+			}
+			if math.Abs(m-n.Mass) > 1e-9*math.Max(1, m) {
+				return fmt.Errorf("nbody: node %d mass %v, children sum %v", i, n.Mass, m)
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("nbody: node %d unreachable", i)
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

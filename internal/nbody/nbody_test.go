@@ -1,0 +1,267 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) {
+		t.Fatalf("Add")
+	}
+	if b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Fatalf("Sub")
+	}
+	if a.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale")
+	}
+	if a.Norm2() != 14 {
+		t.Fatalf("Norm2")
+	}
+}
+
+func TestRandomBodies(t *testing.T) {
+	bodies := RandomBodies(100, 1)
+	if len(bodies) != 100 {
+		t.Fatalf("len = %d", len(bodies))
+	}
+	total := 0.0
+	for _, b := range bodies {
+		for d := 0; d < 3; d++ {
+			if b.Pos[d] < 0 || b.Pos[d] >= 1 {
+				t.Fatalf("position out of unit cube: %v", b.Pos)
+			}
+		}
+		total += b.Mass
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("total mass = %v", total)
+	}
+	again := RandomBodies(100, 1)
+	if again[42] != bodies[42] {
+		t.Fatalf("not deterministic")
+	}
+}
+
+func TestMortonKeyOrdering(t *testing.T) {
+	// Points in the low corner sort before points in the high corner.
+	lo := mortonKey(Vec3{0.1, 0.1, 0.1})
+	hi := mortonKey(Vec3{0.9, 0.9, 0.9})
+	if lo >= hi {
+		t.Fatalf("morton order broken: %d >= %d", lo, hi)
+	}
+	// Clamping.
+	if mortonKey(Vec3{-1, -1, -1}) != 0 {
+		t.Fatalf("negative positions not clamped")
+	}
+	_ = mortonKey(Vec3{2, 2, 2}) // must not panic
+}
+
+func TestSpreadBits(t *testing.T) {
+	f := func(x uint32) bool {
+		s := spread(uint64(x) & 0x1FFFFF)
+		// Every set output bit must be at a position ≡ 0 (mod 3).
+		for i := 0; i < 64; i++ {
+			if s&(1<<i) != 0 && i%3 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBodies(t *testing.T) {
+	bodies := RandomBodies(103, 2)
+	seen := 0
+	for rank := 0; rank < 4; rank++ {
+		part := PartitionBodies(bodies, 4, rank)
+		seen += len(part)
+		if len(part) < 103/4 || len(part) > 103/4+1 {
+			t.Fatalf("rank %d owns %d bodies", rank, len(part))
+		}
+	}
+	if seen != 103 {
+		t.Fatalf("partitions cover %d bodies", seen)
+	}
+}
+
+func TestBuildTreeInvariants(t *testing.T) {
+	bodies := RandomBodies(500, 3)
+	tree := BuildTree(bodies)
+	if err := tree.Validate(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Nodes) < 500 {
+		t.Fatalf("tree has %d nodes for 500 bodies", len(tree.Nodes))
+	}
+	// Root COM equals the global center of mass.
+	var com Vec3
+	for _, b := range bodies {
+		com = com.Add(b.Pos.Scale(b.Mass))
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(tree.Nodes[0].COM[d]-com[d]) > 1e-9 {
+			t.Fatalf("root COM %v, want %v", tree.Nodes[0].COM, com)
+		}
+	}
+}
+
+func TestBuildTreeEdgeCases(t *testing.T) {
+	empty := BuildTree(nil)
+	if len(empty.Nodes) != 1 || empty.Nodes[0].Mass != 0 {
+		t.Fatalf("empty tree = %+v", empty)
+	}
+	one := BuildTree([]Body{{Pos: Vec3{0.5, 0.5, 0.5}, Mass: 2}})
+	if err := one.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if !one.Nodes[0].Leaf() {
+		t.Fatalf("single body tree root is not a leaf")
+	}
+	// Coincident bodies must aggregate, not loop forever.
+	same := []Body{
+		{Pos: Vec3{0.3, 0.3, 0.3}, Mass: 1},
+		{Pos: Vec3{0.3, 0.3, 0.3}, Mass: 1},
+		{Pos: Vec3{0.3, 0.3, 0.3}, Mass: 1},
+	}
+	agg := BuildTree(same)
+	if err := agg.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCodecRoundTrip(t *testing.T) {
+	n := Node{
+		Mass:     1.25,
+		COM:      Vec3{0.1, -2.5, 3e10},
+		Children: [8]int32{0, -1, 5, 1 << 30, -1, -1, 2, 3},
+	}
+	var buf [NodeBytes]byte
+	EncodeNode(buf[:], &n)
+	var got Node
+	DecodeNode(buf[:], &got)
+	if got != n {
+		t.Fatalf("round trip: %+v vs %+v", got, n)
+	}
+}
+
+func TestSerializeMatchesNodes(t *testing.T) {
+	tree := BuildTree(RandomBodies(64, 4))
+	buf := tree.Serialize()
+	if len(buf) != len(tree.Nodes)*NodeBytes {
+		t.Fatalf("serialized %d bytes for %d nodes", len(buf), len(tree.Nodes))
+	}
+	for i := range tree.Nodes {
+		var n Node
+		DecodeNode(buf[i*NodeBytes:], &n)
+		if n != tree.Nodes[i] {
+			t.Fatalf("node %d corrupted", i)
+		}
+	}
+}
+
+// localSpace builds a Space over a single local tree (no MPI).
+func localSpace(tree *Tree, theta float64) *Space {
+	return &Space{
+		Rank:  0,
+		Local: tree,
+		Roots: []RootInfo{{Center: tree.Center, Half: tree.Half, Nodes: len(tree.Nodes)}},
+		Theta: theta,
+	}
+}
+
+func TestThetaZeroMatchesDirectSum(t *testing.T) {
+	bodies := RandomBodies(200, 5)
+	tree := BuildTree(bodies)
+	s := localSpace(tree, 0) // never open by criterion: exact
+	for i := 0; i < 20; i++ {
+		p := bodies[i*7].Pos
+		got, err := s.Accel(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DirectAccel(p, bodies)
+		for d := 0; d < 3; d++ {
+			if math.Abs(got[d]-want[d]) > 1e-6*(1+math.Abs(want[d])) {
+				t.Fatalf("p%d accel[%d] = %v, want %v", i, d, got[d], want[d])
+			}
+		}
+	}
+}
+
+func TestThetaApproximationQuality(t *testing.T) {
+	bodies := RandomBodies(500, 6)
+	tree := BuildTree(bodies)
+	s := localSpace(tree, 0.5)
+	var relErr, n float64
+	for i := 0; i < 50; i++ {
+		p := bodies[i*9].Pos
+		got, err := s.Accel(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DirectAccel(p, bodies)
+		num := math.Sqrt(got.Sub(want).Norm2())
+		den := math.Sqrt(want.Norm2())
+		if den > 0 {
+			relErr += num / den
+			n++
+		}
+	}
+	if avg := relErr / n; avg > 0.05 {
+		t.Fatalf("θ=0.5 average relative error %.3f > 5%%", avg)
+	}
+}
+
+func TestThetaReducesWork(t *testing.T) {
+	bodies := RandomBodies(500, 7)
+	tree := BuildTree(bodies)
+	exact := localSpace(tree, 0)
+	approx := localSpace(tree, 0.8)
+	p := Vec3{0.5, 0.5, 0.5}
+	if _, err := exact.Accel(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := approx.Accel(p); err != nil {
+		t.Fatal(err)
+	}
+	if approx.NodeVisits*2 >= exact.NodeVisits {
+		t.Fatalf("θ=0.8 visited %d nodes, exact visited %d — approximation not pruning", approx.NodeVisits, exact.NodeVisits)
+	}
+}
+
+func TestIntegrateAndEnergy(t *testing.T) {
+	bodies := RandomBodies(50, 8)
+	e0 := Energy(bodies)
+	// Integrate with exact forces for a few small steps: energy drift
+	// must stay small.
+	for step := 0; step < 5; step++ {
+		accs := make([]Vec3, len(bodies))
+		for i := range bodies {
+			accs[i] = DirectAccel(bodies[i].Pos, bodies)
+		}
+		Integrate(bodies, accs, 1e-4, nil)
+	}
+	e1 := Energy(bodies)
+	if math.Abs(e1-e0) > 0.05*math.Abs(e0) {
+		t.Fatalf("energy drifted from %v to %v", e0, e1)
+	}
+}
+
+func TestStepStatsTimePerBody(t *testing.T) {
+	var s StepStats
+	if s.TimePerBody() != 0 {
+		t.Fatalf("zero stats TimePerBody = %v", s.TimePerBody())
+	}
+	s.Bodies = 10
+	s.ForceTime = 1000
+	if s.TimePerBody() != 100 {
+		t.Fatalf("TimePerBody = %v", s.TimePerBody())
+	}
+}

@@ -1,0 +1,113 @@
+package nbody
+
+import (
+	"fmt"
+
+	"clampi/internal/mpi"
+)
+
+// RunSimPersistent is RunSim with a single window (and hence a single
+// cache) living across all timesteps, sized for the largest tree. Each
+// step rewrites the serialized tree in place and invalidates the cache —
+// the window stays read-only during every force phase, so correctness is
+// identical to RunSim — but the getter (and CLaMPI's adaptive tuner)
+// persists, letting parameter adjustments learned in early steps pay off
+// in later ones. This matches how a long-running production simulation
+// would deploy CLaMPI.
+//
+// The per-rank window region is maxNodesFactor× the first tree's size
+// (trees of evolving uniform-cube distributions stay near-constant in
+// size); a step whose tree outgrows the region returns an error.
+func RunSimPersistent(r *mpi.Rank, cfg SimConfig, mk GetterFactory) ([]StepStats, error) {
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.5
+	}
+	if cfg.DT == 0 {
+		cfg.DT = 1e-3
+	}
+	const maxNodesFactor = 2
+	all := RandomBodies(cfg.Bodies, cfg.Seed)
+	local := PartitionBodies(all, r.Size(), r.ID())
+
+	// Size the region from the first tree.
+	first := BuildTree(local)
+	capacity := maxNodesFactor * len(first.Nodes) * NodeBytes
+	if capacity == 0 {
+		capacity = NodeBytes
+	}
+	// All ranks must agree no rank overflows later; the region size is
+	// per-rank (windows support asymmetric regions).
+	region := make([]byte, capacity)
+	win := r.WinCreate(region, nil)
+	defer win.Free()
+
+	gt, err := mk(win)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := make([]StepStats, 0, cfg.Steps)
+	accs := make([]Vec3, len(local))
+	tree := first
+
+	for step := 0; step < cfg.Steps; step++ {
+		if step > 0 {
+			tree = BuildTree(local)
+		}
+		need := len(tree.Nodes) * NodeBytes
+		if need > capacity {
+			return stats, fmt.Errorf("nbody: step %d tree (%d B) outgrew the persistent region (%d B)", step, need, capacity)
+		}
+		// Rewrite the exposed tree in place. The barrier below orders
+		// these local writes before any remote reads of this step.
+		for i := range tree.Nodes {
+			EncodeNode(region[i*NodeBytes:], &tree.Nodes[i])
+		}
+		gathered := r.Allgather(RootInfo{Center: tree.Center, Half: tree.Half, Nodes: len(tree.Nodes)})
+		roots := make([]RootInfo, len(gathered))
+		for i, g := range gathered {
+			roots[i] = g.(RootInfo)
+		}
+
+		if err := win.LockAll(); err != nil {
+			return stats, err
+		}
+		space := &Space{
+			Rank:     r.ID(),
+			Local:    tree,
+			Roots:    roots,
+			Gt:       gt,
+			Theta:    cfg.Theta,
+			Clock:    r.Clock(),
+			Recorder: cfg.Recorder,
+		}
+		nb := len(local)
+		if cfg.MaxBodiesPerStep > 0 && cfg.MaxBodiesPerStep < nb {
+			nb = cfg.MaxBodiesPerStep
+		}
+		t0 := r.Clock().Now()
+		for i := 0; i < nb; i++ {
+			a, err := space.Accel(local[i].Pos)
+			if err != nil {
+				return stats, err
+			}
+			accs[i] = a
+		}
+		stats = append(stats, StepStats{
+			Bodies:       nb,
+			ForceTime:    r.Clock().Now() - t0,
+			Interactions: space.Interactions,
+			NodeVisits:   space.NodeVisits,
+			RemoteGets:   space.RemoteGets,
+			TreeNodes:    len(tree.Nodes),
+		})
+
+		gt.Invalidate() // tree changes next step (user-defined mode)
+		if err := win.UnlockAll(); err != nil {
+			return stats, err
+		}
+		Integrate(local[:nb], accs[:nb], cfg.DT, r.Clock())
+		r.Barrier()
+	}
+	return stats, nil
+}

@@ -1,0 +1,103 @@
+package nbody
+
+import (
+	"testing"
+
+	"clampi/internal/core"
+	"clampi/internal/mpi"
+)
+
+// runPersistent mirrors runSim for the persistent-window variant.
+func runPersistent(t *testing.T, p int, cfg SimConfig, mk GetterFactory) [][]StepStats {
+	t.Helper()
+	out := make([][]StepStats, p)
+	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+		st, err := RunSimPersistent(r, cfg, mk)
+		if err != nil {
+			return err
+		}
+		out[r.ID()] = st
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPersistentMatchesPerStepWindows(t *testing.T) {
+	// The persistent-window variant must do exactly the same traversal
+	// work as the window-per-step variant (forces are deterministic).
+	const n, p = 100, 2
+	cfg := SimConfig{Bodies: n, Steps: 3, Theta: 0.5, Seed: 21}
+	a := runSim(t, p, cfg, rawFactory)
+	b := runPersistent(t, p, cfg, rawFactory)
+	for rank := range a {
+		if len(a[rank]) != len(b[rank]) {
+			t.Fatalf("rank %d: %d vs %d steps", rank, len(a[rank]), len(b[rank]))
+		}
+		for s := range a[rank] {
+			if a[rank][s].Interactions != b[rank][s].Interactions ||
+				a[rank][s].NodeVisits != b[rank][s].NodeVisits {
+				t.Errorf("rank %d step %d: %+v vs %+v", rank, s, a[rank][s], b[rank][s])
+			}
+		}
+	}
+}
+
+func TestPersistentCachedCorrect(t *testing.T) {
+	const n, p = 100, 2
+	cfg := SimConfig{Bodies: n, Steps: 3, Theta: 0.5, Seed: 22}
+	raw := runPersistent(t, p, cfg, rawFactory)
+	cached := runPersistent(t, p, cfg, clampiFactory(core.Params{
+		Mode: core.AlwaysCache, IndexSlots: 1 << 13, StorageBytes: 1 << 20, Seed: 2}))
+	for rank := range raw {
+		for s := range raw[rank] {
+			if raw[rank][s].Interactions != cached[rank][s].Interactions {
+				t.Errorf("rank %d step %d: caching changed the traversal", rank, s)
+			}
+		}
+	}
+}
+
+func TestPersistentAdaptiveLearningCarriesOver(t *testing.T) {
+	// Start the adaptive cache badly undersized. With a persistent
+	// window the tuner's adjustments survive across steps, so later
+	// steps run faster than the first; the per-step variant restarts
+	// from the bad configuration every time.
+	const n, p = 300, 2
+	cfg := SimConfig{Bodies: n, Steps: 4, Theta: 0.5, Seed: 23}
+	params := core.Params{
+		Mode: core.AlwaysCache, IndexSlots: 64, StorageBytes: 4 << 10,
+		Adaptive: true, TuneInterval: 512, Seed: 2,
+	}
+	persistent := runPersistent(t, p, cfg, clampiFactory(params))
+
+	firstStep, lastStep := int64(0), int64(0)
+	for _, rankStats := range persistent {
+		firstStep += int64(rankStats[0].ForceTime)
+		lastStep += int64(rankStats[len(rankStats)-1].ForceTime)
+	}
+	if lastStep >= firstStep {
+		t.Errorf("adaptive learning did not carry over: first step %d, last step %d", firstStep, lastStep)
+	}
+}
+
+func TestPersistentManyStepsStable(t *testing.T) {
+	// A longer run with a large timestep (bodies move substantially, so
+	// tree shapes change every step) must stay within the persistent
+	// region's headroom and produce stats for every step.
+	const n, p = 80, 2
+	cfg := SimConfig{Bodies: n, Steps: 5, Theta: 0.5, Seed: 24, DT: 5e-2}
+	stats := runPersistent(t, p, cfg, rawFactory)
+	for rank, rankStats := range stats {
+		if len(rankStats) != 5 {
+			t.Fatalf("rank %d: %d steps", rank, len(rankStats))
+		}
+		for i, s := range rankStats {
+			if s.TreeNodes == 0 || s.Bodies == 0 {
+				t.Errorf("rank %d step %d empty: %+v", rank, i, s)
+			}
+		}
+	}
+}

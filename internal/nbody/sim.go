@@ -1,0 +1,140 @@
+package nbody
+
+import (
+	"clampi/internal/getter"
+	"clampi/internal/mpi"
+	"clampi/internal/simtime"
+	"clampi/internal/trace"
+)
+
+// SimConfig configures a distributed Barnes-Hut run.
+type SimConfig struct {
+	// Bodies is the global body count N.
+	Bodies int
+	// Steps is the number of timesteps.
+	Steps int
+	// Theta is the opening criterion (paper's φ); 0.5 is typical.
+	Theta float64
+	// DT is the integration timestep.
+	DT float64
+	// Seed drives the initial conditions.
+	Seed int64
+	// Recorder, if set, records remote node fetches (Fig. 2).
+	Recorder *trace.Recorder
+	// MaxBodiesPerStep caps how many local bodies compute forces each
+	// step (0 = all) — used by scaled-down benchmarks.
+	MaxBodiesPerStep int
+}
+
+// StepStats reports one rank's force-computation phase of one step.
+type StepStats struct {
+	Bodies       int // local bodies whose force was computed
+	ForceTime    simtime.Duration
+	Interactions int64
+	NodeVisits   int64
+	RemoteGets   int64
+	TreeNodes    int // local tree size
+}
+
+// TimePerBody is the paper's Fig. 12/14 metric.
+func (s StepStats) TimePerBody() simtime.Duration {
+	if s.Bodies == 0 {
+		return 0
+	}
+	return s.ForceTime / simtime.Duration(s.Bodies)
+}
+
+// GetterFactory builds the get mechanism for one force phase: it receives
+// the window exposing the serialized local tree and returns the Getter
+// the traversal will use (raw, CLaMPI-cached, or block-cached).
+type GetterFactory func(win *mpi.Win) (getter.Getter, error)
+
+// RunSim executes the simulation on rank r (call from every rank of an
+// mpi.Run program) and returns per-step statistics for this rank.
+//
+// Each step: build the local octree, expose it through a fresh window,
+// compute forces on local bodies walking all trees through the getter,
+// invalidate the cache (the tree is about to change — the paper's
+// user-defined invalidation point), and integrate.
+func RunSim(r *mpi.Rank, cfg SimConfig, mk GetterFactory) ([]StepStats, error) {
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.5
+	}
+	if cfg.DT == 0 {
+		cfg.DT = 1e-3
+	}
+	all := RandomBodies(cfg.Bodies, cfg.Seed)
+	local := PartitionBodies(all, r.Size(), r.ID())
+
+	stats := make([]StepStats, 0, cfg.Steps)
+	accs := make([]Vec3, len(local))
+
+	for step := 0; step < cfg.Steps; step++ {
+		tree := BuildTree(local)
+		region := tree.Serialize()
+		win := r.WinCreate(region, nil)
+
+		// Exchange root metadata.
+		gathered := r.Allgather(RootInfo{Center: tree.Center, Half: tree.Half, Nodes: len(tree.Nodes)})
+		roots := make([]RootInfo, len(gathered))
+		for i, g := range gathered {
+			roots[i] = g.(RootInfo)
+		}
+
+		gt, err := mk(win)
+		if err != nil {
+			win.Free()
+			return stats, err
+		}
+		if err := win.LockAll(); err != nil {
+			win.Free()
+			return stats, err
+		}
+		space := &Space{
+			Rank:     r.ID(),
+			Local:    tree,
+			Roots:    roots,
+			Gt:       gt,
+			Theta:    cfg.Theta,
+			Clock:    r.Clock(),
+			Recorder: cfg.Recorder,
+		}
+		nb := len(local)
+		if cfg.MaxBodiesPerStep > 0 && cfg.MaxBodiesPerStep < nb {
+			nb = cfg.MaxBodiesPerStep
+		}
+		t0 := r.Clock().Now()
+		for i := 0; i < nb; i++ {
+			a, err := space.Accel(local[i].Pos)
+			if err != nil {
+				win.Free()
+				return stats, err
+			}
+			accs[i] = a
+		}
+		st := StepStats{
+			Bodies:       nb,
+			ForceTime:    r.Clock().Now() - t0,
+			Interactions: space.Interactions,
+			NodeVisits:   space.NodeVisits,
+			RemoteGets:   space.RemoteGets,
+			TreeNodes:    len(tree.Nodes),
+		}
+		stats = append(stats, st)
+
+		// The read-only phase ends here: invalidate before the tree
+		// is rebuilt (CLAMPI_Invalidate in the paper's Listing 1).
+		gt.Invalidate()
+		if err := win.UnlockAll(); err != nil {
+			win.Free()
+			return stats, err
+		}
+		if err := win.Free(); err != nil {
+			return stats, err
+		}
+
+		Integrate(local[:nb], accs[:nb], cfg.DT, r.Clock())
+		r.Barrier()
+	}
+	return stats, nil
+}

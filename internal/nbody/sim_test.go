@@ -1,0 +1,244 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"clampi/internal/blockcache"
+	"clampi/internal/core"
+	"clampi/internal/getter"
+	"clampi/internal/mpi"
+	"clampi/internal/trace"
+)
+
+func rawFactory(win *mpi.Win) (getter.Getter, error) {
+	return getter.NewRaw(win), nil
+}
+
+func clampiFactory(params core.Params) GetterFactory {
+	return func(win *mpi.Win) (getter.Getter, error) {
+		c, err := core.New(win, params)
+		if err != nil {
+			return nil, err
+		}
+		return getter.NewCached(c), nil
+	}
+}
+
+func nativeFactory(memory, block int) GetterFactory {
+	return func(win *mpi.Win) (getter.Getter, error) {
+		return blockcache.New(win, memory, block)
+	}
+}
+
+// runSim runs the distributed simulation and returns per-rank stats.
+func runSim(t *testing.T, p int, cfg SimConfig, mk GetterFactory) [][]StepStats {
+	t.Helper()
+	out := make([][]StepStats, p)
+	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+		st, err := RunSim(r, cfg, mk)
+		if err != nil {
+			return err
+		}
+		out[r.ID()] = st
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDistributedForceMatchesDirectSum(t *testing.T) {
+	// One step with θ=0 over 4 ranks: the force on each local body must
+	// equal the exact direct sum over ALL bodies, which proves the
+	// remote traversal (fetch + decode + descend) is correct.
+	const n, p = 120, 4
+	all := RandomBodies(n, 9)
+	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+		local := PartitionBodies(all, p, r.ID())
+		tree := BuildTree(local)
+		win := r.WinCreate(tree.Serialize(), nil)
+		defer win.Free()
+		gathered := r.Allgather(RootInfo{Center: tree.Center, Half: tree.Half, Nodes: len(tree.Nodes)})
+		roots := make([]RootInfo, len(gathered))
+		for i, g := range gathered {
+			roots[i] = g.(RootInfo)
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		s := &Space{Rank: r.ID(), Local: tree, Roots: roots, Gt: getter.NewRaw(win), Theta: 0}
+		for i := range local {
+			got, err := s.Accel(local[i].Pos)
+			if err != nil {
+				return err
+			}
+			want := DirectAccel(local[i].Pos, all)
+			for d := 0; d < 3; d++ {
+				if math.Abs(got[d]-want[d]) > 1e-6*(1+math.Abs(want[d])) {
+					t.Errorf("rank %d body %d accel[%d]: %v vs %v", r.ID(), i, d, got[d], want[d])
+					break
+				}
+			}
+		}
+		if s.RemoteGets == 0 {
+			t.Errorf("rank %d issued no remote fetches", r.ID())
+		}
+		if err := win.UnlockAll(); err != nil {
+			return err
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedTraversalIdenticalToRaw(t *testing.T) {
+	// The caching layer must not change a single force value.
+	const n, p = 100, 2
+	cfg := SimConfig{Bodies: n, Steps: 2, Theta: 0.5, Seed: 10}
+	type res struct{ interactions, visits int64 }
+	collect := func(mk GetterFactory) []res {
+		stats := runSim(t, p, cfg, mk)
+		out := make([]res, 0)
+		for _, rankStats := range stats {
+			for _, s := range rankStats {
+				out = append(out, res{s.Interactions, s.NodeVisits})
+			}
+		}
+		return out
+	}
+	raw := collect(rawFactory)
+	cached := collect(clampiFactory(core.Params{Mode: core.AlwaysCache, IndexSlots: 1 << 14, StorageBytes: 8 << 20, Seed: 1}))
+	native := collect(nativeFactory(1<<20, 256))
+	for i := range raw {
+		if raw[i] != cached[i] {
+			t.Fatalf("step %d: cached traversal diverged: %+v vs %+v", i, cached[i], raw[i])
+		}
+		if raw[i] != native[i] {
+			t.Fatalf("step %d: native traversal diverged: %+v vs %+v", i, native[i], raw[i])
+		}
+	}
+}
+
+func TestCachingSpeedsUpForcePhase(t *testing.T) {
+	// The Fig. 12/14 claim: CLaMPI beats foMPI on the force phase; the
+	// well-provisioned native cache also beats foMPI.
+	const n, p = 400, 4
+	cfg := SimConfig{Bodies: n, Steps: 1, Theta: 0.5, Seed: 11}
+
+	totalForce := func(stats [][]StepStats) int64 {
+		var t int64
+		for _, rankStats := range stats {
+			for _, s := range rankStats {
+				t += int64(s.ForceTime)
+			}
+		}
+		return t
+	}
+	raw := totalForce(runSim(t, p, cfg, rawFactory))
+	cached := totalForce(runSim(t, p, cfg, clampiFactory(core.Params{
+		Mode: core.AlwaysCache, IndexSlots: 1 << 15, StorageBytes: 8 << 20, Seed: 1})))
+	native := totalForce(runSim(t, p, cfg, nativeFactory(4<<20, 256)))
+
+	if cached >= raw {
+		t.Fatalf("CLaMPI force phase %d not faster than foMPI %d", cached, raw)
+	}
+	if native >= raw {
+		t.Fatalf("native force phase %d not faster than foMPI %d", native, raw)
+	}
+	speedup := float64(raw) / float64(cached)
+	t.Logf("Barnes-Hut force-phase speedup: CLaMPI %.2fx, native %.2fx", speedup, float64(raw)/float64(native))
+	if speedup < 1.5 {
+		t.Errorf("CLaMPI speedup %.2fx below the paper's band", speedup)
+	}
+}
+
+func TestClampiBeatsNativeUnderPressure(t *testing.T) {
+	// Fig. 12/14's ordering: when the cache memory is much smaller than
+	// the remote working set, the direct-mapped native cache thrashes
+	// on conflicts while CLaMPI's scored eviction keeps the heavily
+	// reused tree tops resident. Same memory budget for both.
+	const n, p = 600, 2
+	const memory = 8 << 10
+	cfg := SimConfig{Bodies: n, Steps: 1, Theta: 0.5, Seed: 15}
+
+	totalForce := func(stats [][]StepStats) int64 {
+		var t int64
+		for _, rankStats := range stats {
+			for _, s := range rankStats {
+				t += int64(s.ForceTime)
+			}
+		}
+		return t
+	}
+	cached := totalForce(runSim(t, p, cfg, clampiFactory(core.Params{
+		Mode: core.AlwaysCache, IndexSlots: 1 << 12, StorageBytes: memory, Seed: 1})))
+	native := totalForce(runSim(t, p, cfg, nativeFactory(memory, 256)))
+	t.Logf("pressured force phase: CLaMPI %d, native %d (ratio %.2fx)", cached, native, float64(native)/float64(cached))
+	if cached >= native {
+		t.Errorf("CLaMPI (%d) not faster than the direct-mapped native cache (%d) under pressure", cached, native)
+	}
+}
+
+func TestReuseHistogram(t *testing.T) {
+	// Fig. 2's premise: the same remote tree nodes are fetched many
+	// times within one force phase.
+	const n, p = 200, 2
+	recs := []*trace.Recorder{trace.NewRecorder(), trace.NewRecorder()}
+	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+		cfg := SimConfig{Bodies: n, Steps: 1, Theta: 0.5, Seed: 12, Recorder: recs[r.ID()]}
+		_, err := RunSim(r, cfg, rawFactory)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := trace.NewRecorder()
+	for _, rec := range recs {
+		merged.Merge(rec)
+	}
+	if merged.Total() == 0 {
+		t.Fatalf("no fetches recorded")
+	}
+	if merged.MaxRepetition() < 20 {
+		t.Errorf("max repetition %d — expected heavy reuse of tree tops", merged.MaxRepetition())
+	}
+	if merged.ReuseFactor() < 3 {
+		t.Errorf("reuse factor %.1f too low", merged.ReuseFactor())
+	}
+}
+
+func TestSimulationProgresses(t *testing.T) {
+	// Multi-step run: bodies must move, stats must be populated, and
+	// the run must be deterministic across systems.
+	const n, p = 60, 2
+	cfg := SimConfig{Bodies: n, Steps: 3, Theta: 0.7, DT: 1e-3, Seed: 13}
+	stats := runSim(t, p, cfg, clampiFactory(core.Params{Mode: core.AlwaysCache, Seed: 2}))
+	for rank, rankStats := range stats {
+		if len(rankStats) != 3 {
+			t.Fatalf("rank %d has %d steps", rank, len(rankStats))
+		}
+		for i, s := range rankStats {
+			if s.Bodies == 0 || s.TreeNodes == 0 || s.Interactions == 0 {
+				t.Errorf("rank %d step %d empty stats: %+v", rank, i, s)
+			}
+			if s.ForceTime <= 0 {
+				t.Errorf("rank %d step %d zero force time", rank, i)
+			}
+		}
+	}
+}
+
+func TestMaxBodiesPerStepCap(t *testing.T) {
+	cfg := SimConfig{Bodies: 100, Steps: 1, Theta: 0.5, Seed: 14, MaxBodiesPerStep: 5}
+	stats := runSim(t, 2, cfg, rawFactory)
+	for rank, rankStats := range stats {
+		if rankStats[0].Bodies != 5 {
+			t.Errorf("rank %d computed %d bodies, want 5", rank, rankStats[0].Bodies)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package netsim models the interconnect of a Cray Cascade (XC) class
+// system for the CLaMPI reproduction.
+//
+// The paper's Fig. 1 reports RMA get latency on Piz Daint for several
+// process/node mappings, spanning from <100 ns for a local DRAM access to
+// 2-3 µs for inter-node accesses. CLaMPI's benefit derives entirely from
+// that gap, so this package reproduces it with a LogGP-style analytic
+// model: latency(size, distance) = L(distance) + o + size/B(distance).
+//
+// The model is deliberately simple — no congestion, no topology routing —
+// because CLaMPI is a single-initiator cache layered above MPI: its
+// behaviour depends on the *magnitude* of remote latencies, not on
+// network-internal dynamics.
+package netsim
+
+import (
+	"fmt"
+
+	"clampi/internal/simtime"
+)
+
+// Distance classifies how far apart the initiator and the target of an RMA
+// operation are placed. The classes correspond to the process/node mappings
+// of the paper's Fig. 1.
+type Distance int
+
+const (
+	// SameProcess models a window access that resolves within the
+	// initiator's own address space (MPI self-communication).
+	SameProcess Distance = iota
+	// SameSocket: target rank on the same CPU socket (shared L3).
+	SameSocket
+	// SameNode: target rank on the same node, different socket.
+	SameNode
+	// OtherNode: target on a different node of the same electrical
+	// group (one Aries hop).
+	OtherNode
+	// OtherGroup: target in a different Dragonfly group (optical hop).
+	OtherGroup
+	numDistances
+)
+
+// String returns the mapping label used in the paper's Fig. 1 legend.
+func (d Distance) String() string {
+	switch d {
+	case SameProcess:
+		return "same-process"
+	case SameSocket:
+		return "same-socket"
+	case SameNode:
+		return "same-node"
+	case OtherNode:
+		return "other-node"
+	case OtherGroup:
+		return "other-group"
+	default:
+		return fmt.Sprintf("distance(%d)", int(d))
+	}
+}
+
+// Distances lists all modelled distance classes from nearest to farthest.
+func Distances() []Distance {
+	return []Distance{SameProcess, SameSocket, SameNode, OtherNode, OtherGroup}
+}
+
+// Params holds the LogGP-style parameters of one distance class.
+type Params struct {
+	// Base is the zero-byte one-way latency L.
+	Base simtime.Duration
+	// Overhead is the CPU overhead o of issuing one operation; it is
+	// the part of the latency that cannot be overlapped with
+	// computation (paper Fig. 8 reports foMPI overlapping up to 85%).
+	Overhead simtime.Duration
+	// BytesPerSecond is the asymptotic bandwidth 1/G.
+	BytesPerSecond float64
+	// Gap is LogGP's g: the minimum interval between consecutive
+	// message injections into the network (the reciprocal of the NIC's
+	// message rate). Zero (the default) models an ideal NIC whose
+	// pipelining is limited only by the issue overhead o; the Aries
+	// default overhead of ~270 ns already approximates the measured
+	// per-message cost, so g is left 0 unless an experiment sweeps it.
+	Gap simtime.Duration
+}
+
+// Model maps distance classes to parameters. The zero value is unusable;
+// construct with DefaultModel or NewModel.
+type Model struct {
+	params [numDistances]Params
+}
+
+// DefaultModel returns parameters calibrated against the paper's Fig. 1:
+// ~90 ns local DRAM access, ~350-600 ns intra-node, ~1.8 µs one Aries hop,
+// ~2.6 µs across groups, with ~10 GB/s per-link bandwidth (Aries class).
+func DefaultModel() *Model {
+	m := &Model{}
+	m.params[SameProcess] = Params{Base: 90, Overhead: 30, BytesPerSecond: 25e9}
+	m.params[SameSocket] = Params{Base: 350, Overhead: 60, BytesPerSecond: 18e9}
+	m.params[SameNode] = Params{Base: 600, Overhead: 80, BytesPerSecond: 14e9}
+	m.params[OtherNode] = Params{Base: 1800, Overhead: 270, BytesPerSecond: 10e9}
+	m.params[OtherGroup] = Params{Base: 2600, Overhead: 300, BytesPerSecond: 9e9}
+	return m
+}
+
+// NewModel builds a model from explicit per-distance parameters. Distances
+// absent from the map inherit DefaultModel values.
+func NewModel(overrides map[Distance]Params) *Model {
+	m := DefaultModel()
+	for d, p := range overrides {
+		if d >= 0 && d < numDistances {
+			m.params[d] = p
+		}
+	}
+	return m
+}
+
+// Params returns the parameters for a distance class.
+func (m *Model) Params(d Distance) Params {
+	if d < 0 || d >= numDistances {
+		d = OtherNode
+	}
+	return m.params[d]
+}
+
+// GetLatency returns the modelled end-to-end latency of an RMA get of size
+// bytes at the given distance: the time from issuing the operation until
+// the payload is available in the initiator's destination buffer.
+func (m *Model) GetLatency(size int, d Distance) simtime.Duration {
+	p := m.Params(d)
+	if size < 0 {
+		size = 0
+	}
+	transfer := simtime.Duration(float64(size) / p.BytesPerSecond * 1e9)
+	return p.Base + p.Overhead + transfer
+}
+
+// PutLatency returns the modelled latency of an RMA put. Puts complete
+// remotely; the paper does not cache them, so the model simply mirrors the
+// get cost (an RDMA write and read of equal size cost the same on Aries).
+func (m *Model) PutLatency(size int, d Distance) simtime.Duration {
+	return m.GetLatency(size, d)
+}
+
+// IssueOverhead returns the CPU-busy portion of an operation: the part of
+// the latency the initiating process cannot overlap with computation.
+func (m *Model) IssueOverhead(d Distance) simtime.Duration {
+	return m.Params(d).Overhead
+}
+
+// Gap returns the minimum injection interval g for the distance class.
+func (m *Model) Gap(d Distance) simtime.Duration {
+	return m.Params(d).Gap
+}
+
+// Overlappable returns the fraction of the get latency that a perfectly
+// pipelined initiator can hide behind computation (paper Fig. 8's foMPI
+// reference curve): 1 - overhead/total.
+func (m *Model) Overlappable(size int, d Distance) float64 {
+	total := m.GetLatency(size, d)
+	if total <= 0 {
+		return 0
+	}
+	return 1 - float64(m.IssueOverhead(d))/float64(total)
+}
+
+// MapDistance derives a distance class from initiator and target global
+// ranks under a regular mapping of ranksPerNode ranks per node and
+// nodesPerGroup nodes per Dragonfly group. ranksPerNode <= 0 defaults to 1
+// (the paper's default: one rank per node).
+func MapDistance(initiator, target, ranksPerNode, nodesPerGroup int) Distance {
+	if initiator == target {
+		return SameProcess
+	}
+	if ranksPerNode <= 0 {
+		ranksPerNode = 1
+	}
+	ni, nt := initiator/ranksPerNode, target/ranksPerNode
+	if ni == nt {
+		// Within a node: first half of the ranks on socket 0, second
+		// half on socket 1 (two-socket XC40 nodes).
+		half := (ranksPerNode + 1) / 2
+		si, st := (initiator%ranksPerNode)/half, (target%ranksPerNode)/half
+		if si == st {
+			return SameSocket
+		}
+		return SameNode
+	}
+	if nodesPerGroup <= 0 {
+		nodesPerGroup = 384 // Aries group size on Piz Daint
+	}
+	if ni/nodesPerGroup == nt/nodesPerGroup {
+		return OtherNode
+	}
+	return OtherGroup
+}
+
+// MemcpyCost models the time of a local memory copy of size bytes,
+// including a small fixed cost. It is used where real measurement is not
+// possible (modelled application compute); the cache itself measures its
+// copies for real.
+func MemcpyCost(size int) simtime.Duration {
+	const bytesPerSecond = 30e9 // single-core copy bandwidth, cache-warm
+	const fixed = 20            // call + setup
+	if size < 0 {
+		size = 0
+	}
+	return fixed + simtime.Duration(float64(size)/bytesPerSecond*1e9)
+}

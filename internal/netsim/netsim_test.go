@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clampi/internal/simtime"
+)
+
+func TestDefaultModelOrdering(t *testing.T) {
+	// Fig. 1: latency strictly increases with distance for every size.
+	m := DefaultModel()
+	for _, size := range []int{0, 8, 1024, 65536} {
+		prev := simtime.Duration(-1)
+		for _, d := range Distances() {
+			l := m.GetLatency(size, d)
+			if l <= prev {
+				t.Fatalf("size %d: latency(%v)=%v not > latency at previous distance %v", size, d, l, prev)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestFig1Magnitudes(t *testing.T) {
+	// The paper reports <100ns local DRAM and 2-3µs remote accesses for
+	// small messages: three orders of magnitude.
+	m := DefaultModel()
+	local := m.GetLatency(8, SameProcess)
+	remote := m.GetLatency(8, OtherGroup)
+	if local > 200 {
+		t.Fatalf("local 8B access %v, want <200ns", local)
+	}
+	if remote < 2*simtime.Microsecond || remote > 3500 {
+		t.Fatalf("remote 8B access %v, want 2-3.5µs", remote)
+	}
+	if float64(remote)/float64(local) < 10 {
+		t.Fatalf("remote/local ratio %.1f too small to exercise caching benefit", float64(remote)/float64(local))
+	}
+}
+
+func TestLatencyMonotonicInSize(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b uint16, dist uint8) bool {
+		d := Distance(int(dist) % int(numDistances))
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.GetLatency(lo, d) <= m.GetLatency(hi, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	m := DefaultModel()
+	if got, want := m.GetLatency(-5, OtherNode), m.GetLatency(0, OtherNode); got != want {
+		t.Fatalf("negative size latency %v, want %v", got, want)
+	}
+}
+
+func TestPutMirrorsGet(t *testing.T) {
+	m := DefaultModel()
+	for _, size := range []int{0, 64, 4096} {
+		if m.PutLatency(size, OtherNode) != m.GetLatency(size, OtherNode) {
+			t.Fatalf("put and get latency diverge at size %d", size)
+		}
+	}
+}
+
+func TestNewModelOverride(t *testing.T) {
+	m := NewModel(map[Distance]Params{
+		OtherNode: {Base: 5000, Overhead: 100, BytesPerSecond: 1e9},
+	})
+	if m.Params(OtherNode).Base != 5000 {
+		t.Fatalf("override not applied: %+v", m.Params(OtherNode))
+	}
+	// Other distances keep defaults.
+	if m.Params(SameProcess) != DefaultModel().Params(SameProcess) {
+		t.Fatalf("non-overridden distance changed")
+	}
+	// Out-of-range distances in the override map are ignored.
+	m2 := NewModel(map[Distance]Params{Distance(99): {Base: 1}})
+	if m2.Params(OtherNode) != DefaultModel().Params(OtherNode) {
+		t.Fatalf("out-of-range override corrupted model")
+	}
+}
+
+func TestParamsOutOfRangeFallsBack(t *testing.T) {
+	m := DefaultModel()
+	if m.Params(Distance(-1)) != m.Params(OtherNode) {
+		t.Fatalf("negative distance should fall back to OtherNode params")
+	}
+	if m.Params(Distance(100)) != m.Params(OtherNode) {
+		t.Fatalf("huge distance should fall back to OtherNode params")
+	}
+}
+
+func TestOverlappable(t *testing.T) {
+	m := DefaultModel()
+	// Larger transfers hide a larger fraction of the latency: Fig. 8's
+	// foMPI curve grows with size, reaching ~85% at 64 KB.
+	small := m.Overlappable(8, OtherNode)
+	big := m.Overlappable(64*1024, OtherNode)
+	if big <= small {
+		t.Fatalf("overlap should grow with size: small=%.2f big=%.2f", small, big)
+	}
+	if big < 0.8 || big > 1.0 {
+		t.Fatalf("64KB overlap = %.2f, want ~0.85", big)
+	}
+}
+
+func TestMapDistance(t *testing.T) {
+	cases := []struct {
+		name                string
+		init, trg, rpn, npg int
+		want                Distance
+	}{
+		{"self", 3, 3, 4, 8, SameProcess},
+		{"same socket", 0, 1, 4, 8, SameSocket},
+		{"same node other socket", 0, 2, 4, 8, SameNode},
+		{"one rank per node", 0, 1, 1, 8, OtherNode},
+		{"zero rpn defaults to 1", 0, 1, 0, 8, OtherNode},
+		{"other group", 0, 9, 1, 8, OtherGroup},
+		{"default group size", 0, 1, 1, 0, OtherNode},
+	}
+	for _, c := range cases {
+		if got := MapDistance(c.init, c.trg, c.rpn, c.npg); got != c.want {
+			t.Errorf("%s: MapDistance(%d,%d,%d,%d) = %v, want %v", c.name, c.init, c.trg, c.rpn, c.npg, got, c.want)
+		}
+	}
+}
+
+func TestDistanceString(t *testing.T) {
+	if SameNode.String() != "same-node" {
+		t.Fatalf("String() = %q", SameNode.String())
+	}
+	if Distance(42).String() != "distance(42)" {
+		t.Fatalf("unknown distance String() = %q", Distance(42).String())
+	}
+}
+
+func TestMemcpyCost(t *testing.T) {
+	if MemcpyCost(0) <= 0 {
+		t.Fatalf("zero-byte copy should still have fixed cost")
+	}
+	if MemcpyCost(-1) != MemcpyCost(0) {
+		t.Fatalf("negative size not clamped")
+	}
+	if MemcpyCost(1<<20) <= MemcpyCost(1<<10) {
+		t.Fatalf("copy cost must grow with size")
+	}
+	// A 64 KB local copy must be far cheaper than a remote get of the
+	// same size — that gap is the premise of the paper.
+	m := DefaultModel()
+	if 3*MemcpyCost(64*1024) >= m.GetLatency(64*1024, OtherNode) {
+		t.Fatalf("local copy (%v) not clearly cheaper than remote get (%v)",
+			MemcpyCost(64*1024), m.GetLatency(64*1024, OtherNode))
+	}
+}

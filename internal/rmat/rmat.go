@@ -1,0 +1,84 @@
+// Package rmat implements the R-MAT recursive-matrix random graph
+// generator (Chakrabarti, Zhan, Faloutsos), which the paper uses to
+// create the scale-free input graphs of the LCC experiments (§IV-C).
+//
+// Each edge is placed by recursively descending into one of the four
+// quadrants of the adjacency matrix with probabilities (A, B, C, D); the
+// Graph500 parameters (0.57, 0.19, 0.19, 0.05) produce the heavy-tailed
+// degree distributions typical of real-world networks.
+package rmat
+
+import "math/rand"
+
+// Params are the quadrant probabilities. They must be positive and sum
+// to ~1.
+type Params struct {
+	A, B, C, D float64
+}
+
+// Graph500 is the standard parameter set used by the paper's experiments.
+var Graph500 = Params{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+// Edge is one directed edge (U -> V) over vertex ids [0, 2^scale).
+type Edge struct {
+	U, V int32
+}
+
+// Generate produces 2^scale vertices and edgeFactor * 2^scale R-MAT
+// edges (with duplicates and self-loops, as raw R-MAT emits them;
+// deduplication is the graph builder's job). Noise is added to the
+// quadrant probabilities at each level, as in the Graph500 reference
+// implementation, to avoid grid artifacts.
+func Generate(scale, edgeFactor int, p Params, seed int64) []Edge {
+	if scale < 0 || scale > 30 {
+		panic("rmat: scale out of range")
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = genEdge(scale, p, rng)
+	}
+	return edges
+}
+
+func genEdge(scale int, p Params, rng *rand.Rand) Edge {
+	var u, v int32
+	a, b, c := p.A, p.B, p.C
+	for depth := 0; depth < scale; depth++ {
+		// Perturb the probabilities ±10% per level (Graph500 noise).
+		an := a * (0.9 + 0.2*rng.Float64())
+		bn := b * (0.9 + 0.2*rng.Float64())
+		cn := c * (0.9 + 0.2*rng.Float64())
+		dn := (1 - a - b - c) * (0.9 + 0.2*rng.Float64())
+		norm := an + bn + cn + dn
+		r := rng.Float64() * norm
+		u <<= 1
+		v <<= 1
+		switch {
+		case r < an:
+			// quadrant A: (0,0)
+		case r < an+bn:
+			v |= 1
+		case r < an+bn+cn:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	return Edge{U: u, V: v}
+}
+
+// DegreeHistogram returns out-degree counts per vertex for raw edges
+// (diagnostics and tests).
+func DegreeHistogram(n int, edges []Edge) []int {
+	deg := make([]int, n)
+	for _, e := range edges {
+		if int(e.U) < n {
+			deg[e.U]++
+		}
+	}
+	return deg
+}

@@ -1,0 +1,101 @@
+package rmat
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	edges := Generate(10, 16, Graph500, 1)
+	if len(edges) != 16*1024 {
+		t.Fatalf("edges = %d, want %d", len(edges), 16*1024)
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= 1024 || e.V < 0 || e.V >= 1024 {
+			t.Fatalf("edge (%d,%d) out of range", e.U, e.V)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(8, 8, Graph500, 7)
+	b := Generate(8, 8, Graph500, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed generation differs at %d", i)
+		}
+	}
+	c := Generate(8, 8, Graph500, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("different seeds produced identical edges")
+	}
+}
+
+func TestScaleFreeDegrees(t *testing.T) {
+	// R-MAT with Graph500 parameters must be heavy-tailed: the top 1%
+	// of vertices should hold far more than 1% of the edges, unlike a
+	// uniform random graph.
+	const scale, ef = 12, 16
+	n := 1 << scale
+	edges := Generate(scale, ef, Graph500, 3)
+	deg := DegreeHistogram(n, edges)
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	top := 0
+	for _, d := range deg[:n/100] {
+		top += d
+	}
+	frac := float64(top) / float64(len(edges))
+	if frac < 0.10 {
+		t.Fatalf("top 1%% of vertices hold only %.1f%% of edges — not scale-free", frac*100)
+	}
+	// And some vertices are isolated (another scale-free signature).
+	zeros := 0
+	for _, d := range deg {
+		if d == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatalf("no isolated vertices in an R-MAT graph")
+	}
+}
+
+func TestUniformParamsAreNotSkewed(t *testing.T) {
+	// Sanity check of the generator: with A=B=C=D=0.25 degrees are
+	// near-uniform (low skew), confirming the skew comes from Params.
+	const scale, ef = 12, 16
+	n := 1 << scale
+	edges := Generate(scale, ef, Params{0.25, 0.25, 0.25, 0.25}, 3)
+	deg := DegreeHistogram(n, edges)
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	top := 0
+	for _, d := range deg[:n/100] {
+		top += d
+	}
+	frac := float64(top) / float64(len(edges))
+	if frac > 0.05 {
+		t.Fatalf("uniform parameters produced skew: top 1%% holds %.1f%%", frac*100)
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("scale 31 did not panic")
+		}
+	}()
+	Generate(31, 1, Graph500, 1)
+}
+
+func TestDegreeHistogramIgnoresOutOfRange(t *testing.T) {
+	deg := DegreeHistogram(2, []Edge{{0, 1}, {5, 0}})
+	if deg[0] != 1 || deg[1] != 0 {
+		t.Fatalf("deg = %v", deg)
+	}
+}

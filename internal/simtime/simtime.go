@@ -1,0 +1,147 @@
+// Package simtime provides the hybrid virtual clock used throughout the
+// CLaMPI reproduction.
+//
+// The paper measures wall-clock time on dedicated Cray XC nodes. This
+// reproduction runs many simulated ranks on a single machine, so wall time
+// of a whole run is meaningless. Instead each rank owns a Clock that mixes
+// two time sources:
+//
+//   - Advance(d): analytically modelled costs (network latency, modelled
+//     compute) move the clock forward without consuming real time.
+//   - Charge(f): locally executed work whose cost is the point of the paper
+//     (cache lookup, eviction, memory copies) is measured with the real
+//     monotonic clock and added to the virtual clock.
+//
+// The result is a per-rank timeline in which the *measured* cache-management
+// overheads of this implementation compose with *modelled* network delays,
+// which is exactly the trade-off CLaMPI navigates.
+package simtime
+
+import "time"
+
+// Duration is a virtual duration in nanoseconds. It is kept as a separate
+// type from time.Duration to make accidental mixing of real and virtual
+// time a compile error in most code paths.
+type Duration int64
+
+// Common virtual durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// FromReal converts a real duration to a virtual one (1:1 in nanoseconds).
+func FromReal(d time.Duration) Duration { return Duration(d.Nanoseconds()) }
+
+// Real converts a virtual duration to a time.Duration (1:1 in nanoseconds).
+func (d Duration) Real() time.Duration { return time.Duration(d) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// String formats the duration using time.Duration formatting rules.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Clock is a single rank's virtual clock. A Clock is not safe for
+// concurrent use: each rank goroutine owns exactly one Clock.
+type Clock struct {
+	now Duration
+
+	// measured accumulates only the Charge()d (real, CPU-busy) part of
+	// the timeline. The difference now-measured is the modelled part;
+	// benchmarks use the split to compute communication/computation
+	// overlap (paper Fig. 8).
+	measured Duration
+
+	// scale multiplies real measured durations before they are added to
+	// the virtual clock. It defaults to 1 and exists for calibration
+	// tests; production code never changes it.
+	scale float64
+}
+
+// NewClock returns a clock positioned at virtual time zero.
+func NewClock() *Clock { return &Clock{scale: 1} }
+
+// Now returns the current virtual time since the clock's origin.
+func (c *Clock) Now() Duration { return c.now }
+
+// Measured returns the portion of virtual time accumulated through Charge,
+// i.e. the CPU-busy time of this rank.
+func (c *Clock) Measured() Duration { return c.measured }
+
+// Modelled returns the portion of virtual time accumulated through Advance.
+func (c *Clock) Modelled() Duration { return c.now - c.measured }
+
+// Advance moves the clock forward by a modelled duration. Negative
+// durations are ignored so latency models cannot move time backwards.
+func (c *Clock) Advance(d Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future. It is used
+// by synchronization primitives (barriers, flushes) that align a rank with
+// the latest participant.
+func (c *Clock) AdvanceTo(t Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Busy advances the clock by a modeled duration of CPU-busy work: unlike
+// Advance, the time is attributed to the measured (busy) share, so
+// overlap computations treat it as non-overlappable. Negative durations
+// are ignored.
+func (c *Clock) Busy(d Duration) {
+	if d > 0 {
+		c.now += d
+		c.measured += d
+	}
+}
+
+// Charge runs f, measures its real duration with the monotonic clock, and
+// advances the virtual clock by that amount. It returns the measured
+// duration so callers can attribute costs to phases (lookup, copy, ...).
+func (c *Clock) Charge(f func()) Duration {
+	start := time.Now()
+	f()
+	d := Duration(float64(time.Since(start).Nanoseconds()) * c.scale)
+	if d < 0 {
+		d = 0
+	}
+	c.now += d
+	c.measured += d
+	return d
+}
+
+// ChargeDuration adds an externally measured real duration to the clock.
+func (c *Clock) ChargeDuration(real time.Duration) Duration {
+	d := Duration(float64(real.Nanoseconds()) * c.scale)
+	if d < 0 {
+		d = 0
+	}
+	c.now += d
+	c.measured += d
+	return d
+}
+
+// SetScale adjusts the multiplier applied to measured durations. Intended
+// for calibration experiments only.
+func (c *Clock) SetScale(s float64) {
+	if s > 0 {
+		c.scale = s
+	}
+}
+
+// Reset rewinds the clock to zero. Benchmarks reuse clocks across
+// repetitions to avoid re-allocating rank state.
+func (c *Clock) Reset() {
+	c.now = 0
+	c.measured = 0
+}

@@ -1,0 +1,141 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	if c.Measured() != 0 || c.Modelled() != 0 {
+		t.Fatalf("new clock measured=%v modelled=%v, want 0/0", c.Measured(), c.Modelled())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	c.Advance(250)
+	if got := c.Now(); got != 350 {
+		t.Fatalf("Now() = %v, want 350", got)
+	}
+	if got := c.Modelled(); got != 350 {
+		t.Fatalf("Modelled() = %v, want 350", got)
+	}
+	if got := c.Measured(); got != 0 {
+		t.Fatalf("Measured() = %v, want 0", got)
+	}
+}
+
+func TestAdvanceIgnoresNegative(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	c.Advance(-50)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now() = %v after negative advance, want 100", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	c.AdvanceTo(80) // in the past: no-op
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo past moved clock to %v", c.Now())
+	}
+	c.AdvanceTo(500)
+	if c.Now() != 500 {
+		t.Fatalf("AdvanceTo(500) left clock at %v", c.Now())
+	}
+}
+
+func TestChargeMeasuresRealTime(t *testing.T) {
+	c := NewClock()
+	d := c.Charge(func() { time.Sleep(2 * time.Millisecond) })
+	if d < FromReal(1*time.Millisecond) {
+		t.Fatalf("Charge measured %v for a 2ms sleep", d)
+	}
+	if c.Now() != d {
+		t.Fatalf("Now() = %v, want %v", c.Now(), d)
+	}
+	if c.Measured() != d {
+		t.Fatalf("Measured() = %v, want %v", c.Measured(), d)
+	}
+}
+
+func TestChargeDuration(t *testing.T) {
+	c := NewClock()
+	c.ChargeDuration(3 * time.Microsecond)
+	if c.Now() != 3*Microsecond {
+		t.Fatalf("Now() = %v, want 3µs", c.Now())
+	}
+	if c.Measured() != 3*Microsecond {
+		t.Fatalf("Measured() = %v, want 3µs", c.Measured())
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := NewClock()
+	c.SetScale(2)
+	c.ChargeDuration(time.Microsecond)
+	if c.Now() != 2*Microsecond {
+		t.Fatalf("scaled charge: Now() = %v, want 2µs", c.Now())
+	}
+	c.SetScale(0) // invalid, ignored
+	c.ChargeDuration(time.Microsecond)
+	if c.Now() != 4*Microsecond {
+		t.Fatalf("scale reset on invalid SetScale: Now() = %v", c.Now())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(10)
+	c.ChargeDuration(time.Nanosecond)
+	c.Reset()
+	if c.Now() != 0 || c.Measured() != 0 {
+		t.Fatalf("Reset left now=%v measured=%v", c.Now(), c.Measured())
+	}
+}
+
+func TestSplitInvariant(t *testing.T) {
+	// Measured + Modelled == Now must hold for any interleaving.
+	f := func(steps []int16) bool {
+		c := NewClock()
+		for i, s := range steps {
+			d := Duration(s)
+			if i%2 == 0 {
+				c.Advance(d)
+			} else if d >= 0 {
+				c.ChargeDuration(time.Duration(d))
+			}
+		}
+		return c.Measured()+c.Modelled() == c.Now() && c.Measured() >= 0 && c.Modelled() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Nanosecond
+	if d.Micros() != 1.5 {
+		t.Fatalf("Micros() = %v, want 1.5", d.Micros())
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatalf("Seconds() = %v, want 2", (2 * Second).Seconds())
+	}
+	if FromReal(time.Millisecond) != Millisecond {
+		t.Fatalf("FromReal(1ms) = %v", FromReal(time.Millisecond))
+	}
+	if Millisecond.Real() != time.Millisecond {
+		t.Fatalf("Real(1ms) = %v", Millisecond.Real())
+	}
+	if (90 * Nanosecond).String() != "90ns" {
+		t.Fatalf("String() = %q", (90 * Nanosecond).String())
+	}
+}

@@ -1,0 +1,34 @@
+package storage
+
+import "testing"
+
+// FuzzAllocFree drives the allocator with an op tape: each byte either
+// frees a live region (odd values) or allocates (even values scale the
+// size). Structural invariants must hold after every operation.
+func FuzzAllocFree(f *testing.F) {
+	f.Add([]byte{0, 2, 4, 1, 6, 3, 8})
+	f.Add([]byte{255, 254, 253, 1, 0, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m := New(8192)
+		var live []*Region
+		for i, op := range ops {
+			if op%2 == 1 && len(live) > 0 {
+				idx := int(op) % len(live)
+				m.FreeRegion(live[idx])
+				live = append(live[:idx], live[idx+1:]...)
+			} else {
+				size := int(op)*16 + 1
+				if r := m.Alloc(size); r != nil {
+					live = append(live, r)
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("op %d (%d): %v", i, op, err)
+			}
+		}
+		if m.Entries() != len(live) {
+			t.Fatalf("entries %d, live %d", m.Entries(), len(live))
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package trace records get-operation traces for the locality analyses
+// that motivate the paper: the repetition histogram of Fig. 2 (how often
+// the same remote data is re-fetched in a Barnes-Hut run) and the
+// transfer-size distribution of Fig. 3 (LCC).
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op identifies one get: the (target, displacement, size) triple. Two
+// gets with equal Op fetch the same remote data.
+type Op struct {
+	Target int
+	Disp   int
+	Size   int
+}
+
+// Recorder accumulates a get trace. Not safe for concurrent use; each
+// rank records into its own Recorder and histograms are merged afterwards.
+type Recorder struct {
+	counts map[Op]int
+	sizes  []int
+	total  int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{counts: make(map[Op]int)}
+}
+
+// Record notes one get operation.
+func (r *Recorder) Record(target, disp, size int) {
+	r.counts[Op{target, disp, size}]++
+	r.sizes = append(r.sizes, size)
+	r.total++
+}
+
+// Total returns the number of recorded gets.
+func (r *Recorder) Total() int { return r.total }
+
+// Distinct returns the number of distinct (target, disp, size) triples.
+func (r *Recorder) Distinct() int { return len(r.counts) }
+
+// MaxRepetition returns the highest repeat count of any single get (the
+// paper reports up to 3,500 for Barnes-Hut).
+func (r *Recorder) MaxRepetition() int {
+	m := 0
+	for _, c := range r.counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Merge folds another recorder's trace into r (for per-rank merges).
+func (r *Recorder) Merge(o *Recorder) {
+	for op, c := range o.counts {
+		r.counts[op] += c
+	}
+	r.sizes = append(r.sizes, o.sizes...)
+	r.total += o.total
+}
+
+// RepetitionBucket is one bar of the Fig. 2 histogram: Gets distinct gets
+// were each repeated between [LoReps, HiReps] times.
+type RepetitionBucket struct {
+	LoReps, HiReps int
+	Gets           int
+}
+
+// RepetitionHistogram buckets distinct gets by their repetition count in
+// power-of-two bins: [1,1], [2,3], [4,7], ... (Fig. 2's log axes).
+func (r *Recorder) RepetitionHistogram() []RepetitionBucket {
+	if len(r.counts) == 0 {
+		return nil
+	}
+	byBin := map[int]int{} // bin index -> distinct gets
+	maxBin := 0
+	for _, c := range r.counts {
+		b := 0
+		for (1 << (b + 1)) <= c {
+			b++
+		}
+		byBin[b]++
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	out := make([]RepetitionBucket, 0, maxBin+1)
+	for b := 0; b <= maxBin; b++ {
+		lo := 1 << b
+		hi := 1<<(b+1) - 1
+		out = append(out, RepetitionBucket{LoReps: lo, HiReps: hi, Gets: byBin[b]})
+	}
+	return out
+}
+
+// SizeBucket is one bar of the Fig. 3 histogram.
+type SizeBucket struct {
+	LoBytes, HiBytes int
+	Gets             int
+}
+
+// SizeHistogram buckets recorded transfer sizes into power-of-two bins
+// starting at 1 byte.
+func (r *Recorder) SizeHistogram() []SizeBucket {
+	if len(r.sizes) == 0 {
+		return nil
+	}
+	byBin := map[int]int{}
+	maxBin := 0
+	for _, s := range r.sizes {
+		b := 0
+		for (1 << (b + 1)) <= s {
+			b++
+		}
+		byBin[b]++
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	out := make([]SizeBucket, 0, maxBin+1)
+	for b := 0; b <= maxBin; b++ {
+		out = append(out, SizeBucket{LoBytes: 1 << b, HiBytes: 1<<(b+1) - 1, Gets: byBin[b]})
+	}
+	return out
+}
+
+// SizeQuantile returns the q-quantile (0..1) of recorded sizes.
+func (r *Recorder) SizeQuantile(q float64) int {
+	if len(r.sizes) == 0 {
+		return 0
+	}
+	s := make([]int, len(r.sizes))
+	copy(s, r.sizes)
+	sort.Ints(s)
+	i := int(q * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// MeanSize returns the average recorded transfer size.
+func (r *Recorder) MeanSize() float64 {
+	if len(r.sizes) == 0 {
+		return 0
+	}
+	t := 0
+	for _, s := range r.sizes {
+		t += s
+	}
+	return float64(t) / float64(len(r.sizes))
+}
+
+// ReuseFactor returns Total/Distinct: the average number of times each
+// distinct get is issued. Values well above 1 are what CLaMPI exploits.
+func (r *Recorder) ReuseFactor() float64 {
+	if len(r.counts) == 0 {
+		return 0
+	}
+	return float64(r.total) / float64(len(r.counts))
+}
+
+func (b RepetitionBucket) String() string {
+	return fmt.Sprintf("reps %d-%d: %d gets", b.LoReps, b.HiReps, b.Gets)
+}
+
+func (b SizeBucket) String() string {
+	return fmt.Sprintf("size %d-%dB: %d gets", b.LoBytes, b.HiBytes, b.Gets)
+}

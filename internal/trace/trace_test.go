@@ -1,0 +1,127 @@
+package trace
+
+import "testing"
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder()
+	if r.Total() != 0 || r.Distinct() != 0 || r.MaxRepetition() != 0 {
+		t.Fatalf("empty recorder has data")
+	}
+	if r.RepetitionHistogram() != nil || r.SizeHistogram() != nil {
+		t.Fatalf("empty histograms not nil")
+	}
+	if r.SizeQuantile(0.5) != 0 || r.MeanSize() != 0 || r.ReuseFactor() != 0 {
+		t.Fatalf("empty stats nonzero")
+	}
+}
+
+func TestRecordAndCounts(t *testing.T) {
+	r := NewRecorder()
+	r.Record(1, 0, 64)
+	r.Record(1, 0, 64) // repeat
+	r.Record(1, 64, 128)
+	r.Record(2, 0, 64) // different target: distinct
+	if r.Total() != 4 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if r.Distinct() != 3 {
+		t.Fatalf("Distinct = %d", r.Distinct())
+	}
+	if r.MaxRepetition() != 2 {
+		t.Fatalf("MaxRepetition = %d", r.MaxRepetition())
+	}
+	if rf := r.ReuseFactor(); rf != 4.0/3.0 {
+		t.Fatalf("ReuseFactor = %v", rf)
+	}
+}
+
+func TestRepetitionHistogram(t *testing.T) {
+	r := NewRecorder()
+	// One get repeated 1x, one 2x, one 5x.
+	r.Record(0, 0, 8)
+	for i := 0; i < 2; i++ {
+		r.Record(0, 8, 8)
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(0, 16, 8)
+	}
+	h := r.RepetitionHistogram()
+	// Bins: [1,1]=1, [2,3]=1, [4,7]=1.
+	if len(h) != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if h[0].Gets != 1 || h[0].LoReps != 1 || h[0].HiReps != 1 {
+		t.Fatalf("bin0 = %+v", h[0])
+	}
+	if h[1].Gets != 1 || h[1].LoReps != 2 || h[1].HiReps != 3 {
+		t.Fatalf("bin1 = %+v", h[1])
+	}
+	if h[2].Gets != 1 || h[2].LoReps != 4 || h[2].HiReps != 7 {
+		t.Fatalf("bin2 = %+v", h[2])
+	}
+	// Totals conserved: sum(bin.Gets) == Distinct.
+	sum := 0
+	for _, b := range h {
+		sum += b.Gets
+	}
+	if sum != r.Distinct() {
+		t.Fatalf("histogram loses gets: %d vs %d", sum, r.Distinct())
+	}
+	if h[0].String() == "" {
+		t.Fatalf("empty String")
+	}
+}
+
+func TestSizeHistogramAndQuantiles(t *testing.T) {
+	r := NewRecorder()
+	sizes := []int{1, 2, 2, 4, 1024, 1500, 65536}
+	for i, s := range sizes {
+		r.Record(0, i*65536, s)
+	}
+	h := r.SizeHistogram()
+	sum := 0
+	for _, b := range h {
+		sum += b.Gets
+		if b.LoBytes > b.HiBytes {
+			t.Fatalf("bad bin %+v", b)
+		}
+	}
+	if sum != len(sizes) {
+		t.Fatalf("size histogram lost entries: %d", sum)
+	}
+	if q := r.SizeQuantile(0); q != 1 {
+		t.Fatalf("q0 = %d", q)
+	}
+	if q := r.SizeQuantile(1); q != 65536 {
+		t.Fatalf("q1 = %d", q)
+	}
+	if q := r.SizeQuantile(0.5); q != 4 {
+		t.Fatalf("median = %d", q)
+	}
+	if m := r.MeanSize(); m <= 0 {
+		t.Fatalf("MeanSize = %v", m)
+	}
+	if h[0].String() == "" {
+		t.Fatalf("empty String")
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	r := NewRecorder()
+	r.Record(0, 0, 7)
+	if r.SizeQuantile(-1) != 7 || r.SizeQuantile(2) != 7 {
+		t.Fatalf("quantile clamping broken")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewRecorder()
+	b := NewRecorder()
+	a.Record(0, 0, 8)
+	b.Record(0, 0, 8)
+	b.Record(1, 0, 16)
+	a.Merge(b)
+	if a.Total() != 3 || a.Distinct() != 2 || a.MaxRepetition() != 2 {
+		t.Fatalf("merged: total=%d distinct=%d max=%d", a.Total(), a.Distinct(), a.MaxRepetition())
+	}
+}
