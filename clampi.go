@@ -5,6 +5,7 @@ import (
 	"clampi/internal/datatype"
 	"clampi/internal/mpi"
 	"clampi/internal/netsim"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
 
@@ -27,7 +28,26 @@ type (
 	Op = mpi.Op
 	// LockType selects shared or exclusive passive-target locks.
 	LockType = mpi.LockType
+	// RMA is the transport-agnostic window interface every backend
+	// implements; *Win is the simulated-MPI implementation.
+	RMA = rma.Window
+	// Endpoint is a rank's attachment to the transport.
+	Endpoint = rma.Endpoint
+	// ExecMode selects how the simulated ranks execute (see Run).
+	ExecMode = mpi.ExecMode
 )
+
+// Execution modes. FidelityMeasured (the default) serializes ranks for
+// calibration-grade timing; Throughput runs them genuinely concurrently
+// with identical modelled virtual clocks.
+const (
+	FidelityMeasured = mpi.FidelityMeasured
+	Throughput       = mpi.Throughput
+)
+
+// ParseExecMode parses a mode name ("fidelity", "throughput" and
+// aliases) — for wiring -mode command-line flags to RunConfig.Mode.
+func ParseExecMode(s string) (ExecMode, error) { return mpi.ParseExecMode(s) }
 
 // Accumulate operators (MPI_REPLACE, MPI_SUM, MPI_MAX, MPI_MIN).
 const (
@@ -150,13 +170,14 @@ func WithParams(params Params) Option { return func(p *Params) { *p = params } }
 // raw window with its CLaMPI layer. All RMA and synchronization calls of
 // the underlying window are available; Get is transparently cached.
 type Window struct {
-	win   *mpi.Win
+	win   rma.Window
 	cache *core.Cache
 }
 
-// Wrap attaches a caching layer to an existing window. The window's
-// InfoKey entry, if present, overrides the mode selected by options.
-func Wrap(win *Win, opts ...Option) (*Window, error) {
+// Wrap attaches a caching layer to an existing window — any rma.Window
+// implementation, of which *Win is the first. The window's InfoKey
+// entry, if present, overrides the mode selected by options.
+func Wrap(win RMA, opts ...Option) (*Window, error) {
 	var p Params
 	for _, o := range opts {
 		o(&p)
@@ -322,4 +343,4 @@ func (w *Window) Local() []byte { return w.win.Local() }
 
 // Raw returns the underlying non-caching window (gets through it bypass
 // the cache — the two-window idiom of paper §III-A).
-func (w *Window) Raw() *Win { return w.win }
+func (w *Window) Raw() RMA { return w.win }

@@ -14,12 +14,20 @@ import (
 
 	"clampi/internal/experiments"
 	"clampi/internal/lsb"
+	"clampi/internal/mpi"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, samplesize, allocpolicy, cuckoo, bfs or persistent")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
 	flag.Parse()
+
+	m, err := mpi.ParseExecMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.SetExecMode(m)
 
 	emit := func(tbl *lsb.Table) {
 		if *csv {

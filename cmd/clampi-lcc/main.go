@@ -19,6 +19,7 @@ import (
 	"log"
 
 	"clampi/internal/experiments"
+	"clampi/internal/mpi"
 )
 
 func main() {
@@ -28,7 +29,14 @@ func main() {
 	ef := flag.Int("ef", 8, "R-MAT edge factor")
 	p := flag.Int("p", 4, "processing elements P")
 	maxVerts := flag.Int("maxverts", 256, "max vertices per rank (0 = all)")
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
 	flag.Parse()
+
+	m, err := mpi.ParseExecMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.SetExecMode(m)
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"clampi/internal/experiments"
+	"clampi/internal/mpi"
 )
 
 func main() {
@@ -25,7 +28,15 @@ func main() {
 	n := flag.Int("n", 512, "distinct gets N")
 	z := flag.Int("z", 8192, "sequence length Z")
 	reps := flag.Int("reps", 50, "repetitions per Fig 7 access-type sample")
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
+	jsonOut := flag.Bool("json", false, "additionally run the headline micro benchmark and write BENCH_micro.json")
 	flag.Parse()
+
+	m, err := mpi.ParseExecMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.SetExecMode(m)
 
 	if *paper {
 		*n, *z = 1000, 20000
@@ -92,4 +103,21 @@ func main() {
 		fmt.Print(tbl)
 		return nil
 	})
+
+	if *jsonOut {
+		res, err := experiments.MicroBench(*n, *z)
+		if err != nil {
+			log.Fatalf("micro bench: %v", err)
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatalf("micro bench: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile("BENCH_micro.json", buf, 0o644); err != nil {
+			log.Fatalf("micro bench: %v", err)
+		}
+		fmt.Printf("BENCH_micro.json: %d ops, hit rate %.3f, %.1f virtual ns/op\n",
+			res.Ops, res.HitRate, res.VirtualNsPerOp)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"log"
 
 	"clampi/internal/experiments"
+	"clampi/internal/mpi"
 )
 
 func main() {
@@ -25,7 +26,14 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	n := flag.Int("n", 2000, "bodies N (Figs 12-13)")
 	p := flag.Int("p", 4, "processing elements P (Figs 12-13)")
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
 	flag.Parse()
+
+	m, err := mpi.ParseExecMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.SetExecMode(m)
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,6 +26,12 @@ const (
 )
 
 func main() {
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	flag.Parse()
+	execMode, merr := clampi.ParseExecMode(*mode)
+	if merr != nil {
+		log.Fatal(merr)
+	}
 	for _, adaptive := range []bool{false, true} {
 		label := "fixed   "
 		opts := []clampi.Option{
@@ -37,7 +44,7 @@ func main() {
 			label = "adaptive"
 			opts = append(opts, clampi.WithAdaptive())
 		}
-		err := clampi.Run(2, clampi.RunConfig{}, func(r *clampi.Rank) error {
+		err := clampi.Run(2, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
 			w, _, err := clampi.Allocate(r, distinct*blockSize, nil, opts...)
 			if err != nil {
 				return err

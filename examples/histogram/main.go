@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,8 +30,14 @@ const (
 )
 
 func main() {
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	flag.Parse()
+	execMode, merr := clampi.ParseExecMode(*mode)
+	if merr != nil {
+		log.Fatal(merr)
+	}
 	binsPerRank := bins / ranks
-	err := clampi.Run(ranks, clampi.RunConfig{}, func(r *clampi.Rank) error {
+	err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
 		// Region: this rank's histogram block (8 B per bin) plus, on
 		// rank 0, a (mode, count) winner record at the end.
 		extra := 0

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -87,6 +88,12 @@ func layout(adj [][]int32, p int) (owner []int, offs []int, regions [][]byte) {
 }
 
 func main() {
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	flag.Parse()
+	execMode, merr := clampi.ParseExecMode(*mode)
+	if merr != nil {
+		log.Fatal(merr)
+	}
 	adj := buildGraph()
 	owner, offs, regions := layout(adj, ranks)
 
@@ -99,7 +106,7 @@ func main() {
 		}
 		times := make([]int64, ranks)
 		triangles := make([]int64, ranks)
-		err := clampi.Run(ranks, clampi.RunConfig{}, func(r *clampi.Rank) error {
+		err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
 			w, err := clampi.Create(r, regions[r.ID()], info, clampi.WithStorageBytes(8<<20))
 			if err != nil {
 				return err

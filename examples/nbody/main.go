@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -35,7 +36,13 @@ const (
 type body struct{ x, y, z, m, vx, vy, vz float64 }
 
 func main() {
-	err := clampi.Run(ranks, clampi.RunConfig{}, func(r *clampi.Rank) error {
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	flag.Parse()
+	execMode, merr := clampi.ParseExecMode(*mode)
+	if merr != nil {
+		log.Fatal(merr)
+	}
+	err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
 		rng := rand.New(rand.NewSource(int64(r.ID()) + 1))
 		local := make([]body, bodiesPerPE)
 		for i := range local {

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -34,11 +35,17 @@ const (
 )
 
 func main() {
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	flag.Parse()
+	execMode, merr := clampi.ParseExecMode(*mode)
+	if merr != nil {
+		log.Fatal(merr)
+	}
 	adj := buildGraph()
 	owner := func(v int32) int { return int(v) * ranks / vertices }
 	localBase := func(rank int) int32 { return int32(rank * vertices / ranks) }
 
-	err := clampi.Run(ranks, clampi.RunConfig{}, func(r *clampi.Rank) error {
+	err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
 		lo := localBase(r.ID())
 		hi := localBase(r.ID() + 1)
 		n := int(hi - lo)

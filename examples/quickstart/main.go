@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,8 +18,14 @@ import (
 )
 
 func main() {
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	flag.Parse()
+	execMode, merr := clampi.ParseExecMode(*mode)
+	if merr != nil {
+		log.Fatal(merr)
+	}
 	const ranks = 4
-	err := clampi.Run(ranks, clampi.RunConfig{}, func(r *clampi.Rank) error {
+	err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
 		// Every rank exposes 1 MB of data through a caching window.
 		region := make([]byte, 1<<20)
 		for i := range region {

@@ -17,6 +17,7 @@ import (
 	"clampi/internal/getter"
 	"clampi/internal/graph"
 	"clampi/internal/mpi"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
 
@@ -49,7 +50,7 @@ const DefaultComputeCost = 2 * simtime.Nanosecond
 // must expose exactly d.Hi-d.Lo bytes (this rank's frontier map); gt
 // reads other ranks' maps through it. The caller must NOT hold an access
 // epoch: Run manages its own Lock/Unlock around each level.
-func Run(r *mpi.Rank, d *graph.Dist, frontierWin *mpi.Win, frontier []byte, gt getter.Getter, cfg Config) (Result, error) {
+func Run(r *mpi.Rank, d *graph.Dist, frontierWin rma.Window, frontier []byte, gt getter.Getter, cfg Config) (Result, error) {
 	if cfg.ComputePerEdge <= 0 {
 		cfg.ComputePerEdge = DefaultComputeCost
 	}

@@ -7,6 +7,7 @@ import (
 	"clampi/internal/getter"
 	"clampi/internal/graph"
 	"clampi/internal/mpi"
+	"clampi/internal/rma"
 	"clampi/internal/rmat"
 )
 
@@ -21,7 +22,7 @@ func testGraph(t *testing.T, scale, ef int) *graph.CSR {
 
 // runDistributed executes BFS over p ranks and returns the combined
 // levels array plus the per-rank results.
-func runDistributed(t *testing.T, g *graph.CSR, p, source int, mk func(win *mpi.Win) (getter.Getter, error)) ([]int32, []Result) {
+func runDistributed(t *testing.T, g *graph.CSR, p, source int, mk func(win rma.Window) (getter.Getter, error)) ([]int32, []Result) {
 	t.Helper()
 	levels := make([]int32, g.N)
 	results := make([]Result, p)
@@ -49,9 +50,9 @@ func runDistributed(t *testing.T, g *graph.CSR, p, source int, mk func(win *mpi.
 	return levels, results
 }
 
-func rawFactory(win *mpi.Win) (getter.Getter, error) { return getter.NewRaw(win), nil }
+func rawFactory(win rma.Window) (getter.Getter, error) { return getter.NewRaw(win), nil }
 
-func cachedFactory(win *mpi.Win) (getter.Getter, error) {
+func cachedFactory(win rma.Window) (getter.Getter, error) {
 	c, err := core.New(win, core.Params{Mode: core.AlwaysCache, IndexSlots: 1 << 14, StorageBytes: 1 << 20, Seed: 9})
 	if err != nil {
 		return nil, err
@@ -80,7 +81,7 @@ func TestReferenceBFS(t *testing.T) {
 func TestDistributedMatchesReference(t *testing.T) {
 	g := testGraph(t, 9, 8)
 	want := Reference(g, 3)
-	for _, mk := range []func(*mpi.Win) (getter.Getter, error){rawFactory, cachedFactory} {
+	for _, mk := range []func(rma.Window) (getter.Getter, error){rawFactory, cachedFactory} {
 		got, results := runDistributed(t, g, 4, 3, mk)
 		for v := range want {
 			if got[v] != want[v] {

@@ -18,8 +18,8 @@ import (
 	"errors"
 
 	"clampi/internal/datatype"
-	"clampi/internal/mpi"
 	"clampi/internal/netsim"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
 
@@ -51,7 +51,7 @@ type Stats struct {
 // Cache is a direct-mapped block cache over one window. Not safe for
 // concurrent use.
 type Cache struct {
-	win       *mpi.Win
+	win       rma.Window
 	blockSize int
 	nblocks   int
 	data      []byte
@@ -70,7 +70,7 @@ var ErrBadConfig = errors.New("blockcache: memory must hold at least one block")
 
 // New builds a cache of memoryBytes bytes with the given block size over
 // win. memoryBytes is rounded down to a whole number of blocks.
-func New(win *mpi.Win, memoryBytes, blockSize int) (*Cache, error) {
+func New(win rma.Window, memoryBytes, blockSize int) (*Cache, error) {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
@@ -106,9 +106,9 @@ func (c *Cache) Get(dst []byte, target, disp int) error {
 		return err
 	}
 	if disp < 0 || disp+size > regionSize {
-		return mpi.ErrBounds
+		return rma.ErrBounds
 	}
-	clock := c.win.Rank().Clock()
+	clock := c.win.Endpoint().Clock()
 	clock.Busy(costAccess)
 	for off := 0; off < size; {
 		block := (disp + off) / c.blockSize

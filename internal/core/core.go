@@ -1,8 +1,9 @@
 // Package core implements CLaMPI, the caching layer for MPI-3 RMA get
 // operations (paper §III).
 //
-// A Cache attaches to one mpi.Win and intercepts get operations issued
-// through it. Each get_c is looked up in a Cuckoo hash index I_w keyed by
+// A Cache attaches to one rma.Window and intercepts get operations
+// issued through it; any transport implementing the rma interfaces
+// (internal/mpi is the first) can sit underneath. Each get_c is looked up in a Cuckoo hash index I_w keyed by
 // (target, displacement); hits are served from a contiguous storage buffer
 // S_w with a local memory copy, misses fall through to the underlying
 // MPI_Get and are opportunistically inserted into the cache. Inserts may
@@ -25,7 +26,7 @@ import (
 
 	"clampi/internal/cuckoo"
 	"clampi/internal/datatype"
-	"clampi/internal/mpi"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 	"clampi/internal/storage"
 )
@@ -235,7 +236,7 @@ type waiter struct {
 
 // Cache is the caching layer C_w attached to one window.
 type Cache struct {
-	win    *mpi.Win
+	win    rma.Window
 	clock  *simtime.Clock
 	params Params
 	mode   Mode
@@ -266,7 +267,7 @@ var (
 // New attaches a caching layer to win. If params.Mode is not set
 // explicitly, the window's InfoKey entry is consulted ("always-cache"
 // selects AlwaysCache; anything else is Transparent).
-func New(win *mpi.Win, params Params) (*Cache, error) {
+func New(win rma.Window, params Params) (*Cache, error) {
 	if win == nil {
 		return nil, ErrNilWindow
 	}
@@ -283,7 +284,7 @@ func New(win *mpi.Win, params Params) (*Cache, error) {
 	}
 	c := &Cache{
 		win:    win,
-		clock:  win.Rank().Clock(),
+		clock:  win.Endpoint().Clock(),
 		params: params,
 		mode:   mode,
 		idx:    cuckoo.New[*entry](params.IndexSlots, params.Seed),
@@ -317,7 +318,7 @@ func (c *Cache) Occupancy() float64 { return c.store.Occupancy() }
 func (c *Cache) CachedEntries() int { return c.idx.Len() }
 
 // Win returns the underlying window.
-func (c *Cache) Win() *mpi.Win { return c.win }
+func (c *Cache) Win() rma.Window { return c.win }
 
 // avgGetSize returns C_w.ags: the mean payload of all processed gets.
 func (c *Cache) avgGetSize() float64 {
@@ -335,7 +336,7 @@ func (c *Cache) avgGetSize() float64 {
 func (c *Cache) Get(dst []byte, dtype datatype.Datatype, count int, target, disp int) error {
 	size := datatype.TransferSize(dtype, count)
 	if len(dst) < size {
-		return mpi.ErrShortBuf
+		return rma.ErrShortBuf
 	}
 	c.getSeq++
 	c.sumGetSizes += int64(size)

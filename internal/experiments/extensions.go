@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"clampi/internal/bfs"
 	"clampi/internal/core"
@@ -35,10 +36,11 @@ func extensionBFS(g *graph.CSR, p, source int) ([]BFSRow, *lsb.Table, error) {
 	tbl := lsb.NewTable(fmt.Sprintf("Extension: pull-BFS (N=%d, P=%d)", g.N, p),
 		"system", "total time", "remote gets", "hit rate")
 	for _, cached := range []bool{false, true} {
+		var mu sync.Mutex
 		var total simtime.Duration
 		var remote int64
 		fleet := newClampiFleet(p, core.Params{Mode: core.AlwaysCache, IndexSlots: 1 << 14, StorageBytes: 1 << 20, Seed: 9})
-		err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+		err := runWorld(p, func(r *mpi.Rank) error {
 			d := graph.Distribute(g, p, r.ID())
 			frontier := make([]byte, d.Hi-d.Lo)
 			win := r.WinCreate(frontier, nil)
@@ -57,8 +59,10 @@ func extensionBFS(g *graph.CSR, p, source int) ([]BFSRow, *lsb.Table, error) {
 			if err != nil {
 				return err
 			}
+			mu.Lock()
 			total += res.Time
 			remote += res.RemoteGets
+			mu.Unlock()
 			r.Barrier()
 			return nil
 		})
@@ -103,8 +107,9 @@ func ExtensionPersistentWindow(n, p, steps int) ([]PersistentRow, *lsb.Table, er
 		"variant", "step", "force time", "adjustments")
 	for _, persistent := range []bool{false, true} {
 		fleet := newClampiFleet(p, params)
+		var perStepMu sync.Mutex
 		perStep := make([]simtime.Duration, steps)
-		err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+		err := runWorld(p, func(r *mpi.Rank) error {
 			var stats []nbody.StepStats
 			var err error
 			if persistent {
@@ -115,9 +120,11 @@ func ExtensionPersistentWindow(n, p, steps int) ([]PersistentRow, *lsb.Table, er
 			if err != nil {
 				return err
 			}
+			perStepMu.Lock()
 			for i, s := range stats {
 				perStep[i] += s.ForceTime
 			}
+			perStepMu.Unlock()
 			return nil
 		})
 		if err != nil {

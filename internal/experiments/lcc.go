@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"clampi/internal/core"
 	"clampi/internal/getter"
@@ -9,6 +10,7 @@ import (
 	"clampi/internal/lcc"
 	"clampi/internal/lsb"
 	"clampi/internal/mpi"
+	"clampi/internal/rma"
 	"clampi/internal/rmat"
 	"clampi/internal/simtime"
 	"clampi/internal/trace"
@@ -21,9 +23,10 @@ func BuildLCCGraph(scale, edgeFactor int, seed int64) *graph.CSR {
 
 // lccRun executes one LCC configuration over p ranks and returns the
 // aggregate result (times and counts summed over ranks).
-func lccRun(g *graph.CSR, p int, maxVerts int, mk func(win *mpi.Win) (getter.Getter, error), recs []*trace.Recorder) (lcc.Result, error) {
+func lccRun(g *graph.CSR, p int, maxVerts int, mk func(win rma.Window) (getter.Getter, error), recs []*trace.Recorder) (lcc.Result, error) {
 	var total lcc.Result
-	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+	var totalMu sync.Mutex
+	err := runWorld(p, func(r *mpi.Rank) error {
 		d := graph.Distribute(g, p, r.ID())
 		win := r.WinCreate(d.LocalAdjBytes(), nil)
 		defer win.Free()
@@ -45,7 +48,9 @@ func lccRun(g *graph.CSR, p int, maxVerts int, mk func(win *mpi.Win) (getter.Get
 		if err := win.UnlockAll(); err != nil {
 			return err
 		}
-		// Ranks are token-serialized: accumulation is safe.
+		// Ranks may run concurrently in Throughput mode; serialize
+		// the shared accumulation.
+		totalMu.Lock()
 		total.Vertices += res.Vertices
 		total.SumLCC += res.SumLCC
 		total.Wedges += res.Wedges
@@ -54,6 +59,7 @@ func lccRun(g *graph.CSR, p int, maxVerts int, mk func(win *mpi.Win) (getter.Get
 		total.RemoteBytes += res.RemoteBytes
 		total.Time += res.Time
 		total.CommTime += res.CommTime
+		totalMu.Unlock()
 		r.Barrier()
 		return nil
 	})
@@ -69,7 +75,7 @@ func Fig3LCCSizes(scale, edgeFactor, p, maxVerts int) (*trace.Recorder, *lsb.Tab
 	for i := range recs {
 		recs[i] = trace.NewRecorder()
 	}
-	if _, err := lccRun(g, p, maxVerts, func(win *mpi.Win) (getter.Getter, error) {
+	if _, err := lccRun(g, p, maxVerts, func(win rma.Window) (getter.Getter, error) {
 		return getter.NewRaw(win), nil
 	}, recs); err != nil {
 		return nil, nil, err
@@ -109,7 +115,7 @@ func Fig15LCCParams(g *graph.CSR, p, maxVerts int, storageSizes, indexSizes []in
 		"system", "|I_w|", "|S_w|(B)", "time/vertex", "hit rate", "adjustments")
 
 	// foMPI reference.
-	res, err := lccRun(g, p, maxVerts, func(win *mpi.Win) (getter.Getter, error) {
+	res, err := lccRun(g, p, maxVerts, func(win rma.Window) (getter.Getter, error) {
 		return getter.NewRaw(win), nil
 	}, nil)
 	if err != nil {
@@ -230,7 +236,7 @@ func Fig17And18LCCWeak(baseScale, edgeFactor int, ps []int, maxVerts, indexSlots
 		g := BuildLCCGraph(scale, edgeFactor, 555)
 		for _, sys := range []string{"foMPI", "CLaMPI-fixed", "CLaMPI-adaptive"} {
 			var fleet *clampiFleet
-			mk := func(win *mpi.Win) (getter.Getter, error) { return getter.NewRaw(win), nil }
+			mk := func(win rma.Window) (getter.Getter, error) { return getter.NewRaw(win), nil }
 			if sys != "foMPI" {
 				fleet = newClampiFleet(p, core.Params{
 					Mode: core.AlwaysCache, IndexSlots: indexSlots, StorageBytes: storageBytes,

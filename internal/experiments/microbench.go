@@ -1,0 +1,45 @@
+package experiments
+
+// Machine-readable micro-benchmark summary backing the -json flag of
+// cmd/clampi-micro: one capacity-bound always-cache run whose headline
+// numbers (ops, hit rate, virtual ns/op) are tracked across PRs.
+
+import (
+	"clampi/internal/workload"
+)
+
+// MicroBenchResult is the structured outcome of one MicroBench run.
+type MicroBenchResult struct {
+	Mode           string  `json:"mode"`
+	DistinctGets   int     `json:"distinct_gets"`
+	Ops            int64   `json:"ops"`
+	HitRate        float64 `json:"hit_rate"`
+	VirtualNsPerOp float64 `json:"virtual_ns_per_op"`
+	TotalVirtualNs int64   `json:"total_virtual_ns"`
+}
+
+// MicroBench replays the §IV-A micro workload (N distinct gets sampled Z
+// times, Zipf-like) through a CLaMPI always-cache window and returns the
+// headline numbers.
+func MicroBench(n, z int) (MicroBenchResult, error) {
+	specs, seq, regionSize := workload.Micro(n, z, 31)
+	p := alwaysCacheParams(n*2, 256<<10)
+	var res MicroBenchResult
+	err := withMicro(regionSize, &p, func(env *microEnv) error {
+		t, err := env.runSequence(specs, seq)
+		if err != nil {
+			return err
+		}
+		st := env.cache.Stats()
+		res = MicroBenchResult{
+			Mode:           execMode.String(),
+			DistinctGets:   n,
+			Ops:            st.Gets,
+			HitRate:        st.HitRate(),
+			TotalVirtualNs: int64(t),
+			VirtualNsPerOp: float64(t) / float64(st.Gets),
+		}
+		return nil
+	})
+	return res, err
+}

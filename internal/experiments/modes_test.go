@@ -1,0 +1,163 @@
+package experiments
+
+// Dual-mode integration coverage: the full LCC and Barnes-Hut workloads
+// must compute identical per-rank results in the serialized
+// FidelityMeasured engine and the concurrent Throughput engine. With
+// modelled (deterministic) costs the virtual clocks are mode-independent
+// too, so the comparison is exact — including times, cache hit counts
+// and remote-get counts.
+
+import (
+	"sync"
+	"testing"
+
+	"clampi/internal/core"
+	"clampi/internal/getter"
+	"clampi/internal/graph"
+	"clampi/internal/lcc"
+	"clampi/internal/mpi"
+	"clampi/internal/nbody"
+	"clampi/internal/rma"
+)
+
+const modesRanks = 8
+
+// lccPerRank runs the distributed LCC kernel and returns each rank's
+// Result (indexed by rank id — a per-rank slot, so no locking needed).
+func lccPerRank(t *testing.T, g *graph.CSR, mode mpi.ExecMode, cached bool) []lcc.Result {
+	t.Helper()
+	results := make([]lcc.Result, modesRanks)
+	err := mpi.Run(modesRanks, mpi.Config{Mode: mode}, func(r *mpi.Rank) error {
+		d := graph.Distribute(g, modesRanks, r.ID())
+		win := r.WinCreate(d.LocalAdjBytes(), nil)
+		defer win.Free()
+		var gt getter.Getter
+		if cached {
+			c, err := core.New(win, core.Params{
+				Mode: core.AlwaysCache, IndexSlots: 1 << 12, StorageBytes: 1 << 18, Seed: 3,
+			})
+			if err != nil {
+				return err
+			}
+			gt = getter.NewCached(c)
+		} else {
+			gt = getter.NewRaw(win)
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		res, err := lcc.Run(r, d, gt, lcc.Config{MaxVertices: 64})
+		if err != nil {
+			return err
+		}
+		if err := win.UnlockAll(); err != nil {
+			return err
+		}
+		results[r.ID()] = res
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lcc mode=%v cached=%v: %v", mode, cached, err)
+	}
+	return results
+}
+
+func TestLCCModesIdentical(t *testing.T) {
+	g := BuildLCCGraph(10, 8, 77)
+	for _, cached := range []bool{false, true} {
+		serial := lccPerRank(t, g, mpi.FidelityMeasured, cached)
+		conc := lccPerRank(t, g, mpi.Throughput, cached)
+		for i := range serial {
+			if serial[i] != conc[i] {
+				t.Errorf("cached=%v rank %d: fidelity %+v != throughput %+v",
+					cached, i, serial[i], conc[i])
+			}
+		}
+	}
+}
+
+// nbodyPerRank runs the Barnes-Hut simulation and returns each rank's
+// per-step statistics.
+func nbodyPerRank(t *testing.T, mode mpi.ExecMode, cached bool) [][]nbody.StepStats {
+	t.Helper()
+	results := make([][]nbody.StepStats, modesRanks)
+	cfg := nbody.SimConfig{Bodies: 640, Steps: 2, Theta: 0.5, Seed: 7}
+	mk := func(win rma.Window) (getter.Getter, error) {
+		if !cached {
+			return getter.NewRaw(win), nil
+		}
+		c, err := core.New(win, core.Params{
+			Mode: core.AlwaysCache, IndexSlots: 1 << 12, StorageBytes: 1 << 18, Seed: 3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return getter.NewCached(c), nil
+	}
+	err := mpi.Run(modesRanks, mpi.Config{Mode: mode}, func(r *mpi.Rank) error {
+		stats, err := nbody.RunSim(r, cfg, mk)
+		if err != nil {
+			return err
+		}
+		results[r.ID()] = stats
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("nbody mode=%v cached=%v: %v", mode, cached, err)
+	}
+	return results
+}
+
+func TestNBodyModesIdentical(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		serial := nbodyPerRank(t, mpi.FidelityMeasured, cached)
+		conc := nbodyPerRank(t, mpi.Throughput, cached)
+		for i := range serial {
+			if len(serial[i]) != len(conc[i]) {
+				t.Fatalf("cached=%v rank %d: step counts %d != %d",
+					cached, i, len(serial[i]), len(conc[i]))
+			}
+			for s := range serial[i] {
+				if serial[i][s] != conc[i][s] {
+					t.Errorf("cached=%v rank %d step %d: fidelity %+v != throughput %+v",
+						cached, i, s, serial[i][s], conc[i][s])
+				}
+			}
+		}
+	}
+}
+
+// TestDriversRunInThroughputMode exercises the package-level mode switch:
+// the aggregate figure drivers must produce the same totals in both modes
+// (every aggregated field is an integer or a virtual duration, so
+// summation order cannot change the outcome).
+func TestDriversRunInThroughputMode(t *testing.T) {
+	var mu sync.Mutex // guards execMode save/restore against parallel tests
+	mu.Lock()
+	defer mu.Unlock()
+	prev := ExecMode()
+	defer SetExecMode(prev)
+
+	g := BuildLCCGraph(9, 8, 11)
+	SetExecMode(mpi.FidelityMeasured)
+	serial, err := lccRun(g, 4, 32, func(win rma.Window) (getter.Getter, error) {
+		return getter.NewRaw(win), nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetExecMode(mpi.Throughput)
+	conc, err := lccRun(g, 4, 32, func(win rma.Window) (getter.Getter, error) {
+		return getter.NewRaw(win), nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Vertices != conc.Vertices || serial.Wedges != conc.Wedges ||
+		serial.Gets != conc.Gets || serial.RemoteGets != conc.RemoteGets ||
+		serial.RemoteBytes != conc.RemoteBytes || serial.Time != conc.Time ||
+		serial.CommTime != conc.CommTime {
+		t.Errorf("driver totals differ:\nfidelity   %+v\nthroughput %+v", serial, conc)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"clampi/internal/blockcache"
 	"clampi/internal/core"
@@ -9,6 +10,7 @@ import (
 	"clampi/internal/lsb"
 	"clampi/internal/mpi"
 	"clampi/internal/nbody"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 	"clampi/internal/trace"
 )
@@ -24,12 +26,12 @@ func newClampiFleet(p int, params core.Params) *clampiFleet {
 	return &clampiFleet{params: params, caches: make([]*core.Cache, p)}
 }
 
-func (f *clampiFleet) factory(win *mpi.Win) (getter.Getter, error) {
+func (f *clampiFleet) factory(win rma.Window) (getter.Getter, error) {
 	c, err := core.New(win, f.params)
 	if err != nil {
 		return nil, err
 	}
-	f.caches[win.Rank().ID()] = c
+	f.caches[win.Endpoint().ID()] = c
 	return getter.NewCached(c), nil
 }
 
@@ -55,14 +57,18 @@ func (f *clampiFleet) totals() core.Stats {
 // nbodyRun executes one Barnes-Hut configuration and returns the summed
 // force time, bodies processed, and (for CLaMPI systems) cache stats.
 func nbodyRun(n, p int, cfg nbody.SimConfig, mk nbody.GetterFactory) (simtime.Duration, int, error) {
+	var mu sync.Mutex
 	var force simtime.Duration
 	var bodies int
-	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+	err := runWorld(p, func(r *mpi.Rank) error {
 		stats, err := nbody.RunSim(r, cfg, mk)
 		if err != nil {
 			return err
 		}
-		// The token serializes ranks, so these accumulations are safe.
+		// Ranks may run concurrently in Throughput mode; serialize the
+		// shared accumulation.
+		mu.Lock()
+		defer mu.Unlock()
 		for _, s := range stats {
 			force += s.ForceTime
 			bodies += s.Bodies
@@ -80,9 +86,9 @@ func Fig2NBodyReuse(n, p int) (*trace.Recorder, *lsb.Table, error) {
 	for i := range recs {
 		recs[i] = trace.NewRecorder()
 	}
-	err := mpi.Run(p, mpi.Config{}, func(r *mpi.Rank) error {
+	err := runWorld(p, func(r *mpi.Rank) error {
 		cfg := nbody.SimConfig{Bodies: n, Steps: 1, Theta: 0.5, Seed: 2017, Recorder: recs[r.ID()]}
-		_, err := nbody.RunSim(r, cfg, func(win *mpi.Win) (getter.Getter, error) {
+		_, err := nbody.RunSim(r, cfg, func(win rma.Window) (getter.Getter, error) {
 			return getter.NewRaw(win), nil
 		})
 		return err
@@ -123,7 +129,7 @@ func Fig12NBodyParams(n, p, indexSlots int, storageSizes []int) ([]Fig12Row, *ls
 		"|S_w|(B)", "system", "time/body", "adjustments")
 
 	// foMPI reference (independent of |S_w|).
-	force, bodies, err := nbodyRun(n, p, cfg, func(win *mpi.Win) (getter.Getter, error) {
+	force, bodies, err := nbodyRun(n, p, cfg, func(win rma.Window) (getter.Getter, error) {
 		return getter.NewRaw(win), nil
 	})
 	if err != nil {
@@ -135,7 +141,7 @@ func Fig12NBodyParams(n, p, indexSlots int, storageSizes []int) ([]Fig12Row, *ls
 
 	for _, sw := range storageSizes {
 		// Native block cache with the same memory budget.
-		force, bodies, err := nbodyRun(n, p, cfg, func(win *mpi.Win) (getter.Getter, error) {
+		force, bodies, err := nbodyRun(n, p, cfg, func(win rma.Window) (getter.Getter, error) {
 			return blockcache.New(win, sw, 256)
 		})
 		if err != nil {
@@ -236,8 +242,8 @@ func Fig14NBodyWeak(bodiesPerPE int, ps []int, indexSlots, storageBytes int) ([]
 			name string
 			mk   nbody.GetterFactory
 		}{
-			{"foMPI", func(win *mpi.Win) (getter.Getter, error) { return getter.NewRaw(win), nil }},
-			{"native", func(win *mpi.Win) (getter.Getter, error) { return blockcache.New(win, storageBytes, 256) }},
+			{"foMPI", func(win rma.Window) (getter.Getter, error) { return getter.NewRaw(win), nil }},
+			{"native", func(win rma.Window) (getter.Getter, error) { return blockcache.New(win, storageBytes, 256) }},
 			{"CLaMPI-fixed", newClampiFleet(p, core.Params{
 				Mode: core.AlwaysCache, IndexSlots: indexSlots, StorageBytes: storageBytes, Seed: 3}).factory},
 			{"CLaMPI-adaptive", newClampiFleet(p, core.Params{

@@ -15,7 +15,7 @@ package getter
 import (
 	"clampi/internal/core"
 	"clampi/internal/datatype"
-	"clampi/internal/mpi"
+	"clampi/internal/rma"
 )
 
 // Getter reads count bytes from target's window region. As with MPI_Get,
@@ -34,11 +34,11 @@ type Getter interface {
 
 // Raw issues uncached window gets: the foMPI baseline.
 type Raw struct {
-	Win *mpi.Win
+	Win rma.Window
 }
 
 // NewRaw wraps a window in the baseline getter.
-func NewRaw(win *mpi.Win) *Raw { return &Raw{Win: win} }
+func NewRaw(win rma.Window) *Raw { return &Raw{Win: win} }
 
 // Get implements Getter.
 func (r *Raw) Get(dst []byte, target, disp int) error {

@@ -8,6 +8,7 @@ import (
 	"clampi/internal/getter"
 	"clampi/internal/graph"
 	"clampi/internal/mpi"
+	"clampi/internal/rma"
 	"clampi/internal/rmat"
 	"clampi/internal/trace"
 )
@@ -49,11 +50,11 @@ func TestReferenceOnKnownGraphs(t *testing.T) {
 // given getter factory and returns ΣLCC and aggregate per-rank results.
 // cfg is cloned per rank; a Recorder in it would be shared across rank
 // goroutines, so use runDistributedCfg for per-rank configs instead.
-func runDistributed(t *testing.T, g *graph.CSR, p int, mk func(win *mpi.Win) (getter.Getter, error), cfg Config) (float64, []Result) {
+func runDistributed(t *testing.T, g *graph.CSR, p int, mk func(win rma.Window) (getter.Getter, error), cfg Config) (float64, []Result) {
 	return runDistributedCfg(t, g, p, mk, func(int) Config { return cfg })
 }
 
-func runDistributedCfg(t *testing.T, g *graph.CSR, p int, mk func(win *mpi.Win) (getter.Getter, error), cfgOf func(rank int) Config) (float64, []Result) {
+func runDistributedCfg(t *testing.T, g *graph.CSR, p int, mk func(win rma.Window) (getter.Getter, error), cfgOf func(rank int) Config) (float64, []Result) {
 	t.Helper()
 	sums := make([]float64, p)
 	results := make([]Result, p)
@@ -101,7 +102,7 @@ func refSum(g *graph.CSR) float64 {
 func TestDistributedMatchesReferenceRaw(t *testing.T) {
 	g := testGraph(t, 9, 8)
 	want := refSum(g)
-	got, results := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+	got, results := runDistributed(t, g, 4, func(w rma.Window) (getter.Getter, error) {
 		return getter.NewRaw(w), nil
 	}, Config{})
 	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
@@ -119,7 +120,7 @@ func TestDistributedMatchesReferenceRaw(t *testing.T) {
 func TestDistributedMatchesReferenceCached(t *testing.T) {
 	g := testGraph(t, 9, 8)
 	want := refSum(g)
-	got, results := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+	got, results := runDistributed(t, g, 4, func(w rma.Window) (getter.Getter, error) {
 		c, err := core.New(w, core.Params{Mode: core.AlwaysCache, IndexSlots: 4096, StorageBytes: 1 << 22, Seed: 5})
 		if err != nil {
 			return nil, err
@@ -141,7 +142,7 @@ func TestCachedUnderPressureStillCorrect(t *testing.T) {
 	// results.
 	g := testGraph(t, 9, 8)
 	want := refSum(g)
-	got, _ := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+	got, _ := runDistributed(t, g, 4, func(w rma.Window) (getter.Getter, error) {
 		c, err := core.New(w, core.Params{Mode: core.AlwaysCache, IndexSlots: 32, StorageBytes: 4096, Seed: 5})
 		if err != nil {
 			return nil, err
@@ -156,10 +157,10 @@ func TestCachedUnderPressureStillCorrect(t *testing.T) {
 func TestCachingReducesTime(t *testing.T) {
 	// The headline claim: CLaMPI beats foMPI on LCC thanks to reuse.
 	g := testGraph(t, 10, 8)
-	_, rawRes := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+	_, rawRes := runDistributed(t, g, 4, func(w rma.Window) (getter.Getter, error) {
 		return getter.NewRaw(w), nil
 	}, Config{})
-	_, cachedRes := runDistributed(t, g, 4, func(w *mpi.Win) (getter.Getter, error) {
+	_, cachedRes := runDistributed(t, g, 4, func(w rma.Window) (getter.Getter, error) {
 		c, err := core.New(w, core.Params{Mode: core.AlwaysCache, IndexSlots: 1 << 16, StorageBytes: 64 << 20, Seed: 5})
 		if err != nil {
 			return nil, err
@@ -184,7 +185,7 @@ func TestCachingReducesTime(t *testing.T) {
 func TestRecorderCapturesSizes(t *testing.T) {
 	g := testGraph(t, 8, 8)
 	recs := []*trace.Recorder{trace.NewRecorder(), trace.NewRecorder()}
-	runDistributedCfg(t, g, 2, func(w *mpi.Win) (getter.Getter, error) {
+	runDistributedCfg(t, g, 2, func(w rma.Window) (getter.Getter, error) {
 		return getter.NewRaw(w), nil
 	}, func(rank int) Config { return Config{Recorder: recs[rank]} })
 	merged := trace.NewRecorder()
@@ -212,7 +213,7 @@ func TestRecorderCapturesSizes(t *testing.T) {
 
 func TestMaxVerticesCap(t *testing.T) {
 	g := testGraph(t, 9, 8)
-	_, results := runDistributed(t, g, 2, func(w *mpi.Win) (getter.Getter, error) {
+	_, results := runDistributed(t, g, 2, func(w rma.Window) (getter.Getter, error) {
 		return getter.NewRaw(w), nil
 	}, Config{MaxVertices: 10})
 	for rank, r := range results {

@@ -4,28 +4,31 @@ package mpi
 // writes), but real RMA applications mix them with gets, so the runtime
 // substrate provides them. Unlike Put, concurrent same-target
 // accumulates are legal in MPI-3 (they are element-wise atomic); the
-// simulated runtime executes them under the world's run token, which
-// already serializes ranks.
+// simulated runtime executes them under the world's run token in
+// FidelityMeasured mode and under the target's data-path shard in
+// Throughput mode.
 
 import (
 	"errors"
 	"math"
 
 	"clampi/internal/datatype"
+	"clampi/internal/rma"
 )
 
-// Op is an accumulate reduction operator.
-type Op int
+// Op is an accumulate reduction operator, aliased from the transport
+// layer so callers can use either package's constants.
+type Op = rma.Op
 
 const (
 	// OpReplace overwrites the target elements (MPI_REPLACE).
-	OpReplace Op = iota
+	OpReplace = rma.OpReplace
 	// OpSum adds to the target elements (MPI_SUM).
-	OpSum
+	OpSum = rma.OpSum
 	// OpMax keeps the element-wise maximum (MPI_MAX).
-	OpMax
+	OpMax = rma.OpMax
 	// OpMin keeps the element-wise minimum (MPI_MIN).
-	OpMin
+	OpMin = rma.OpMin
 )
 
 // ErrBadAccumulate reports an unsupported datatype/op combination.
@@ -65,11 +68,13 @@ func (w *Win) Accumulate(src []byte, dtype datatype.Datatype, count int, target,
 	if disp < 0 || disp+size > len(region) {
 		return ErrBounds
 	}
+	w.lockTarget(target)
 	for i := 0; i < count; i++ {
 		s := src[i*elem : (i+1)*elem]
 		d := region[disp+i*elem : disp+(i+1)*elem]
 		applyOp(d, s, dtype, op)
 	}
+	w.unlockTarget(target)
 	w.enqueueOp(target, size)
 	return nil
 }

@@ -10,25 +10,20 @@ import (
 	"errors"
 	"sync"
 
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
 
-// LockType selects MPI_LOCK_SHARED or MPI_LOCK_EXCLUSIVE.
-type LockType int
+// LockType selects MPI_LOCK_SHARED or MPI_LOCK_EXCLUSIVE. It aliases the
+// transport-layer type so callers can use either package's constants.
+type LockType = rma.LockType
 
 const (
 	// LockShared permits concurrent lock holders (MPI_LOCK_SHARED).
-	LockShared LockType = iota
+	LockShared = rma.LockShared
 	// LockExclusive excludes all other holders (MPI_LOCK_EXCLUSIVE).
-	LockExclusive
+	LockExclusive = rma.LockExclusive
 )
-
-func (t LockType) String() string {
-	if t == LockExclusive {
-		return "exclusive"
-	}
-	return "shared"
-}
 
 // ErrAlreadyLocked reports a second Lock on a target this origin already
 // holds locked.
@@ -75,10 +70,11 @@ func (w *Win) acquire(target int, typ LockType) simtime.Duration {
 		ch := make(chan struct{})
 		tl.waiters = append(tl.waiters, ch)
 		tl.mu.Unlock()
-		// Yield so the holder can run and release.
-		w.rank.world.token.Unlock()
+		// Yield so the holder can run and release (a no-op in
+		// Throughput mode, where ranks already run concurrently).
+		w.rank.world.leave()
 		<-ch
-		w.rank.world.token.Lock()
+		w.rank.world.enter()
 	}
 }
 

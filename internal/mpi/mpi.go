@@ -27,28 +27,80 @@
 // buffers, so applications compute correct results. MPI-3's epoch rules
 // (no conflicting accesses within an epoch) are what make the immediate
 // copy indistinguishable from a deferred one.
+//
+// The package implements the transport contract of internal/rma: *Win
+// satisfies rma.Window and *Rank satisfies rma.Endpoint, making this
+// runtime the first of several pluggable backends under the caching
+// layer.
 package mpi
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"clampi/internal/datatype"
 	"clampi/internal/netsim"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
 
-// Errors returned by window operations.
+// Errors returned by window operations. The data-path errors are the
+// backend-independent values of internal/rma, re-exported under their
+// historical names.
 var (
-	ErrRankRange  = errors.New("mpi: target rank out of range")
-	ErrBounds     = errors.New("mpi: access outside window bounds")
-	ErrShortBuf   = errors.New("mpi: origin buffer too small for transfer")
-	ErrFreedWin   = errors.New("mpi: window has been freed")
-	ErrBadEpoch   = errors.New("mpi: operation outside an access epoch")
+	ErrRankRange  = rma.ErrRankRange
+	ErrBounds     = rma.ErrBounds
+	ErrShortBuf   = rma.ErrShortBuf
+	ErrFreedWin   = rma.ErrFreedWin
+	ErrBadEpoch   = rma.ErrBadEpoch
 	ErrWorldSize  = errors.New("mpi: world size must be positive")
 	ErrNilProgram = errors.New("mpi: nil rank program")
 )
+
+// ExecMode selects the execution engine ranks run under (see Run).
+type ExecMode int
+
+const (
+	// FidelityMeasured is the serialized engine: exactly one rank
+	// goroutine runs user code at a time, yielding only inside
+	// blocking synchronization. Essential for calibration-grade
+	// CostMeasured timing — a measured section can never absorb
+	// another rank's scheduler quantum — and the default, because the
+	// paper's figures are regenerated under it.
+	FidelityMeasured ExecMode = iota
+	// Throughput runs rank goroutines genuinely concurrently: the
+	// global run token is gone and cross-rank data movement is
+	// protected by per-target-region sharded mutexes instead. Clocks
+	// must stay modelled-only (the default cost policy) for results to
+	// remain deterministic; with P runnable goroutines the engine uses
+	// as many cores as the host offers.
+	Throughput
+)
+
+func (m ExecMode) String() string {
+	switch m {
+	case FidelityMeasured:
+		return "fidelity"
+	case Throughput:
+		return "throughput"
+	default:
+		return fmt.Sprintf("execmode(%d)", int(m))
+	}
+}
+
+// ParseExecMode converts a flag value to an ExecMode. It accepts the
+// String() forms plus common aliases.
+func ParseExecMode(s string) (ExecMode, error) {
+	switch strings.ToLower(s) {
+	case "", "fidelity", "serialized", "measured":
+		return FidelityMeasured, nil
+	case "throughput", "concurrent", "parallel":
+		return Throughput, nil
+	}
+	return FidelityMeasured, fmt.Errorf("mpi: unknown exec mode %q (want fidelity or throughput)", s)
+}
 
 // Config controls the simulated machine a World runs on.
 type Config struct {
@@ -62,6 +114,9 @@ type Config struct {
 	// NodesPerGroup controls the node→Dragonfly-group mapping; <=0
 	// selects the Piz Daint group size.
 	NodesPerGroup int
+	// Mode selects the execution engine; the zero value is the
+	// serialized FidelityMeasured engine.
+	Mode ExecMode
 }
 
 // World is the communicator containing all ranks of a run.
@@ -73,17 +128,40 @@ type World struct {
 	colls map[int]*collSlot
 	wins  int // window id counter
 
-	// token serializes rank execution: exactly one rank goroutine runs
-	// user code at a time, yielding only inside collectives. Ranks
-	// interact solely through collectives (and through RMA data that
-	// epoch rules order across collectives), so serialization cannot
-	// change results — but it is essential for timing fidelity: the
-	// hybrid clocks measure real durations of cache-management code,
-	// and with several runnable goroutines per core a measured section
-	// could absorb a whole scheduler quantum of *another* rank's work.
+	// token serializes rank execution in FidelityMeasured mode: exactly
+	// one rank goroutine runs user code at a time, yielding only inside
+	// blocking synchronization. Ranks interact solely through
+	// collectives (and through RMA data that epoch rules order across
+	// collectives), so serialization cannot change results — but it is
+	// essential for timing fidelity: the hybrid clocks can measure real
+	// durations of cache-management code, and with several runnable
+	// goroutines per core a measured section could absorb a whole
+	// scheduler quantum of *another* rank's work. In Throughput mode
+	// the token is unused and ranks run genuinely concurrently; the
+	// data path is then protected by per-target shard locks instead
+	// (see winShared.shards).
 	token sync.Mutex
 
 	ranks []*Rank
+}
+
+// serialized reports whether the world runs under the global run token.
+func (w *World) serialized() bool { return w.cfg.Mode == FidelityMeasured }
+
+// enter acquires the run token in serialized mode (no-op otherwise).
+func (w *World) enter() {
+	if w.serialized() {
+		w.token.Lock()
+	}
+}
+
+// leave releases the run token in serialized mode (no-op otherwise).
+// Blocking synchronization calls bracket their waits with leave/enter so
+// the remaining ranks can progress.
+func (w *World) leave() {
+	if w.serialized() {
+		w.token.Unlock()
+	}
 }
 
 // collSlot is one in-flight collective rendezvous.
@@ -104,7 +182,9 @@ type Rank struct {
 }
 
 // Run executes program on size simulated ranks, one goroutine each, and
-// blocks until all return. It is the moral equivalent of mpirun.
+// blocks until all return. It is the moral equivalent of mpirun. The
+// cfg.Mode field selects between the serialized FidelityMeasured engine
+// (default) and the concurrent Throughput engine.
 func Run(size int, cfg Config, program func(*Rank) error) error {
 	if size <= 0 {
 		return ErrWorldSize
@@ -130,8 +210,8 @@ func Run(size int, cfg Config, program func(*Rank) error) error {
 	for i := 0; i < size; i++ {
 		go func(r *Rank) {
 			defer wg.Done()
-			w.token.Lock()
-			defer w.token.Unlock()
+			w.enter()
+			defer w.leave()
 			errs[r.id] = program(r)
 		}(w.ranks[i])
 	}
@@ -186,9 +266,9 @@ func (r *Rank) collective(contrib any, cost simtime.Duration) []any {
 	} else {
 		// Yield the run token while blocked so the remaining ranks
 		// can reach the rendezvous (see World.token).
-		w.token.Unlock()
+		w.leave()
 		<-slot.done
-		w.token.Lock()
+		w.enter()
 	}
 	r.clock.AdvanceTo(slot.clock + cost)
 	return slot.data
@@ -262,8 +342,9 @@ func (r *Rank) Bcast(v any, root int) any {
 // ---------------------------------------------------------------------------
 
 // Info carries window-creation hints (MPI_Info). CLaMPI reads its
-// operational mode from here (paper §III-A).
-type Info map[string]string
+// operational mode from here (paper §III-A). It is the backend-neutral
+// rma.Info under its historical name.
+type Info = rma.Info
 
 // pendingOp is one issued-but-not-completed RMA operation.
 type pendingOp struct {
@@ -278,6 +359,14 @@ type winShared struct {
 	regions [][]byte
 	info    Info
 
+	// shards serializes cross-rank data movement per target region in
+	// Throughput mode (one mutex per target, replacing the global run
+	// token): concurrent accumulates to one target stay element-wise
+	// atomic, and a get never observes a torn concurrent put. In
+	// FidelityMeasured mode the token already serializes ranks and the
+	// shards are not touched.
+	shards []sync.Mutex
+
 	pscwOnce  sync.Once
 	pscwState *pscwState
 
@@ -290,8 +379,9 @@ type winShared struct {
 //
 // The listener runs on the origin rank's goroutine, inside the completion
 // call, after the clock has advanced past all pending completions and
-// before the epoch counter increments.
-type EpochListener func(epoch int64)
+// before the epoch counter increments. It is the backend-neutral
+// rma.EpochListener under its historical name.
+type EpochListener = rma.EpochListener
 
 // Win is a rank's handle on a window (origin-side state is private to the
 // rank, per MPI semantics).
@@ -327,7 +417,12 @@ func (r *Rank) WinCreate(region []byte, info Info) *Win {
 	// in exactly one place.
 	var shared *winShared
 	if r.id == 0 {
-		shared = &winShared{id: id, regions: make([][]byte, len(gathered)), info: info}
+		shared = &winShared{
+			id:      id,
+			regions: make([][]byte, len(gathered)),
+			info:    info,
+			shards:  make([]sync.Mutex, len(gathered)),
+		}
 		for i, g := range gathered {
 			if g != nil {
 				shared.regions[i] = g.([]byte)
@@ -357,6 +452,31 @@ func (w *Win) Info() Info { return w.shared.info }
 
 // Rank returns the owning rank handle.
 func (w *Win) Rank() *Rank { return w.rank }
+
+// Endpoint returns the owning rank as a transport endpoint (rma.Window).
+func (w *Win) Endpoint() rma.Endpoint { return w.rank }
+
+// Compile-time checks: this runtime implements the transport contract.
+var (
+	_ rma.Window   = (*Win)(nil)
+	_ rma.Endpoint = (*Rank)(nil)
+)
+
+// lockTarget serializes data movement on target's region in Throughput
+// mode. In FidelityMeasured mode the global run token already orders
+// ranks, so the shard is not touched.
+func (w *Win) lockTarget(target int) {
+	if !w.rank.world.serialized() {
+		w.shared.shards[target].Lock()
+	}
+}
+
+// unlockTarget releases the target's data-path shard in Throughput mode.
+func (w *Win) unlockTarget(target int) {
+	if !w.rank.world.serialized() {
+		w.shared.shards[target].Unlock()
+	}
+}
 
 // Epoch returns the number of epochs closed on this window by this origin
 // since creation (the w.eph counter of the paper's notation).
@@ -435,7 +555,9 @@ func (w *Win) Get(dst []byte, dtype datatype.Datatype, count int, target, disp i
 			return ErrBounds
 		}
 	}
+	w.lockTarget(target)
 	datatype.CopyBlocks(dst, region, blocks)
+	w.unlockTarget(target)
 
 	w.enqueueOp(target, size)
 	return nil
@@ -465,7 +587,9 @@ func (w *Win) Put(src []byte, dtype datatype.Datatype, count int, target, disp i
 			return ErrBounds
 		}
 	}
+	w.lockTarget(target)
 	datatype.ScatterBlocks(region, src, blocks)
+	w.unlockTarget(target)
 
 	w.enqueueOp(target, size)
 	return nil

@@ -56,9 +56,9 @@ func (r *Rank) recvYield(ch chan simtime.Duration) simtime.Duration {
 		return v
 	default:
 	}
-	r.world.token.Unlock()
+	r.world.leave()
 	v := <-ch
-	r.world.token.Lock()
+	r.world.enter()
 	return v
 }
 

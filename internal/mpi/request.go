@@ -6,16 +6,16 @@ package mpi
 // computation step needs instead of flushing everything.
 
 import (
-	"errors"
-
 	"clampi/internal/datatype"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
 
 // ErrDoneRequest reports a Wait on an already-completed request.
-var ErrDoneRequest = errors.New("mpi: request already completed")
+var ErrDoneRequest = rma.ErrDoneRequest
 
-// Request is the handle of one request-based operation.
+// Request is the handle of one request-based operation. It implements
+// rma.Request.
 type Request struct {
 	win        *Win
 	seq        int64
@@ -23,27 +23,36 @@ type Request struct {
 	done       bool
 }
 
+var _ rma.Request = (*Request)(nil)
+
 // Rget is Get returning a completable request (MPI_Rget). The operation
 // also completes with the epoch's Flush/Unlock like any other.
-func (w *Win) Rget(dst []byte, dtype datatype.Datatype, count int, target, disp int) (*Request, error) {
+func (w *Win) Rget(dst []byte, dtype datatype.Datatype, count int, target, disp int) (rma.Request, error) {
 	if err := w.Get(dst, dtype, count, target, disp); err != nil {
 		return nil, err
 	}
-	return w.lastRequest(), nil
+	return w.lastRequest()
 }
 
 // Rput is Put returning a completable request (MPI_Rput).
-func (w *Win) Rput(src []byte, dtype datatype.Datatype, count int, target, disp int) (*Request, error) {
+func (w *Win) Rput(src []byte, dtype datatype.Datatype, count int, target, disp int) (rma.Request, error) {
 	if err := w.Put(src, dtype, count, target, disp); err != nil {
 		return nil, err
 	}
-	return w.lastRequest(), nil
+	return w.lastRequest()
 }
 
-// lastRequest wraps the most recently issued pending operation.
-func (w *Win) lastRequest() *Request {
+// lastRequest wraps the most recently issued pending operation. An empty
+// pending list (the preceding Get/Put did not enqueue — impossible today,
+// but a cheap invariant to defend) yields ErrNoRequest rather than a
+// panic. The return type is the interface so callers never receive a
+// typed-nil *Request inside a non-nil rma.Request.
+func (w *Win) lastRequest() (rma.Request, error) {
+	if len(w.pending) == 0 {
+		return nil, rma.ErrNoRequest
+	}
 	op := w.pending[len(w.pending)-1]
-	return &Request{win: w, seq: op.seq, completion: op.completion}
+	return &Request{win: w, seq: op.seq, completion: op.completion}, nil
 }
 
 // Wait blocks (in virtual time) until the request's operation completes:
@@ -59,13 +68,20 @@ func (req *Request) Wait() error {
 	// Drop the op from the pending list so a later flush does not
 	// account it again (it would be harmless — AdvanceTo is
 	// idempotent — but the pending count should reflect reality).
-	kept := req.win.pending[:0]
-	for _, op := range req.win.pending {
-		if op.seq != req.seq {
-			kept = append(kept, op)
+	// Swap-remove keyed by seq: pending order does not matter for the
+	// clock (completion accounting takes a monotonic max), so O(1)
+	// removal beats compacting the whole list on every Wait — with n
+	// outstanding Rgets waited in issue order, the old filter-copy was
+	// O(n) per Wait, O(n²) total.
+	pending := req.win.pending
+	for i := range pending {
+		if pending[i].seq == req.seq {
+			last := len(pending) - 1
+			pending[i] = pending[last]
+			req.win.pending = pending[:last]
+			break
 		}
 	}
-	req.win.pending = kept
 	return nil
 }
 

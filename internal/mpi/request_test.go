@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"clampi/internal/datatype"
+	"clampi/internal/rma"
 )
 
 func TestRgetWaitCompletesOneOperation(t *testing.T) {
@@ -117,6 +118,69 @@ func TestRputAndErrors(t *testing.T) {
 	}
 }
 
+// TestLastRequestEmptyPending covers the hardened empty-pending path:
+// wrapping a request when nothing is in flight must report ErrNoRequest
+// instead of panicking.
+func TestLastRequestEmptyPending(t *testing.T) {
+	err := Run(1, Config{}, func(r *Rank) error {
+		win, _ := r.WinAllocate(64, nil)
+		defer win.Free()
+		if win.PendingOps() != 0 {
+			t.Fatalf("fresh window has %d pending ops", win.PendingOps())
+		}
+		req, err := win.lastRequest()
+		if !errors.Is(err, rma.ErrNoRequest) {
+			t.Errorf("lastRequest on empty pending: %v", err)
+		}
+		if req != nil {
+			t.Errorf("lastRequest returned non-nil request %v", req)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkRequestWaitMany measures waiting on many outstanding Rgets in
+// issue order — the regression case for the pending-list compaction: the
+// old filter-copy made each Wait O(outstanding), quadratic overall.
+func BenchmarkRequestWaitMany(b *testing.B) {
+	err := Run(2, Config{}, func(r *Rank) error {
+		win, _ := r.WinAllocate(4096, nil)
+		defer win.Free()
+		if r.ID() == 0 {
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			dst := make([]byte, 64)
+			reqs := make([]rma.Request, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req, err := win.Rget(dst, datatype.Byte, 64, 1, 0)
+				if err != nil {
+					return err
+				}
+				reqs[i] = req
+			}
+			for _, req := range reqs {
+				if err := req.Wait(); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 func TestRequestPipelining(t *testing.T) {
 	// Software pipelining: waiting on op i while ops i+1.. remain in
 	// flight must cost one latency total, not one per op.
@@ -129,7 +193,7 @@ func TestRequestPipelining(t *testing.T) {
 			}
 			const k = 16
 			dst := make([]byte, 1024)
-			reqs := make([]*Request, k)
+			reqs := make([]rma.Request, k)
 			t0 := r.Clock().Now()
 			for i := 0; i < k; i++ {
 				var err error

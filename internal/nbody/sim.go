@@ -3,6 +3,7 @@ package nbody
 import (
 	"clampi/internal/getter"
 	"clampi/internal/mpi"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 	"clampi/internal/trace"
 )
@@ -47,7 +48,7 @@ func (s StepStats) TimePerBody() simtime.Duration {
 // GetterFactory builds the get mechanism for one force phase: it receives
 // the window exposing the serialized local tree and returns the Getter
 // the traversal will use (raw, CLaMPI-cached, or block-cached).
-type GetterFactory func(win *mpi.Win) (getter.Getter, error)
+type GetterFactory func(win rma.Window) (getter.Getter, error)
 
 // RunSim executes the simulation on rank r (call from every rank of an
 // mpi.Run program) and returns per-step statistics for this rank.

@@ -8,15 +8,16 @@ import (
 	"clampi/internal/core"
 	"clampi/internal/getter"
 	"clampi/internal/mpi"
+	"clampi/internal/rma"
 	"clampi/internal/trace"
 )
 
-func rawFactory(win *mpi.Win) (getter.Getter, error) {
+func rawFactory(win rma.Window) (getter.Getter, error) {
 	return getter.NewRaw(win), nil
 }
 
 func clampiFactory(params core.Params) GetterFactory {
-	return func(win *mpi.Win) (getter.Getter, error) {
+	return func(win rma.Window) (getter.Getter, error) {
 		c, err := core.New(win, params)
 		if err != nil {
 			return nil, err
@@ -26,7 +27,7 @@ func clampiFactory(params core.Params) GetterFactory {
 }
 
 func nativeFactory(memory, block int) GetterFactory {
-	return func(win *mpi.Win) (getter.Getter, error) {
+	return func(win rma.Window) (getter.Getter, error) {
 		return blockcache.New(win, memory, block)
 	}
 }
