@@ -335,6 +335,35 @@ func BenchmarkOpCachedGetHit(b *testing.B) {
 	})
 }
 
+// BenchmarkOpCachedGetHitObserved is BenchmarkOpCachedGetHit with a full
+// Collector (registry + trace ring) installed. Comparing the two
+// validates the acceptance criterion that the no-observer Get path stays
+// within noise and quantifies the per-event cost when observing.
+func BenchmarkOpCachedGetHitObserved(b *testing.B) {
+	col := clampi.NewCollector(clampi.NewRegistry(), clampi.NewRing(0))
+	opts := []clampi.Option{
+		clampi.WithMode(clampi.AlwaysCache),
+		clampi.WithStorageBytes(1 << 20),
+		clampi.WithObserver(col),
+	}
+	benchWorld(b, opts, func(w *clampi.Window) error {
+		buf := make([]byte, 4096)
+		if err := w.GetBytes(buf, 1, 0); err != nil {
+			return err
+		}
+		if err := w.FlushAll(); err != nil {
+			return err
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.GetBytes(buf, 1, 0); err != nil {
+				return err
+			}
+		}
+		return w.FlushAll()
+	})
+}
+
 func BenchmarkOpCachedGetMiss(b *testing.B) {
 	opts := []clampi.Option{clampi.WithMode(clampi.AlwaysCache), clampi.WithStorageBytes(64 << 20), clampi.WithIndexSlots(1 << 21)}
 	benchWorld(b, opts, func(w *clampi.Window) error {

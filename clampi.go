@@ -5,8 +5,24 @@ import (
 	"clampi/internal/datatype"
 	"clampi/internal/mpi"
 	"clampi/internal/netsim"
+	"clampi/internal/obsv"
 	"clampi/internal/rma"
 	"clampi/internal/simtime"
+)
+
+// Sentinel errors returned by window operations, for errors.Is tests.
+// ErrOutOfRange covers both bad target ranks and accesses outside the
+// target's window region; the transport layer returns finer-grained
+// values that all match it.
+var (
+	// ErrFreed reports an operation on a freed window.
+	ErrFreed = rma.ErrFreed
+	// ErrOutOfRange reports an access addressed outside the world or
+	// the target's window region.
+	ErrOutOfRange = rma.ErrOutOfRange
+	// ErrNoEpoch reports an RMA call outside an access epoch (e.g. a
+	// Get before Lock/Fence).
+	ErrNoEpoch = rma.ErrNoEpoch
 )
 
 // Re-exported runtime types: the simulated MPI-3 environment.
@@ -138,6 +154,67 @@ const (
 // operational mode ("always-cache" or "transparent").
 const InfoKey = core.InfoKey
 
+// Observability layer (DESIGN.md §8): the caching core emits structured
+// events to an installed Observer; internal/obsv provides a ready-made
+// implementation (Collector) that turns them into a metrics registry and
+// a bounded trace ring, with Prometheus/JSON exporters. A window without
+// an observer pays a single nil-check per access.
+type (
+	// Observer receives the structured events of a caching window.
+	// Implementations must be safe for concurrent use when the window
+	// runs under the Throughput execution mode.
+	Observer = core.Observer
+	// AccessEvent describes one classified Get.
+	AccessEvent = core.AccessEvent
+	// EvictionEvent describes one evicted cache entry.
+	EvictionEvent = core.EvictionEvent
+	// AdjustmentEvent describes one adaptive parameter change.
+	AdjustmentEvent = core.AdjustmentEvent
+	// EpochEvent describes one epoch closure.
+	EpochEvent = core.EpochEvent
+
+	// Registry holds named metrics (atomic counters, gauges and
+	// log2-bucketed virtual-time histograms) keyed by name+labels.
+	Registry = obsv.Registry
+	// Ring is a bounded ring buffer of trace events.
+	Ring = obsv.Ring
+	// Collector is the canonical Observer: it translates events into
+	// Registry metrics and, optionally, Ring trace events.
+	Collector = obsv.Collector
+	// Label is one name=value dimension of a metric.
+	Label = obsv.Label
+	// TraceEvent is one flattened, JSON-serializable trace event.
+	TraceEvent = obsv.Event
+)
+
+// Observability constructors and exporters (see internal/obsv).
+var (
+	// NewRegistry returns an empty metrics registry.
+	NewRegistry = obsv.NewRegistry
+	// NewRing returns a tracer retaining the newest capacity events.
+	NewRing = obsv.NewRing
+	// NewCollector wires a registry (required) and a trace ring
+	// (optional, nil disables tracing) into an Observer.
+	NewCollector = obsv.NewCollector
+	// L is shorthand for constructing a Label.
+	L = obsv.L
+	// WritePrometheus renders a registry in the Prometheus text
+	// exposition format.
+	WritePrometheus = obsv.WritePrometheus
+	// WriteJSON renders a registry as one stable JSON document.
+	WriteJSON = obsv.WriteJSON
+	// WriteTrace renders a ring's retained events as JSON lines.
+	WriteTrace = obsv.WriteTrace
+	// WriteMetricsFile writes a registry to a file: JSON when the path
+	// ends in .json, Prometheus text format otherwise.
+	WriteMetricsFile = obsv.WriteMetricsFile
+	// WriteTraceFile writes a ring's retained events to a file as JSON
+	// lines.
+	WriteTraceFile = obsv.WriteTraceFile
+	// PublishStats exports a Stats snapshot into a registry as gauges.
+	PublishStats = obsv.PublishStats
+)
+
 // Option configures Wrap.
 type Option func(*Params)
 
@@ -161,6 +238,12 @@ func WithSampleSize(m int) Option { return func(p *Params) { p.SampleSize = m } 
 
 // WithSeed fixes the RNG seed of hashing and eviction sampling.
 func WithSeed(s int64) Option { return func(p *Params) { p.Seed = s } }
+
+// WithObserver installs an observer receiving the window's structured
+// cache events (accesses, evictions, adjustments, epoch closures).
+// Install a *Collector to feed a metrics Registry and trace Ring; any
+// Observer implementation works. A nil observer disables emission.
+func WithObserver(o Observer) Option { return func(p *Params) { p.Observer = o } }
 
 // WithParams replaces the whole parameter set (advanced use); options
 // listed after it still apply on top.
@@ -298,16 +381,8 @@ func (w *Window) Wait() error { return w.win.Wait() }
 // Like Put, it invalidates the origin-local cached entries overlapping
 // the written range before writing.
 func (w *Window) Accumulate(src []byte, dtype Datatype, count, target, disp int, op Op) error {
-	span := datatype2span(dtype, count)
-	w.cache.InvalidateRange(target, disp, span)
+	w.cache.InvalidateRange(target, disp, datatype.Span(dtype, count))
 	return w.win.Accumulate(src, dtype, count, target, disp, op)
-}
-
-func datatype2span(dtype Datatype, count int) int {
-	if count <= 0 {
-		return 0
-	}
-	return dtype.Extent() * count
 }
 
 // Free collectively releases the window.

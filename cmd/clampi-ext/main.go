@@ -21,6 +21,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, samplesize, allocpolicy, cuckoo, bfs or persistent")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
+	metricsOut := flag.String("metrics", "", "write merged cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 
 	m, err := mpi.ParseExecMode(*mode)
@@ -28,6 +30,9 @@ func main() {
 		log.Fatal(err)
 	}
 	experiments.SetExecMode(m)
+	if *metricsOut != "" || *traceOut != "" {
+		experiments.EnableObservability(0)
+	}
 
 	emit := func(tbl *lsb.Table) {
 		if *csv {
@@ -67,4 +72,8 @@ func main() {
 		_, tbl, err := experiments.ExtensionPersistentWindow(400, 2, 5)
 		return tbl, err
 	})
+
+	if err := experiments.WriteObservability(*metricsOut, *traceOut); err != nil {
+		log.Fatalf("observability: %v", err)
+	}
 }

@@ -17,7 +17,12 @@ import (
 
 func main() {
 	maxSize := flag.Int("max", 128<<10, "largest message size in bytes")
+	metricsOut := flag.String("metrics", "", "write merged cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
+	if *metricsOut != "" || *traceOut != "" {
+		experiments.EnableObservability(0)
+	}
 
 	var sizes []int
 	for s := 8; s <= *maxSize; s *= 2 {
@@ -28,4 +33,8 @@ func main() {
 		log.Fatalf("fig1: %v", err)
 	}
 	fmt.Print(tbl)
+
+	if err := experiments.WriteObservability(*metricsOut, *traceOut); err != nil {
+		log.Fatalf("observability: %v", err)
+	}
 }

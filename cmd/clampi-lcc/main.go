@@ -30,6 +30,8 @@ func main() {
 	p := flag.Int("p", 4, "processing elements P")
 	maxVerts := flag.Int("maxverts", 256, "max vertices per rank (0 = all)")
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
+	metricsOut := flag.String("metrics", "", "write merged cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 
 	m, err := mpi.ParseExecMode(*mode)
@@ -37,6 +39,9 @@ func main() {
 		log.Fatal(err)
 	}
 	experiments.SetExecMode(m)
+	if *metricsOut != "" || *traceOut != "" {
+		experiments.EnableObservability(0)
+	}
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -107,4 +112,8 @@ func main() {
 		fmt.Print(t18)
 		return nil
 	})
+
+	if err := experiments.WriteObservability(*metricsOut, *traceOut); err != nil {
+		log.Fatalf("observability: %v", err)
+	}
 }

@@ -30,6 +30,8 @@ func main() {
 	reps := flag.Int("reps", 50, "repetitions per Fig 7 access-type sample")
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
 	jsonOut := flag.Bool("json", false, "additionally run the headline micro benchmark and write BENCH_micro.json")
+	metricsOut := flag.String("metrics", "", "write merged cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 
 	m, err := mpi.ParseExecMode(*mode)
@@ -37,6 +39,9 @@ func main() {
 		log.Fatal(err)
 	}
 	experiments.SetExecMode(m)
+	if *metricsOut != "" || *traceOut != "" {
+		experiments.EnableObservability(0)
+	}
 
 	if *paper {
 		*n, *z = 1000, 20000
@@ -119,5 +124,9 @@ func main() {
 		}
 		fmt.Printf("BENCH_micro.json: %d ops, hit rate %.3f, %.1f virtual ns/op\n",
 			res.Ops, res.HitRate, res.VirtualNsPerOp)
+	}
+
+	if err := experiments.WriteObservability(*metricsOut, *traceOut); err != nil {
+		log.Fatalf("observability: %v", err)
 	}
 }

@@ -27,6 +27,8 @@ func main() {
 	n := flag.Int("n", 2000, "bodies N (Figs 12-13)")
 	p := flag.Int("p", 4, "processing elements P (Figs 12-13)")
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
+	metricsOut := flag.String("metrics", "", "write merged cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 
 	m, err := mpi.ParseExecMode(*mode)
@@ -34,6 +36,9 @@ func main() {
 		log.Fatal(err)
 	}
 	experiments.SetExecMode(m)
+	if *metricsOut != "" || *traceOut != "" {
+		experiments.EnableObservability(0)
+	}
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -98,4 +103,8 @@ func main() {
 		fmt.Print(tbl)
 		return nil
 	})
+
+	if err := experiments.WriteObservability(*metricsOut, *traceOut); err != nil {
+		log.Fatalf("observability: %v", err)
+	}
 }

@@ -27,10 +27,16 @@ const (
 
 func main() {
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	metricsOut := flag.String("metrics", "", "write cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 	execMode, merr := clampi.ParseExecMode(*mode)
 	if merr != nil {
 		log.Fatal(merr)
+	}
+	var col *clampi.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = clampi.NewCollector(clampi.NewRegistry(), clampi.NewRing(0))
 	}
 	for _, adaptive := range []bool{false, true} {
 		label := "fixed   "
@@ -43,6 +49,9 @@ func main() {
 		if adaptive {
 			label = "adaptive"
 			opts = append(opts, clampi.WithAdaptive())
+		}
+		if col != nil {
+			opts = append(opts, clampi.WithObserver(col))
 		}
 		err := clampi.Run(2, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
 			w, _, err := clampi.Allocate(r, distinct*blockSize, nil, opts...)
@@ -85,6 +94,18 @@ func main() {
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+	}
+	if col != nil {
+		if *metricsOut != "" {
+			if err := clampi.WriteMetricsFile(*metricsOut, col.Registry()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := clampi.WriteTraceFile(*traceOut, col.Ring()); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 }

@@ -31,10 +31,16 @@ const (
 
 func main() {
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	metricsOut := flag.String("metrics", "", "write cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 	execMode, merr := clampi.ParseExecMode(*mode)
 	if merr != nil {
 		log.Fatal(merr)
+	}
+	var col *clampi.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = clampi.NewCollector(clampi.NewRegistry(), clampi.NewRing(0))
 	}
 	binsPerRank := bins / ranks
 	err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
@@ -44,8 +50,11 @@ func main() {
 		if r.ID() == 0 {
 			extra = 16
 		}
-		w, local, err := clampi.Allocate(r, binsPerRank*8+extra, nil,
-			clampi.WithMode(clampi.AlwaysCache))
+		opts := []clampi.Option{clampi.WithMode(clampi.AlwaysCache)}
+		if col != nil {
+			opts = append(opts, clampi.WithObserver(col))
+		}
+		w, local, err := clampi.Allocate(r, binsPerRank*8+extra, nil, opts...)
 		if err != nil {
 			return err
 		}
@@ -142,6 +151,18 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if col != nil {
+		if *metricsOut != "" {
+			if err := clampi.WriteMetricsFile(*metricsOut, col.Registry()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := clampi.WriteTraceFile(*traceOut, col.Ring()); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -89,10 +89,16 @@ func layout(adj [][]int32, p int) (owner []int, offs []int, regions [][]byte) {
 
 func main() {
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	metricsOut := flag.String("metrics", "", "write cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 	execMode, merr := clampi.ParseExecMode(*mode)
 	if merr != nil {
 		log.Fatal(merr)
+	}
+	var col *clampi.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = clampi.NewCollector(clampi.NewRegistry(), clampi.NewRing(0))
 	}
 	adj := buildGraph()
 	owner, offs, regions := layout(adj, ranks)
@@ -107,7 +113,11 @@ func main() {
 		times := make([]int64, ranks)
 		triangles := make([]int64, ranks)
 		err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
-			w, err := clampi.Create(r, regions[r.ID()], info, clampi.WithStorageBytes(8<<20))
+			opts := []clampi.Option{clampi.WithStorageBytes(8 << 20)}
+			if col != nil {
+				opts = append(opts, clampi.WithObserver(col))
+			}
+			w, err := clampi.Create(r, regions[r.ID()], info, opts...)
 			if err != nil {
 				return err
 			}
@@ -157,6 +167,18 @@ func main() {
 		}
 		// Each triangle is counted 6 times (3 vertices × 2 directions).
 		fmt.Printf("%-20s total virtual time %.2f ms, triangles %d\n", label, float64(total)/1e6, tri/6)
+	}
+	if col != nil {
+		if *metricsOut != "" {
+			if err := clampi.WriteMetricsFile(*metricsOut, col.Registry()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := clampi.WriteTraceFile(*traceOut, col.Ring()); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -37,10 +37,16 @@ type body struct{ x, y, z, m, vx, vy, vz float64 }
 
 func main() {
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	metricsOut := flag.String("metrics", "", "write cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 	execMode, merr := clampi.ParseExecMode(*mode)
 	if merr != nil {
 		log.Fatal(merr)
+	}
+	var col *clampi.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = clampi.NewCollector(clampi.NewRegistry(), clampi.NewRing(0))
 	}
 	err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
 		rng := rand.New(rand.NewSource(int64(r.ID()) + 1))
@@ -50,9 +56,14 @@ func main() {
 		}
 
 		region := make([]byte, bodiesPerPE*recordBytes)
-		w, err := clampi.Create(r, region, nil,
+		opts := []clampi.Option{
 			clampi.WithMode(clampi.AlwaysCache),
-			clampi.WithStorageBytes(1<<20))
+			clampi.WithStorageBytes(1 << 20),
+		}
+		if col != nil {
+			opts = append(opts, clampi.WithObserver(col))
+		}
+		w, err := clampi.Create(r, region, nil, opts...)
 		if err != nil {
 			return err
 		}
@@ -126,6 +137,18 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if col != nil {
+		if *metricsOut != "" {
+			if err := clampi.WriteMetricsFile(*metricsOut, col.Registry()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := clampi.WriteTraceFile(*traceOut, col.Ring()); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }
 

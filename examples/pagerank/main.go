@@ -36,10 +36,16 @@ const (
 
 func main() {
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	metricsOut := flag.String("metrics", "", "write cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 	execMode, merr := clampi.ParseExecMode(*mode)
 	if merr != nil {
 		log.Fatal(merr)
+	}
+	var col *clampi.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = clampi.NewCollector(clampi.NewRegistry(), clampi.NewRing(0))
 	}
 	adj := buildGraph()
 	owner := func(v int32) int { return int(v) * ranks / vertices }
@@ -51,9 +57,14 @@ func main() {
 		n := int(hi - lo)
 
 		region := make([]byte, n*8)
-		w, err := clampi.Create(r, region, nil,
+		opts := []clampi.Option{
 			clampi.WithMode(clampi.AlwaysCache),
-			clampi.WithStorageBytes(1<<20))
+			clampi.WithStorageBytes(1 << 20),
+		}
+		if col != nil {
+			opts = append(opts, clampi.WithObserver(col))
+		}
+		w, err := clampi.Create(r, region, nil, opts...)
 		if err != nil {
 			return err
 		}
@@ -120,6 +131,18 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if col != nil {
+		if *metricsOut != "" {
+			if err := clampi.WriteMetricsFile(*metricsOut, col.Registry()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := clampi.WriteTraceFile(*traceOut, col.Ring()); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -19,10 +19,18 @@ import (
 
 func main() {
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity or throughput")
+	metricsOut := flag.String("metrics", "", "write cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
 	flag.Parse()
 	execMode, merr := clampi.ParseExecMode(*mode)
 	if merr != nil {
 		log.Fatal(merr)
+	}
+	// One collector serves every rank: its registry and trace ring are
+	// concurrency-safe, and events carry the emitting rank.
+	var col *clampi.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = clampi.NewCollector(clampi.NewRegistry(), clampi.NewRing(0))
 	}
 	const ranks = 4
 	err := clampi.Run(ranks, clampi.RunConfig{Mode: execMode}, func(r *clampi.Rank) error {
@@ -31,10 +39,14 @@ func main() {
 		for i := range region {
 			region[i] = byte(r.ID() + i)
 		}
-		w, err := clampi.Create(r, region, nil,
+		opts := []clampi.Option{
 			clampi.WithMode(clampi.AlwaysCache), // region is read-only
-			clampi.WithStorageBytes(4<<20),
-		)
+			clampi.WithStorageBytes(4 << 20),
+		}
+		if col != nil {
+			opts = append(opts, clampi.WithObserver(col))
+		}
+		w, err := clampi.Create(r, region, nil, opts...)
 		if err != nil {
 			return err
 		}
@@ -77,5 +89,17 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if col != nil {
+		if *metricsOut != "" {
+			if err := clampi.WriteMetricsFile(*metricsOut, col.Registry()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := clampi.WriteTraceFile(*traceOut, col.Ring()); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }

@@ -127,6 +127,10 @@ type Params struct {
 	// is the paper's best-fit (storage.BestFit). FirstFit exists as an
 	// ablation baseline.
 	AllocPolicy storage.Policy
+	// Observer receives structured access/eviction/adjustment/epoch
+	// events (see observe.go). nil disables emission; the disabled
+	// cost on the get path is a single branch.
+	Observer Observer
 }
 
 // Defaults for Params fields left zero.
@@ -240,6 +244,8 @@ type Cache struct {
 	clock  *simtime.Clock
 	params Params
 	mode   Mode
+	rank   int      // owning rank id, stamped into emitted events
+	obs    Observer // nil when observability is disabled
 
 	idx   *cuckoo.Table[*entry]
 	store *storage.Manager
@@ -287,6 +293,8 @@ func New(win rma.Window, params Params) (*Cache, error) {
 		clock:  win.Endpoint().Clock(),
 		params: params,
 		mode:   mode,
+		rank:   win.Endpoint().ID(),
+		obs:    params.Observer,
 		idx:    cuckoo.New[*entry](params.IndexSlots, params.Seed),
 		store:  storage.NewWithPolicy(params.StorageBytes, params.AllocPolicy),
 		rng:    rand.New(rand.NewSource(params.Seed + 1)),
@@ -356,10 +364,30 @@ func (c *Cache) Get(dst []byte, dtype datatype.Datatype, count int, target, disp
 	c.stats.LookupTime += lookupT
 	c.tuneStats.LookupTime += lookupT
 
+	var err error
 	if found && e.state != stateEvicted {
-		return c.serveHit(e, dst, dtype, count, target, disp, size)
+		err = c.serveHit(e, dst, dtype, count, target, disp, size)
+	} else {
+		err = c.serveMiss(key, dst, dtype, count, target, disp, size)
 	}
-	return c.serveMiss(key, dst, dtype, count, target, disp, size)
+	if c.obs != nil && err == nil {
+		c.obs.OnAccess(AccessEvent{
+			Rank:    c.rank,
+			Epoch:   c.win.Epoch(),
+			Time:    c.clock.Now(),
+			Type:    c.last.Type,
+			Partial: c.last.Partial,
+			Issued:  c.last.Issued,
+			Target:  target,
+			Disp:    disp,
+			Size:    size,
+			Lookup:  c.last.Lookup,
+			Evict:   c.last.Evict,
+			Copy:    c.last.Copy,
+			Mgmt:    c.last.Mgmt,
+		})
+	}
+	return err
 }
 
 // serveHit handles CACHED and PENDING lookups (§III-B1).
@@ -560,6 +588,7 @@ func (c *Cache) freeEvicted(e *entry) {
 	c.store.FreeRegion(e.region)
 	c.stats.Evictions++
 	c.tuneStats.Evictions++
+	c.emitEviction(e, true)
 }
 
 // evictEntry removes a capacity-eviction victim from index and storage.
@@ -571,6 +600,23 @@ func (c *Cache) evictEntry(e *entry) {
 	})
 	c.stats.Evictions++
 	c.tuneStats.Evictions++
+	c.emitEviction(e, false)
+}
+
+// emitEviction reports one evicted entry to the observer.
+func (c *Cache) emitEviction(e *entry, conflict bool) {
+	if c.obs == nil {
+		return
+	}
+	c.obs.OnEviction(EvictionEvent{
+		Rank:     c.rank,
+		Epoch:    c.win.Epoch(),
+		Time:     c.clock.Now(),
+		Target:   e.key.Target,
+		Disp:     e.key.Disp,
+		Bytes:    e.payload,
+		Conflict: conflict,
+	})
 }
 
 func (c *Cache) recordMgmt(d simtime.Duration) {
@@ -601,8 +647,9 @@ func (c *Cache) finish(t AccessType) {
 // onEpochClose is the window epoch listener: it completes PENDING entries
 // (the deferred user→cache copies, §II), then applies transparent-mode
 // invalidation and adaptive tuning.
-func (c *Cache) onEpochClose(int64) {
+func (c *Cache) onEpochClose(epoch int64) {
 	copiedBytes := 0
+	completed := 0
 	copyT := c.chargeFn(func() {
 		for _, e := range c.pending {
 			if e.state == stateEvicted {
@@ -611,6 +658,7 @@ func (c *Cache) onEpochClose(int64) {
 			if e.state == statePending {
 				copy(c.store.Bytes(e.region, e.payload), e.src)
 				copiedBytes += e.payload
+				completed++
 				e.state = stateCached
 				e.src = nil
 				for _, w := range e.waiters {
@@ -642,12 +690,23 @@ func (c *Cache) onEpochClose(int64) {
 	c.tuneStats.CopyTime += copyT
 	c.pending = c.pending[:0]
 
+	invalidated := false
 	if c.mode == Transparent {
+		// Tuning is pointless when every epoch starts cold.
 		c.invalidate()
-		return // tuning pointless when every epoch starts cold
-	}
-	if c.params.Adaptive && c.tuneStats.Gets >= c.params.TuneInterval {
+		invalidated = true
+	} else if c.params.Adaptive && c.tuneStats.Gets >= c.params.TuneInterval {
 		c.tune()
+	}
+	if c.obs != nil {
+		c.obs.OnEpochClose(EpochEvent{
+			Rank:        c.rank,
+			Epoch:       epoch,
+			Time:        c.clock.Now(),
+			Completed:   completed,
+			CopiedBytes: copiedBytes,
+			Invalidated: invalidated,
+		})
 	}
 }
 

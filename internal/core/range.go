@@ -59,14 +59,9 @@ func (c *Cache) InvalidateRange(target, disp, size int) int {
 // Put writes through to the window after invalidating the overlapping
 // cached range, keeping the origin's own cache coherent with its writes.
 func (c *Cache) Put(src []byte, dtype datatype.Datatype, count, target, disp int) error {
-	size := datatype.TransferSize(dtype, count)
 	// Invalidate the full extent touched by the (possibly strided)
 	// write: the span is conservative for sparse datatypes.
-	span := size
-	if count > 0 {
-		span = dtype.Extent() * count
-	}
-	c.InvalidateRange(target, disp, span)
+	c.InvalidateRange(target, disp, datatype.Span(dtype, count))
 	return c.win.Put(src, dtype, count, target, disp)
 }
 

@@ -77,7 +77,7 @@ type Stats struct {
 }
 
 // HitRate returns Hits/Gets (0 when no gets).
-func (s *Stats) HitRate() float64 {
+func (s Stats) HitRate() float64 {
 	if s.Gets == 0 {
 		return 0
 	}
@@ -85,7 +85,7 @@ func (s *Stats) HitRate() float64 {
 }
 
 // Rate returns counter/Gets for the given access counter.
-func (s *Stats) Rate(a AccessType) float64 {
+func (s Stats) Rate(a AccessType) float64 {
 	if s.Gets == 0 {
 		return 0
 	}
@@ -107,7 +107,7 @@ func (s *Stats) Rate(a AccessType) float64 {
 
 // AvgVisitedPerEviction returns the mean number of index slots visited per
 // capacity/failed eviction scan (Fig. 11, top).
-func (s *Stats) AvgVisitedPerEviction() float64 {
+func (s Stats) AvgVisitedPerEviction() float64 {
 	if s.EvictionScans == 0 {
 		return 0
 	}
@@ -116,11 +116,19 @@ func (s *Stats) AvgVisitedPerEviction() float64 {
 
 // AvgNonEmptyVisited returns the mean non-empty slots visited per scan
 // (Fig. 11, bottom) — the paper's victim-selection quality indicator q.
-func (s *Stats) AvgNonEmptyVisited() float64 {
+func (s Stats) AvgNonEmptyVisited() float64 {
 	if s.EvictionScans == 0 {
 		return 0
 	}
 	return float64(s.NonEmptyVisited) / float64(s.VisitedSlots)
+}
+
+// Add returns s + o, field by field — the aggregation dual of Sub, used
+// to total per-rank or per-window stats.
+func (s Stats) Add(o Stats) Stats {
+	t := s
+	t.add(&o)
+	return t
 }
 
 // add accumulates o into s (used to total per-window stats).
@@ -147,6 +155,37 @@ func (s *Stats) add(o *Stats) {
 	s.EvictTime += o.EvictTime
 	s.CopyTime += o.CopyTime
 	s.MgmtTime += o.MgmtTime
+}
+
+// Sub returns the counter deltas accumulated since prev was snapshotted:
+// s - prev, field by field. Callers use it to attribute counters to one
+// phase of a run (snapshot before, Sub after) instead of hand-subtracting
+// individual fields.
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Gets -= prev.Gets
+	d.Hits -= prev.Hits
+	d.FullHits -= prev.FullHits
+	d.PartialHits -= prev.PartialHits
+	d.PendingHits -= prev.PendingHits
+	d.Direct -= prev.Direct
+	d.Conflicting -= prev.Conflicting
+	d.Capacity -= prev.Capacity
+	d.Failing -= prev.Failing
+	d.Prefetches -= prev.Prefetches
+	d.Evictions -= prev.Evictions
+	d.VisitedSlots -= prev.VisitedSlots
+	d.NonEmptyVisited -= prev.NonEmptyVisited
+	d.EvictionScans -= prev.EvictionScans
+	d.Invalidations -= prev.Invalidations
+	d.Adjustments -= prev.Adjustments
+	d.BytesFromCache -= prev.BytesFromCache
+	d.BytesFromNetwork -= prev.BytesFromNetwork
+	d.LookupTime -= prev.LookupTime
+	d.EvictTime -= prev.EvictTime
+	d.CopyTime -= prev.CopyTime
+	d.MgmtTime -= prev.MgmtTime
+	return d
 }
 
 // String renders a compact human-readable summary of the counters.

@@ -44,6 +44,7 @@ func (c *Cache) tune() {
 	// conflicting and capacity/failing accesses mean requests are not
 	// being cached at all, which dominates any memory-footprint
 	// concern. Shrinks only apply to a cache that is otherwise healthy.
+	prevIdx, prevMem := c.idx.Cap(), c.store.Capacity()
 	adjusted := false
 	switch {
 	case conflictRate > c.params.ConflictThreshold:
@@ -58,6 +59,17 @@ func (c *Cache) tune() {
 	if adjusted {
 		c.stats.Adjustments++
 		c.invalidate()
+		if c.obs != nil {
+			c.obs.OnAdjustment(AdjustmentEvent{
+				Rank:             c.rank,
+				Epoch:            c.win.Epoch(),
+				Time:             c.clock.Now(),
+				PrevIndexSlots:   prevIdx,
+				IndexSlots:       c.idx.Cap(),
+				PrevStorageBytes: prevMem,
+				StorageBytes:     c.store.Capacity(),
+			})
+		}
 	}
 	// Start a fresh observation window either way.
 	c.tuneStats = Stats{}

@@ -289,6 +289,19 @@ func TransferSize(dtype Datatype, count int) int {
 	return dtype.Size() * count
 }
 
+// Span returns the extent in bytes of a transfer of count elements of
+// dtype: the byte range the transfer touches in the target buffer,
+// including holes. Consecutive elements sit Extent() bytes apart, so the
+// span is count*Extent() — conservative (an upper bound on touched bytes)
+// for sparse datatypes, exact for dense ones. Non-positive counts span
+// nothing.
+func Span(dtype Datatype, count int) int {
+	if count <= 0 {
+		return 0
+	}
+	return dtype.Extent() * count
+}
+
 // FlattenTransfer flattens count consecutive elements of dtype starting at
 // byte offset base, producing the full block list of a transfer.
 func FlattenTransfer(dtype Datatype, count, base int) []Block {

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 
+	"clampi/internal/core"
 	"clampi/internal/cuckoo"
 	"clampi/internal/lsb"
 	"clampi/internal/simtime"
@@ -91,7 +92,7 @@ func AblationAllocPolicy(n, z int) ([]AllocPolicyRow, *lsb.Table, error) {
 				Policy:    pol.String(),
 				Time:      t,
 				HitRate:   st.HitRate(),
-				FailRate:  float64(st.Failing) / float64(st.Gets),
+				FailRate:  st.Rate(core.AccessFailing),
 				Occupancy: env.cache.Occupancy(),
 			}
 			return nil

@@ -59,7 +59,11 @@ func withMicro(regionSize int, params *core.Params, fn func(env *microEnv) error
 		if r.ID() == 0 {
 			env := &microEnv{rank: r, win: win, clock: r.Clock()}
 			if params != nil {
-				env.cache, fnErr = core.New(win, *params)
+				p := *params
+				if p.Observer == nil {
+					p.Observer = newObserver()
+				}
+				env.cache, fnErr = core.New(win, p)
 			}
 			if fnErr == nil {
 				fnErr = win.LockAll()

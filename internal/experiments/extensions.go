@@ -73,10 +73,7 @@ func extensionBFS(g *graph.CSR, p, source int) ([]BFSRow, *lsb.Table, error) {
 		hit := 0.0
 		if cached {
 			name = "CLaMPI"
-			s := fleet.totals()
-			if s.Gets > 0 {
-				hit = float64(s.Hits) / float64(s.Gets)
-			}
+			hit = fleet.totals().HitRate()
 		}
 		rows = append(rows, BFSRow{System: name, Time: total, RemoteGets: remote, HitRate: hit})
 		tbl.AddRow(name, total, remote, fmt.Sprintf("%.3f", hit))

@@ -146,7 +146,7 @@ func Fig15LCCParams(g *graph.CSR, p, maxVerts int, storageSizes, indexSizes []in
 					IndexSlots:   iw,
 					StorageBytes: sw,
 					TimePerVert:  res.TimePerVertex(),
-					HitRate:      float64(s.Hits) / float64(s.Gets),
+					HitRate:      s.HitRate(),
 					Adjustments:  s.Adjustments,
 				}
 				rows = append(rows, row)
@@ -184,7 +184,6 @@ func Fig16LCCStats(g *graph.CSR, p, maxVerts, storageBytes int, indexSizes []int
 				return rows, tbl, err
 			}
 			s := fleet.totals()
-			gets := float64(s.Gets)
 			name := "fixed"
 			if adaptive {
 				name = "adaptive"
@@ -192,10 +191,10 @@ func Fig16LCCStats(g *graph.CSR, p, maxVerts, storageBytes int, indexSizes []int
 			row := Fig16Row{
 				System:       name,
 				IndexSlots:   iw,
-				HitFrac:      float64(s.Hits) / gets,
-				DirectFrac:   float64(s.Direct) / gets,
-				ConflictFrac: float64(s.Conflicting) / gets,
-				CapFailFrac:  float64(s.Capacity+s.Failing) / gets,
+				HitFrac:      s.HitRate(),
+				DirectFrac:   s.Rate(core.AccessDirect),
+				ConflictFrac: s.Rate(core.AccessConflicting),
+				CapFailFrac:  s.Rate(core.AccessCapacity) + s.Rate(core.AccessFailing),
 			}
 			rows = append(rows, row)
 			tbl.AddRow(name, iw,
@@ -251,11 +250,10 @@ func Fig17And18LCCWeak(baseScale, edgeFactor int, ps []int, maxVerts, indexSlots
 			row := Fig17Row{System: sys, P: p, Scale: scale, TimePerVert: res.TimePerVertex()}
 			if fleet != nil {
 				s := fleet.totals()
-				gets := float64(s.Gets)
 				row.Adjustments = s.Adjustments
-				row.HitFrac = float64(s.Hits) / gets
-				row.DirectFrac = float64(s.Direct) / gets
-				row.CapFailFrac = float64(s.Capacity+s.Failing) / gets
+				row.HitFrac = s.HitRate()
+				row.DirectFrac = s.Rate(core.AccessDirect)
+				row.CapFailFrac = s.Rate(core.AccessCapacity) + s.Rate(core.AccessFailing)
 				t18.AddRow(p, sys,
 					fmt.Sprintf("%.3f", row.HitFrac),
 					fmt.Sprintf("%.3f", row.DirectFrac),

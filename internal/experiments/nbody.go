@@ -27,7 +27,11 @@ func newClampiFleet(p int, params core.Params) *clampiFleet {
 }
 
 func (f *clampiFleet) factory(win rma.Window) (getter.Getter, error) {
-	c, err := core.New(win, f.params)
+	params := f.params
+	if params.Observer == nil {
+		params.Observer = newObserver()
+	}
+	c, err := core.New(win, params)
 	if err != nil {
 		return nil, err
 	}
@@ -40,15 +44,7 @@ func (f *clampiFleet) totals() core.Stats {
 	var t core.Stats
 	for _, c := range f.caches {
 		if c != nil {
-			s := c.Stats()
-			t.Gets += s.Gets
-			t.Hits += s.Hits
-			t.Direct += s.Direct
-			t.Conflicting += s.Conflicting
-			t.Capacity += s.Capacity
-			t.Failing += s.Failing
-			t.Adjustments += s.Adjustments
-			t.Invalidations += s.Invalidations
+			t = t.Add(c.Stats())
 		}
 	}
 	return t
@@ -202,13 +198,12 @@ func Fig13NBodyStats(n, p, storageBytes int, indexSizes []int) ([]Fig13Row, *lsb
 			return rows, tbl, err
 		}
 		s := fleet.totals()
-		g := float64(s.Gets)
 		row := Fig13Row{
 			IndexSlots:   slots,
-			HitFrac:      float64(s.Hits) / g,
-			DirectFrac:   float64(s.Direct) / g,
-			ConflictFrac: float64(s.Conflicting) / g,
-			CapFailFrac:  float64(s.Capacity+s.Failing) / g,
+			HitFrac:      s.HitRate(),
+			DirectFrac:   s.Rate(core.AccessDirect),
+			ConflictFrac: s.Rate(core.AccessConflicting),
+			CapFailFrac:  s.Rate(core.AccessCapacity) + s.Rate(core.AccessFailing),
 		}
 		rows = append(rows, row)
 		tbl.AddRow(slots,

@@ -47,9 +47,13 @@ import (
 )
 
 // Errors returned by window operations. The data-path errors are the
-// backend-independent values of internal/rma, re-exported under their
-// historical names.
+// backend-independent values of internal/rma: the canonical sentinels
+// (ErrFreed, ErrOutOfRange, ErrNoEpoch) plus the finer-grained and
+// historical names layered on them.
 var (
+	ErrFreed      = rma.ErrFreed
+	ErrOutOfRange = rma.ErrOutOfRange
+	ErrNoEpoch    = rma.ErrNoEpoch
 	ErrRankRange  = rma.ErrRankRange
 	ErrBounds     = rma.ErrBounds
 	ErrShortBuf   = rma.ErrShortBuf

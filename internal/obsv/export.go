@@ -1,0 +1,241 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Exporters. Output is deterministic: families sorted by name, series
+// sorted by their canonical label string, so exports diff cleanly across
+// runs and the unit tests can assert exact output.
+
+// snapshotFamily is the export view of one metric family.
+type snapshotFamily struct {
+	name   string
+	kind   metricKind
+	series []snapshotSeries
+}
+
+type snapshotSeries struct {
+	labels string // canonical k="v",... form ("" for none)
+	metric any
+}
+
+// snapshot captures the registry under its lock.
+func (r *Registry) snapshot() []snapshotFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]snapshotFamily, 0, len(r.families))
+	for name, f := range r.families {
+		sf := snapshotFamily{name: name, kind: f.kind}
+		for key, m := range f.series {
+			sf.series = append(sf.series, snapshotSeries{labels: key, metric: m})
+		}
+		sort.Slice(sf.series, func(i, j int) bool { return sf.series[i].labels < sf.series[j].labels })
+		out = append(out, sf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Histogram buckets are cumulative with le bounds
+// of 2^i virtual nanoseconds; empty trailing buckets are elided.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, f := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				if err := writeSample(w, f.name, s.labels, "", s.metric.(*Counter).Value()); err != nil {
+					return err
+				}
+			case kindGauge:
+				if err := writeSample(w, f.name, s.labels, "", s.metric.(*Gauge).Value()); err != nil {
+					return err
+				}
+			case kindHistogram:
+				if err := writeHistogram(w, f.name, s.labels, s.metric.(*Histogram)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one `name{labels} value` line; extra is appended to
+// the label set (used for histogram le bounds).
+func writeSample(w io.Writer, name, labels, extra string, value int64) error {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all != "" {
+		all = "{" + all + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, all, value)
+	return err
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	buckets := h.Buckets()
+	first, last := len(buckets), -1
+	for i, c := range buckets {
+		if c > 0 {
+			if i < first {
+				first = i
+			}
+			last = i
+		}
+	}
+	var cum int64
+	for i := first; i <= last; i++ {
+		cum += buckets[i]
+		le := fmt.Sprintf(`le="%d"`, BucketUpperBound(i))
+		if err := writeSample(w, name+"_bucket", labels, le, cum); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name+"_bucket", labels, `le="+Inf"`, h.Count()); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", labels, "", int64(h.Sum())); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, "", h.Count())
+}
+
+// JSON export schema.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value,omitempty"`
+	// Histogram-only fields.
+	Count   int64        `json:"count,omitempty"`
+	Sum     int64        `json:"sum,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"` // non-cumulative per-bucket count
+}
+
+type jsonExport struct {
+	Counters   []jsonMetric `json:"counters"`
+	Gauges     []jsonMetric `json:"gauges"`
+	Histograms []jsonMetric `json:"histograms"`
+}
+
+func labelMap(key string) map[string]string {
+	ls := parseLabelKey(key)
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// WriteJSON renders the registry as one stable JSON document.
+func WriteJSON(w io.Writer, r *Registry) error {
+	out := jsonExport{
+		Counters:   []jsonMetric{},
+		Gauges:     []jsonMetric{},
+		Histograms: []jsonMetric{},
+	}
+	for _, f := range r.snapshot() {
+		for _, s := range f.series {
+			m := jsonMetric{Name: f.name, Labels: labelMap(s.labels)}
+			switch f.kind {
+			case kindCounter:
+				m.Value = s.metric.(*Counter).Value()
+				out.Counters = append(out.Counters, m)
+			case kindGauge:
+				m.Value = s.metric.(*Gauge).Value()
+				out.Gauges = append(out.Gauges, m)
+			case kindHistogram:
+				h := s.metric.(*Histogram)
+				m.Count = h.Count()
+				m.Sum = int64(h.Sum())
+				for i, c := range h.Buckets() {
+					if c > 0 {
+						m.Buckets = append(m.Buckets, jsonBucket{LE: int64(BucketUpperBound(i)), Count: c})
+					}
+				}
+				out.Histograms = append(out.Histograms, m)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteTrace renders the ring's retained events oldest-first as JSON
+// lines (one event object per line).
+func WriteTrace(w io.Writer, t *Ring) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Snapshot() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetricsFile writes the registry to path: JSON when the path ends
+// in .json, Prometheus text format otherwise.
+func WriteMetricsFile(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = WriteJSON(f, r)
+	} else {
+		err = WritePrometheus(f, r)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteTraceFile writes the ring's retained events to path as JSON lines.
+func WriteTraceFile(path string, t *Ring) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = WriteTrace(f, t)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

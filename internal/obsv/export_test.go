@@ -1,0 +1,163 @@
+package obsv
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *Registry {
+	r := NewRegistry()
+	r.Counter("clampi_accesses_total", L("type", "hitting")).Add(3)
+	r.Counter("clampi_accesses_total", L("type", "direct")).Add(1)
+	r.Gauge("clampi_index_slots", L("rank", "0")).Set(128)
+	h := r.Histogram("clampi_access_vtime_ns", L("phase", "total"), L("type", "hitting"))
+	h.Observe(100)  // le=128
+	h.Observe(100)  // le=128
+	h.Observe(1000) // le=1024
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE clampi_access_vtime_ns histogram
+clampi_access_vtime_ns_bucket{phase="total",type="hitting",le="128"} 2
+clampi_access_vtime_ns_bucket{phase="total",type="hitting",le="256"} 2
+clampi_access_vtime_ns_bucket{phase="total",type="hitting",le="512"} 2
+clampi_access_vtime_ns_bucket{phase="total",type="hitting",le="1024"} 3
+clampi_access_vtime_ns_bucket{phase="total",type="hitting",le="+Inf"} 3
+clampi_access_vtime_ns_sum{phase="total",type="hitting"} 1200
+clampi_access_vtime_ns_count{phase="total",type="hitting"} 3
+# TYPE clampi_accesses_total counter
+clampi_accesses_total{type="direct"} 1
+clampi_accesses_total{type="hitting"} 3
+# TYPE clampi_index_slots gauge
+clampi_index_slots{rank="0"} 128
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	r := exportFixture()
+	if err := WritePrometheus(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two exports of the same registry differ")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Counters []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  int64             `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"gauges"`
+		Histograms []struct {
+			Name    string `json:"name"`
+			Count   int64  `json:"count"`
+			Sum     int64  `json:"sum"`
+			Buckets []struct {
+				LE    int64 `json:"le"`
+				Count int64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out.Counters) != 2 || len(out.Gauges) != 1 || len(out.Histograms) != 1 {
+		t.Fatalf("series counts = %d/%d/%d, want 2/1/1",
+			len(out.Counters), len(out.Gauges), len(out.Histograms))
+	}
+	// Sorted by label string: direct < hitting.
+	if out.Counters[0].Labels["type"] != "direct" || out.Counters[0].Value != 1 {
+		t.Errorf("counters[0] = %+v", out.Counters[0])
+	}
+	if out.Counters[1].Labels["type"] != "hitting" || out.Counters[1].Value != 3 {
+		t.Errorf("counters[1] = %+v", out.Counters[1])
+	}
+	if out.Gauges[0].Value != 128 {
+		t.Errorf("gauge value = %d", out.Gauges[0].Value)
+	}
+	h := out.Histograms[0]
+	if h.Count != 3 || h.Sum != 1200 || len(h.Buckets) != 2 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	// JSON buckets are non-cumulative.
+	if h.Buckets[0].LE != 128 || h.Buckets[0].Count != 2 || h.Buckets[1].LE != 1024 || h.Buckets[1].Count != 1 {
+		t.Errorf("histogram buckets = %+v", h.Buckets)
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	ring := NewRing(8)
+	ring.Append(Event{Kind: "access", Rank: 1, Size: 64})
+	ring.Append(Event{Kind: "epoch", Rank: 1, Completed: 2})
+	var b strings.Builder
+	if err := WriteTrace(&b, ring); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace lines = %d, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", i, err)
+		}
+		if e.Seq != uint64(i) {
+			t.Errorf("line %d seq = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestWriteMetricsFile(t *testing.T) {
+	dir := t.TempDir()
+	r := exportFixture()
+
+	jsonPath := filepath.Join(dir, "metrics.json")
+	if err := WriteMetricsFile(jsonPath, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Error(".json file is not JSON")
+	}
+
+	promPath := filepath.Join(dir, "metrics.prom")
+	if err := WriteMetricsFile(promPath, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# TYPE ") {
+		t.Error(".prom file is not Prometheus text format")
+	}
+}

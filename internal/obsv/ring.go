@@ -1,0 +1,174 @@
+package obsv
+
+import (
+	"sync"
+
+	"clampi/internal/core"
+	"clampi/internal/simtime"
+)
+
+// EventKind discriminates the trace-event union.
+type EventKind uint8
+
+const (
+	// EventAccess is one classified get_c.
+	EventAccess EventKind = iota
+	// EventEviction is one evicted entry.
+	EventEviction
+	// EventAdjustment is one adaptive parameter change.
+	EventAdjustment
+	// EventEpoch is one epoch closure.
+	EventEpoch
+)
+
+// String names the kind for exporters and diagnostics.
+func (k EventKind) String() string {
+	switch k {
+	case EventAccess:
+		return "access"
+	case EventEviction:
+		return "eviction"
+	case EventAdjustment:
+		return "adjustment"
+	case EventEpoch:
+		return "epoch"
+	default:
+		return "event(?)"
+	}
+}
+
+// Event is one traced cache event: the flattened union of the core
+// observer payloads, tagged by Kind. Seq is a global append sequence
+// number so overwritten (dropped) spans are detectable.
+type Event struct {
+	Seq   uint64           `json:"seq"`
+	Kind  string           `json:"kind"`
+	Rank  int              `json:"rank"`
+	Epoch int64            `json:"epoch"`
+	Time  simtime.Duration `json:"vtime_ns"`
+
+	// EventAccess fields.
+	Access  string           `json:"access,omitempty"` // access-type name
+	Partial bool             `json:"partial,omitempty"`
+	Issued  bool             `json:"issued,omitempty"`
+	Target  int              `json:"target,omitempty"`
+	Disp    int              `json:"disp,omitempty"`
+	Size    int              `json:"size,omitempty"`
+	Lookup  simtime.Duration `json:"lookup_ns,omitempty"`
+	Evict   simtime.Duration `json:"evict_ns,omitempty"`
+	Copy    simtime.Duration `json:"copy_ns,omitempty"`
+	Mgmt    simtime.Duration `json:"mgmt_ns,omitempty"`
+
+	// EventEviction fields (Target/Disp shared with access).
+	Bytes    int  `json:"bytes,omitempty"`
+	Conflict bool `json:"conflict,omitempty"`
+
+	// EventAdjustment fields.
+	PrevIndexSlots   int `json:"prev_index_slots,omitempty"`
+	IndexSlots       int `json:"index_slots,omitempty"`
+	PrevStorageBytes int `json:"prev_storage_bytes,omitempty"`
+	StorageBytes     int `json:"storage_bytes,omitempty"`
+
+	// EventEpoch fields.
+	Completed   int  `json:"completed,omitempty"`
+	CopiedBytes int  `json:"copied_bytes,omitempty"`
+	Invalidated bool `json:"invalidated,omitempty"`
+}
+
+// DefaultRingCapacity bounds a tracer created with capacity ≤ 0.
+const DefaultRingCapacity = 4096
+
+// Ring is a bounded ring buffer of trace events: appends are O(1), the
+// newest capacity events are retained and older ones are overwritten.
+// It is safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever appended
+}
+
+// NewRing returns a tracer retaining the newest capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records one event, stamping its sequence number.
+func (t *Ring) Append(e Event) {
+	t.mu.Lock()
+	e.Seq = t.next
+	t.next++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[int(e.Seq)%cap(t.buf)] = e
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Ring) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Total returns the number of events ever appended (retained + dropped).
+func (t *Ring) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Snapshot returns the retained events oldest-first.
+func (t *Ring) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		out = append(out, t.buf...)
+		return out
+	}
+	// Full ring: the oldest retained event sits at next % cap.
+	start := int(t.next) % cap(t.buf)
+	out = append(out, t.buf[start:]...)
+	out = append(out, t.buf[:start]...)
+	return out
+}
+
+// accessEvent flattens a core.AccessEvent.
+func accessEvent(e core.AccessEvent) Event {
+	return Event{
+		Kind: EventAccess.String(), Rank: e.Rank, Epoch: e.Epoch, Time: e.Time,
+		Access: e.Type.String(), Partial: e.Partial, Issued: e.Issued,
+		Target: e.Target, Disp: e.Disp, Size: e.Size,
+		Lookup: e.Lookup, Evict: e.Evict, Copy: e.Copy, Mgmt: e.Mgmt,
+	}
+}
+
+// evictionEvent flattens a core.EvictionEvent.
+func evictionEvent(e core.EvictionEvent) Event {
+	return Event{
+		Kind: EventEviction.String(), Rank: e.Rank, Epoch: e.Epoch, Time: e.Time,
+		Target: e.Target, Disp: e.Disp, Bytes: e.Bytes, Conflict: e.Conflict,
+	}
+}
+
+// adjustmentEvent flattens a core.AdjustmentEvent.
+func adjustmentEvent(e core.AdjustmentEvent) Event {
+	return Event{
+		Kind: EventAdjustment.String(), Rank: e.Rank, Epoch: e.Epoch, Time: e.Time,
+		PrevIndexSlots: e.PrevIndexSlots, IndexSlots: e.IndexSlots,
+		PrevStorageBytes: e.PrevStorageBytes, StorageBytes: e.StorageBytes,
+	}
+}
+
+// epochEvent flattens a core.EpochEvent.
+func epochEvent(e core.EpochEvent) Event {
+	return Event{
+		Kind: EventEpoch.String(), Rank: e.Rank, Epoch: e.Epoch, Time: e.Time,
+		Completed: e.Completed, CopiedBytes: e.CopiedBytes, Invalidated: e.Invalidated,
+	}
+}

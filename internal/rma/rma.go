@@ -15,6 +15,7 @@ package rma
 
 import (
 	"errors"
+	"fmt"
 
 	"clampi/internal/datatype"
 	"clampi/internal/simtime"
@@ -22,23 +23,39 @@ import (
 
 // Errors every backend returns for the corresponding misuse. They are
 // defined here so layers above the transport can test for them without
-// importing a concrete backend.
+// importing a concrete backend. The three canonical sentinels — ErrFreed,
+// ErrOutOfRange, ErrNoEpoch — are what callers should test with
+// errors.Is; the finer-grained values below them add detail while still
+// matching their umbrella sentinel.
 var (
-	// ErrRankRange reports a target rank outside [0, Size).
-	ErrRankRange = errors.New("rma: target rank out of range")
+	// ErrFreed reports an operation on a freed window.
+	ErrFreed = errors.New("rma: window has been freed")
+	// ErrOutOfRange is the umbrella sentinel for accesses addressed
+	// outside the world or the target region: both ErrRankRange and
+	// ErrBounds match it under errors.Is.
+	ErrOutOfRange = errors.New("rma: access out of range")
+	// ErrNoEpoch reports an RMA call outside an access epoch.
+	ErrNoEpoch = errors.New("rma: operation outside an access epoch")
+
+	// ErrRankRange reports a target rank outside [0, Size). Matches
+	// ErrOutOfRange.
+	ErrRankRange = fmt.Errorf("%w: target rank outside the world", ErrOutOfRange)
 	// ErrBounds reports an access outside the target's window region.
-	ErrBounds = errors.New("rma: access outside window bounds")
+	// Matches ErrOutOfRange.
+	ErrBounds = fmt.Errorf("%w: outside window bounds", ErrOutOfRange)
 	// ErrShortBuf reports an origin buffer too small for the transfer.
 	ErrShortBuf = errors.New("rma: origin buffer too small for transfer")
-	// ErrFreedWin reports an operation on a freed window.
-	ErrFreedWin = errors.New("rma: window has been freed")
-	// ErrBadEpoch reports an RMA call outside an access epoch.
-	ErrBadEpoch = errors.New("rma: operation outside an access epoch")
 	// ErrDoneRequest reports a Wait on an already-completed request.
 	ErrDoneRequest = errors.New("rma: request already completed")
 	// ErrNoRequest reports a request-based operation that left no
 	// pending operation to attach a request to.
 	ErrNoRequest = errors.New("rma: no pending operation for request")
+
+	// ErrFreedWin and ErrBadEpoch are the historical names of ErrFreed
+	// and ErrNoEpoch, kept so existing errors.Is call sites keep
+	// working; they are the same values.
+	ErrFreedWin = ErrFreed
+	ErrBadEpoch = ErrNoEpoch
 )
 
 // Info carries window-creation hints (the MPI_Info of the MPI backend).

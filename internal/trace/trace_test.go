@@ -125,3 +125,34 @@ func TestMerge(t *testing.T) {
 		t.Fatalf("merged: total=%d distinct=%d max=%d", a.Total(), a.Distinct(), a.MaxRepetition())
 	}
 }
+
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := NewRecorder()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.SizeQuantile(q); got != 0 {
+			t.Errorf("empty SizeQuantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	single := NewRecorder()
+	single.Record(0, 0, 42)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := single.SizeQuantile(q); got != 42 {
+			t.Errorf("single-sample SizeQuantile(%v) = %d, want 42", q, got)
+		}
+	}
+
+	multi := NewRecorder()
+	for _, s := range []int{64, 8, 512, 32} {
+		multi.Record(0, 0, s)
+	}
+	if got := multi.SizeQuantile(0); got != 8 {
+		t.Errorf("p0 = %d, want smallest size 8", got)
+	}
+	if got := multi.SizeQuantile(1); got != 512 {
+		t.Errorf("p100 = %d, want largest size 512", got)
+	}
+	if got := multi.SizeQuantile(0.5); got != 32 {
+		t.Errorf("p50 = %d, want 32", got)
+	}
+}
