@@ -1,0 +1,93 @@
+// Command clampi-vet runs the project's invariant analyzers over Go
+// packages — the compile-time counterpart of foMPI's runtime assertion
+// modes (DESIGN.md §9):
+//
+//	epochcheck    RMA results are read only after the epoch closes
+//	simclock      latency accounting flows through internal/simtime
+//	sentinelerr   sentinel errors are matched with errors.Is / wrapped with %w
+//	atomicfield   // clampi:atomic fields use sync/atomic only
+//	observerlock  core.Observer is never notified under a mutex
+//
+// Usage:
+//
+//	go run ./cmd/clampi-vet [-only name,name] [-list] [packages]
+//
+// Packages default to ./... . Exit status: 0 clean, 1 diagnostics
+// found, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clampi/internal/analysis"
+	"clampi/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("clampi-vet", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: clampi-vet [-only name,name] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := suite.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var selected []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "clampi-vet: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clampi-vet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clampi-vet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", loader.Fset().Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "clampi-vet: %d invariant violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

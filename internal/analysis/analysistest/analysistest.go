@@ -1,0 +1,186 @@
+// Package analysistest runs an analyzer over a testdata corpus and
+// checks its diagnostics against expectations written in the corpus
+// itself — the same convention as golang.org/x/tools/go/analysis/
+// analysistest, reimplemented on the stdlib-only framework.
+//
+// Expectations are trailing comments of the form
+//
+//	expr // want "regexp"
+//	expr // want "first" `second`
+//
+// Every diagnostic must match an expectation on its line, and every
+// expectation must be matched by a diagnostic; anything else fails the
+// test. Corpus packages live under testdata/src/<name>/ and may import
+// real module packages (clampi/internal/...), which the loader resolves
+// from source.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clampi/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads testdata/src/<pkg> for each named corpus package, applies
+// the analyzer, and verifies its diagnostics against the // want
+// expectations in the corpus sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(dir, name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+// RunClean loads the real module package at importPath (patterns are
+// resolved relative to dir) and asserts the analyzer reports nothing —
+// the harness for negative cases over live code, e.g. proving
+// internal/simtime's own time.Now calibration use is allowlisted.
+func RunClean(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s: %s: %s", loader.Fset().Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// expectation is one // want clause: a pattern awaiting a diagnostic on
+// its line.
+type expectation struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	expects := collectExpectations(t, pkg)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !matchExpectation(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", e.pos, e.re)
+		}
+	}
+}
+
+func matchExpectation(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.pos.Filename != pos.Filename || e.pos.Line != pos.Line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				out = append(out, parseWant(t, pkg.Fset, c)...)
+			}
+		}
+	}
+	return out
+}
+
+// parseWant extracts the expectations of one comment. The comment's
+// line anchors them: `x // want "p"` expects a diagnostic on x's line.
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var out []*expectation
+	for rest != "" {
+		lit, tail, err := scanStringLit(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment: %v", pos, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, lit, err)
+		}
+		out = append(out, &expectation{pos: pos, re: re})
+		rest = strings.TrimSpace(tail)
+	}
+	return out
+}
+
+// scanStringLit consumes one leading Go string literal (quoted or
+// backquoted) and returns its value and the remainder.
+func scanStringLit(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in %q", s)
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				lit, err := strconv.Unquote(s[:i+1])
+				return lit, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string in %q", s)
+	default:
+		return "", "", fmt.Errorf("expected string literal at %q", s)
+	}
+}

@@ -1,0 +1,19 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"clampi/internal/analysis/analysistest"
+	"clampi/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicfield.Analyzer, "atomicf")
+}
+
+// TestObsvIsAtomicOnly proves the annotated observability fields —
+// counters, gauges, histogram cells, the trace-ring sequence — are
+// accessed exclusively through sync/atomic operations.
+func TestObsvIsAtomicOnly(t *testing.T) {
+	analysistest.RunClean(t, "../../..", atomicfield.Analyzer, "./internal/obsv")
+}

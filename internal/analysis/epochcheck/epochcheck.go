@@ -1,0 +1,275 @@
+// Package epochcheck enforces the weak-consistency epoch contract of
+// internal/rma (paper §III): the destination buffer of a Get/Rget is
+// undefined until the epoch closes (Flush/FlushAll/Unlock/UnlockAll/
+// Fence/Complete, or Request.Wait for Rget), and a window must not be
+// used for data movement after its epoch was closed.
+//
+// The analysis is function-local and lexical: inside one function body
+// it orders issues, completions and buffer uses by source position and
+// flags
+//
+//  1. any read of a Get/Rget destination buffer between the issuing call
+//     and the next completion call (foMPI catches this class with a
+//     runtime assertion mode; here it is a compile-time diagnostic), and
+//  2. any Get/Put/Rget/Rput/Accumulate on a window after an Unlock/
+//     UnlockAll/Complete in the same function with no intervening
+//     Lock/LockAll/Fence/Start.
+//
+// It deliberately keys on the static receiver type being the
+// clampi/internal/rma.Window interface: code written against the
+// portable transport contract is checked, backend internals (which
+// implement the contract and enforce it at runtime) are not.
+package epochcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"clampi/internal/analysis"
+	"clampi/internal/analysis/typeutil"
+)
+
+// Analyzer flags uses of RMA results before the epoch closes.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochcheck",
+	Doc: "reads of a Get/Rget destination buffer before Flush/Unlock/Wait, " +
+		"and rma.Window data access after the epoch was closed",
+	Run: run,
+}
+
+// RMAPath is the import path of the package defining the Window and
+// Request contracts.
+const RMAPath = "clampi/internal/rma"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkBody(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// opKind classifies the events of the lexical scan.
+type opKind int
+
+const (
+	opIssue       opKind = iota // w.Get(dst,...) / w.Rget(dst,...): dst becomes pending
+	opCompleteAll               // epoch-closure call: every pending buffer completes
+	opCompleteReq               // req.Wait(): the buffer of that request completes
+	opUse                       // a pending buffer is read
+	opKill                      // the buffer variable is reassigned: stop tracking it
+	opLock                      // Lock/LockAll/LockWithType/Fence/Start: epoch (re)opens
+	opUnlock                    // Unlock/UnlockAll/Complete: epoch closes
+	opData                      // Get/Put/Rget/Rput/Accumulate: data movement on the window
+)
+
+// op is one event, ordered by source position.
+type op struct {
+	kind opKind
+	pos  token.Pos
+	obj  types.Object // buffer (issue/use/kill), request (completeReq) or window (lock/unlock/data)
+	req  types.Object // request object of an Rget issue
+	name string       // method or identifier name, for diagnostics
+}
+
+// anyWindow keys the lock-state of window receivers the analysis cannot
+// resolve to a variable or field.
+var anyWindow = types.NewLabel(token.NoPos, nil, "<any window>")
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var ops []op
+	skipUse := make(map[*ast.Ident]bool) // idents that are not value reads
+	deferred := make(map[*ast.CallExpr]bool)
+	reqOf := make(map[*ast.CallExpr]types.Object) // Rget call → assigned request var
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Everything a defer runs — the direct call, or any call
+			// inside a deferred closure — executes at return, after all
+			// lexically later statements.
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					deferred[call] = true
+				}
+				return true
+			})
+
+		case *ast.AssignStmt:
+			// Reassigning a tracked variable detaches it from the
+			// pending buffer; := introduces fresh objects, so only
+			// plain assignment kills.
+			if n.Tok == token.ASSIGN {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						skipUse[id] = true
+						if o := info.Uses[id]; o != nil {
+							ops = append(ops, op{kind: opKill, pos: id.Pos(), obj: o})
+						}
+					}
+				}
+			}
+			// req, err := w.Rget(...): remember which request completes
+			// which buffer.
+			if len(n.Rhs) == 1 && len(n.Lhs) > 0 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						if o := objOf(info, id); o != nil {
+							reqOf[call] = o
+						}
+					}
+				}
+			}
+
+		case *ast.CallExpr:
+			// Deferred calls run at return: they neither complete
+			// epochs for lexically later reads nor count as mid-body
+			// accesses.
+			if !deferred[n] {
+				classifyCall(info, n, reqOf[n], skipUse, &ops)
+			}
+
+		case *ast.Ident:
+			// A use of a slice variable is a potential read of a
+			// pending RMA destination.
+			if !skipUse[n] {
+				if o := info.Uses[n]; o != nil && isSliceVar(o) {
+					ops = append(ops, op{kind: opUse, pos: n.Pos(), obj: o, name: n.Name})
+				}
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+
+	pending := make(map[types.Object]string) // buffer → issuing method
+	reqBuf := make(map[types.Object]types.Object)
+	closed := make(map[types.Object]bool) // window → epoch closed earlier in this function
+	for _, o := range ops {
+		switch o.kind {
+		case opKill:
+			delete(pending, o.obj)
+		case opIssue:
+			if o.obj != nil {
+				pending[o.obj] = o.name
+				if o.req != nil {
+					reqBuf[o.req] = o.obj
+				}
+			}
+		case opCompleteAll:
+			clear(pending)
+			clear(reqBuf)
+		case opCompleteReq:
+			if buf, ok := reqBuf[o.obj]; ok {
+				delete(pending, buf)
+			}
+		case opUse:
+			if m, ok := pending[o.obj]; ok {
+				pass.Reportf(o.pos, "buffer %q is read before the %s completes: RMA results are undefined until the epoch closes (Flush/Unlock/Wait; rma.Window contract, paper §III)", o.name, m)
+				delete(pending, o.obj) // one report per issue
+			}
+		case opLock:
+			if o.obj == nil {
+				clear(closed)
+			} else {
+				delete(closed, o.obj)
+				delete(closed, anyWindow)
+			}
+		case opUnlock:
+			closed[windowKey(o.obj)] = true
+		case opData:
+			if closed[windowKey(o.obj)] || closed[anyWindow] || (o.obj != nil && closed[o.obj]) {
+				pass.Reportf(o.pos, "rma.Window.%s after the epoch was closed in this function: open a new Lock/LockAll epoch before further data movement", o.name)
+			}
+		}
+	}
+}
+
+func windowKey(obj types.Object) types.Object {
+	if obj == nil {
+		return anyWindow
+	}
+	return obj
+}
+
+// classifyCall appends the ops of one (non-deferred) call expression.
+func classifyCall(info *types.Info, call *ast.CallExpr, req types.Object, skipUse map[*ast.Ident]bool, ops *[]op) {
+	// len/cap read only the slice header, never the transferred data.
+	if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+		for _, a := range call.Args {
+			if aid, ok := a.(*ast.Ident); ok {
+				skipUse[aid] = true
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return
+	}
+	switch {
+	case typeutil.IsNamed(tv.Type, RMAPath, "Window"):
+		recv := typeutil.ObjectOf(info, sel.X)
+		name := sel.Sel.Name
+		switch name {
+		case "Get", "Rget":
+			var dst types.Object
+			if len(call.Args) > 0 {
+				if id, ok := call.Args[0].(*ast.Ident); ok {
+					dst = info.Uses[id]
+				}
+			}
+			// pos is the call's end so the dst identifier inside the
+			// argument list is ordered before the issue, not flagged.
+			*ops = append(*ops, op{kind: opIssue, pos: call.End(), obj: dst, req: req, name: "rma.Window." + name})
+			*ops = append(*ops, op{kind: opData, pos: call.Pos(), obj: recv, name: name})
+		case "Put", "Rput", "Accumulate":
+			*ops = append(*ops, op{kind: opData, pos: call.Pos(), obj: recv, name: name})
+		case "Flush", "FlushAll", "Wait":
+			*ops = append(*ops, op{kind: opCompleteAll, pos: call.Pos()})
+		case "Unlock", "UnlockAll", "Complete":
+			*ops = append(*ops, op{kind: opCompleteAll, pos: call.Pos()})
+			*ops = append(*ops, op{kind: opUnlock, pos: call.Pos(), obj: recv})
+		case "Fence":
+			// Fence both completes the previous epoch and opens the
+			// next one.
+			*ops = append(*ops, op{kind: opCompleteAll, pos: call.Pos()})
+			*ops = append(*ops, op{kind: opLock, pos: call.Pos(), obj: recv})
+		case "Lock", "LockWithType", "LockAll", "Start", "Post":
+			*ops = append(*ops, op{kind: opLock, pos: call.Pos(), obj: recv})
+		}
+	case typeutil.IsNamed(tv.Type, RMAPath, "Request"):
+		if sel.Sel.Name == "Wait" {
+			if o := typeutil.ObjectOf(info, sel.X); o != nil {
+				*ops = append(*ops, op{kind: opCompleteReq, pos: call.Pos(), obj: o})
+			}
+		}
+	}
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+func isSliceVar(o types.Object) bool {
+	v, ok := o.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, ok = v.Type().Underlying().(*types.Slice)
+	return ok
+}

@@ -1,0 +1,20 @@
+package epochcheck_test
+
+import (
+	"testing"
+
+	"clampi/internal/analysis/analysistest"
+	"clampi/internal/analysis/epochcheck"
+)
+
+func TestEpochCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), epochcheck.Analyzer, "epoch")
+}
+
+// TestCleanOnCachingLayer proves the live code written against the
+// rma.Window contract — the caching layer and the getter shims — obeys
+// the epoch discipline.
+func TestCleanOnCachingLayer(t *testing.T) {
+	analysistest.RunClean(t, "../../..", epochcheck.Analyzer,
+		"./internal/core", "./internal/getter", "./internal/rma")
+}

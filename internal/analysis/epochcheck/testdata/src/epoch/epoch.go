@@ -1,0 +1,120 @@
+// Corpus for epochcheck: reads of RMA destination buffers before epoch
+// closure, and window data access after the epoch was closed.
+package epoch
+
+import (
+	"clampi/internal/datatype"
+	"clampi/internal/rma"
+)
+
+// readBeforeFlush reads the Get destination before any completion call.
+func readBeforeFlush(w rma.Window) byte {
+	dst := make([]byte, 64)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	return dst[0] // want `buffer "dst" is read before the rma.Window.Get completes`
+}
+
+// readAfterFlush is the sanctioned pattern: complete, then read.
+func readAfterFlush(w rma.Window) byte {
+	dst := make([]byte, 64)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	_ = w.Flush(1)
+	return dst[0]
+}
+
+// readAfterUnlock completes through Unlock instead of Flush.
+func readAfterUnlock(w rma.Window) byte {
+	dst := make([]byte, 64)
+	_ = w.Lock(1)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	_ = w.Unlock(1)
+	return dst[0]
+}
+
+// lenIsNotARead: the slice header is defined even mid-epoch.
+func lenIsNotARead(w rma.Window) int {
+	dst := make([]byte, 64)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	n := len(dst)
+	_ = w.Flush(1)
+	return n
+}
+
+// rgetReadBeforeWait reads the Rget destination before Request.Wait.
+func rgetReadBeforeWait(w rma.Window) byte {
+	dst := make([]byte, 64)
+	req, _ := w.Rget(dst, datatype.Byte, 64, 1, 0)
+	b := dst[0] // want `buffer "dst" is read before the rma.Window.Rget completes`
+	_ = req.Wait()
+	return b
+}
+
+// rgetReadAfterWait is the sanctioned request-based pattern.
+func rgetReadAfterWait(w rma.Window) byte {
+	dst := make([]byte, 64)
+	req, _ := w.Rget(dst, datatype.Byte, 64, 1, 0)
+	_ = req.Wait()
+	return dst[0]
+}
+
+// passedToCall leaks the undefined buffer into another function.
+func passedToCall(w rma.Window) {
+	dst := make([]byte, 64)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	consume(dst) // want `buffer "dst" is read before the rma.Window.Get completes`
+	_ = w.FlushAll()
+}
+
+func consume([]byte) {}
+
+// reassignedBufferIsFresh: after reassignment the variable no longer
+// aliases the in-flight transfer.
+func reassignedBufferIsFresh(w rma.Window) byte {
+	dst := make([]byte, 64)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	dst = make([]byte, 8)
+	return dst[0]
+}
+
+// getAfterUnlock moves data outside any lock epoch.
+func getAfterUnlock(w rma.Window) {
+	dst := make([]byte, 64)
+	_ = w.Lock(1)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	_ = w.Unlock(1)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0) // want `rma\.Window\.Get after the epoch was closed`
+	_ = w.Flush(1)
+}
+
+// putAfterUnlockAll is the same hazard through the bulk unlock.
+func putAfterUnlockAll(w rma.Window, src []byte) {
+	_ = w.LockAll()
+	_ = w.Put(src, datatype.Byte, len(src), 1, 0)
+	_ = w.UnlockAll()
+	_ = w.Put(src, datatype.Byte, len(src), 1, 0) // want `rma\.Window\.Put after the epoch was closed`
+}
+
+// relockReopens: a new Lock after Unlock makes access legal again.
+func relockReopens(w rma.Window, src []byte) {
+	_ = w.Lock(1)
+	_ = w.Put(src, datatype.Byte, len(src), 1, 0)
+	_ = w.Unlock(1)
+	_ = w.Lock(1)
+	_ = w.Put(src, datatype.Byte, len(src), 1, 0)
+	_ = w.Unlock(1)
+}
+
+// deferredUnlockHolds: a deferred unlock closes the epoch at return,
+// after every lexical access.
+func deferredUnlockHolds(w rma.Window, src []byte) {
+	_ = w.LockAll()
+	defer func() { _ = w.UnlockAll() }()
+	_ = w.Put(src, datatype.Byte, len(src), 1, 0)
+}
+
+// fenceReopens: Fence closes the previous epoch and opens the next.
+func fenceReopens(w rma.Window, src []byte) {
+	_ = w.Fence()
+	_ = w.Put(src, datatype.Byte, len(src), 1, 0)
+	_ = w.Fence()
+}

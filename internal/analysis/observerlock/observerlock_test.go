@@ -1,0 +1,19 @@
+package observerlock_test
+
+import (
+	"testing"
+
+	"clampi/internal/analysis/analysistest"
+	"clampi/internal/analysis/observerlock"
+)
+
+func TestObserverLock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), observerlock.Analyzer, "obslock")
+}
+
+// TestHotPathIsLockFree proves the live caching layer and the
+// observability plumbing never notify an observer under a mutex.
+func TestHotPathIsLockFree(t *testing.T) {
+	analysistest.RunClean(t, "../../..", observerlock.Analyzer,
+		"./internal/core", "./internal/obsv", "./internal/experiments")
+}

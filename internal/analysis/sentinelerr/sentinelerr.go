@@ -1,0 +1,136 @@
+// Package sentinelerr enforces the errors.Is contract of the module's
+// sentinel errors (established when the typed sentinels were
+// introduced; see internal/rma's error block): the finer-grained
+// sentinels wrap umbrella sentinels with %w (rma.ErrBounds matches
+// rma.ErrOutOfRange), so
+//
+//  1. comparing an error to a module sentinel with == or != (or
+//     switching on error values) misses wrapped matches — use
+//     errors.Is; and
+//  2. wrapping an error with fmt.Errorf using %v/%s instead of %w
+//     severs the chain for every caller downstream.
+//
+// Only sentinels defined inside this module (import path prefix
+// "clampi") trigger the comparison rule: comparisons against stdlib
+// values such as io.EOF, which are documented to be returned unwrapped,
+// stay legal. The %w rule applies to any error-typed argument of
+// fmt.Errorf.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"clampi/internal/analysis"
+	"clampi/internal/analysis/typeutil"
+)
+
+// Analyzer flags sentinel comparisons and non-%w wrapping.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "err == ErrX comparisons and fmt.Errorf wrapping without %w break the errors.Is contract",
+	Run:  run,
+}
+
+// ModulePrefix scopes the comparison rule to sentinels defined in this
+// module.
+const ModulePrefix = "clampi"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkComparison(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	s := sentinelOf(pass.TypesInfo, e.X)
+	if s == nil {
+		s = sentinelOf(pass.TypesInfo, e.Y)
+	}
+	if s == nil {
+		return
+	}
+	pass.Reportf(e.OpPos, "error compared to sentinel %s with %s: use errors.Is, which also matches the finer-grained sentinels wrapping it", s.Name(), e.Op)
+}
+
+func checkSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[s.Tag]
+	if !ok || !typeutil.ImplementsError(tv.Type) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if sent := sentinelOf(pass.TypesInfo, expr); sent != nil {
+				pass.Reportf(expr.Pos(), "switch compares errors to sentinel %s with ==: use an errors.Is chain instead", sent.Name())
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error argument
+// without any %w verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !typeutil.PkgFuncCall(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		atv, ok := pass.TypesInfo.Types[arg]
+		if ok && typeutil.ImplementsError(atv.Type) {
+			pass.Reportf(arg.Pos(), "error wrapped by fmt.Errorf without %%w: errors.Is/errors.As callers downstream will not match the sentinel")
+			return
+		}
+	}
+}
+
+// sentinelOf returns the module sentinel-error variable e denotes, if
+// any: a package-level var named Err* of error type, defined in a
+// package of this module.
+func sentinelOf(info *types.Info, e ast.Expr) *types.Var {
+	obj := typeutil.ObjectOf(info, e)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	path := v.Pkg().Path()
+	if path != ModulePrefix && !strings.HasPrefix(path, ModulePrefix+"/") {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !typeutil.ImplementsError(v.Type()) {
+		return nil
+	}
+	return v
+}

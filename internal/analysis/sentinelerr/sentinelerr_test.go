@@ -1,0 +1,21 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"clampi/internal/analysis/analysistest"
+	"clampi/internal/analysis/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sentinelerr.Analyzer, "sentinel")
+}
+
+// TestTreeHonoursErrorsIsContract proves no live code compares module
+// sentinels directly or wraps errors without %w.
+func TestTreeHonoursErrorsIsContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole tree; skipped in -short")
+	}
+	analysistest.RunClean(t, "../../..", sentinelerr.Analyzer, "./...")
+}

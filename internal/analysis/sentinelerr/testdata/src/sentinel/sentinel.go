@@ -1,0 +1,63 @@
+// Corpus for sentinelerr: direct sentinel comparisons and non-%w
+// wrapping. The sentinels come from the real internal/rma package, so
+// the corpus exercises exactly the values the rule protects.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"clampi/internal/rma"
+)
+
+// directComparisons match only the unwrapped value: rma.ErrBounds wraps
+// rma.ErrOutOfRange, so == misses it.
+func directComparisons(err error) bool {
+	if err == rma.ErrOutOfRange { // want `error compared to sentinel ErrOutOfRange with ==`
+		return true
+	}
+	return err != rma.ErrFreed // want `error compared to sentinel ErrFreed with !=`
+}
+
+// errorsIsChain is the sanctioned pattern.
+func errorsIsChain(err error) bool {
+	return errors.Is(err, rma.ErrOutOfRange) || errors.Is(err, rma.ErrFreed)
+}
+
+// switchOnSentinels hides the same == behind a switch.
+func switchOnSentinels(err error) string {
+	switch err {
+	case rma.ErrNoEpoch: // want `switch compares errors to sentinel ErrNoEpoch with ==`
+		return "no epoch"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// stdlibSentinelsStayLegal: io.EOF is documented to be returned
+// unwrapped; the rule binds module sentinels only.
+func stdlibSentinelsStayLegal(err error) bool {
+	return err == io.EOF
+}
+
+// nilComparisonStaysLegal: nil is not a sentinel.
+func nilComparisonStaysLegal(err error) bool {
+	return err != nil
+}
+
+// wrapWithoutW severs the errors.Is chain.
+func wrapWithoutW(err error) error {
+	return fmt.Errorf("fetch failed: %v", err) // want `error wrapped by fmt.Errorf without %w`
+}
+
+// wrapWithW keeps the chain intact.
+func wrapWithW(err error) error {
+	return fmt.Errorf("fetch failed: %w", err)
+}
+
+// nonErrorArgsAreFine: formatting values is not wrapping.
+func nonErrorArgsAreFine(rank int) error {
+	return fmt.Errorf("rank %d out of range", rank)
+}

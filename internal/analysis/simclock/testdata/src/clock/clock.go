@@ -1,0 +1,26 @@
+// Corpus for simclock: wall-clock sampling outside the simtime
+// allowlist.
+package clock
+
+import "time"
+
+// sampleWallClock reads and consumes the wall clock four ways.
+func sampleWallClock() time.Duration {
+	start := time.Now()           // want `wall-clock time\.Now breaks virtual-time determinism`
+	time.Sleep(time.Millisecond)  // want `wall-clock time\.Sleep breaks virtual-time determinism`
+	<-time.After(time.Nanosecond) // want `wall-clock time\.After breaks virtual-time determinism`
+	return time.Since(start)      // want `wall-clock time\.Since breaks virtual-time determinism`
+}
+
+// durationsAreFine: the time package's types and constants carry no
+// wall-clock dependency.
+func durationsAreFine() time.Duration {
+	d := 3 * time.Second
+	return d.Round(time.Millisecond)
+}
+
+// annotatedEscapeHatch is the sanctioned override for genuinely
+// wall-clock needs, stated with a reason.
+func annotatedEscapeHatch() time.Time {
+	return time.Now() //clampi:walltime CLI progress timestamps are wall-clock by definition
+}

@@ -1,0 +1,82 @@
+// Package typeutil holds the small type-inspection helpers shared by the
+// clampi-vet analyzers.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IsNamed reports whether t (after pointer indirection) is the named
+// type path.name.
+func IsNamed(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// ErrorInterface returns the universe error interface.
+func ErrorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+// ImplementsError reports whether t satisfies the error interface.
+func ImplementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, ErrorInterface())
+}
+
+// MethodReceiver returns the receiver type of the called method, or nil
+// when obj is not a method.
+func MethodReceiver(obj types.Object) types.Type {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return nil
+	}
+	return recv.Type()
+}
+
+// PkgFuncCall reports whether call invokes the package-level function
+// path.name (e.g. "sync/atomic".AddUint64).
+func PkgFuncCall(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == path && (name == "" || fn.Name() == name)
+}
+
+// ObjectOf resolves the variable or field a receiver/operand expression
+// denotes: the identifier's object for `w`, the field object for
+// `c.win`. Returns nil for anything more complex.
+func ObjectOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return ObjectOf(info, e.X)
+	}
+	return nil
+}

@@ -14,6 +14,13 @@ package core
 // invariants are mid-update. In Throughput execution mode several ranks
 // may share one Observer, so implementations must be safe for concurrent
 // use (internal/obsv.Collector is).
+//
+// Invariant (enforced by internal/analysis/observerlock): Observer
+// methods are never invoked while a shard or window mutex is held —
+// observers run arbitrary user code synchronously, and notifying under
+// a lock would turn every metric update into a critical-section
+// extension (latency hazard) or a re-entrancy deadlock. The unobserved
+// hot path stays a single nil check.
 
 import "clampi/internal/simtime"
 

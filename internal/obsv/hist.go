@@ -17,9 +17,9 @@ const NumHistBuckets = 64
 // operations are atomic: many ranks may observe into one histogram
 // concurrently (Throughput mode).
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
-	buckets [NumHistBuckets]atomic.Int64
+	count   atomic.Int64                 // clampi:atomic
+	sum     atomic.Int64                 // clampi:atomic
+	buckets [NumHistBuckets]atomic.Int64 // clampi:atomic
 }
 
 // bucketOf maps a duration to its bucket index: 0 for d ≤ 1ns, else

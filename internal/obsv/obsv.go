@@ -10,6 +10,11 @@
 // concurrent use, so one Collector can be shared by all ranks of a
 // Throughput-mode world; in per-rank deployments each rank owns a
 // Registry and the results are combined with Registry.Merge.
+//
+// Invariant (enforced by internal/analysis/atomicfield): every field
+// annotated // clampi:atomic — the counter, gauge and histogram cells
+// and the trace-ring sequence — is accessed exclusively through
+// sync/atomic operations, keeping the hot path lock-free.
 package obsv
 
 import (
@@ -52,7 +57,7 @@ func labelKey(labels []Label) string {
 
 // Counter is a monotonically increasing atomic counter.
 type Counter struct {
-	v atomic.Int64
+	v atomic.Int64 // clampi:atomic
 }
 
 // Add increments the counter by d (negative deltas are ignored so a
@@ -71,7 +76,7 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is an atomic instantaneous value.
 type Gauge struct {
-	v atomic.Int64
+	v atomic.Int64 // clampi:atomic
 }
 
 // Set replaces the gauge's value.

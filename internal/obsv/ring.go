@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"clampi/internal/core"
 	"clampi/internal/simtime"
@@ -84,7 +85,7 @@ const DefaultRingCapacity = 4096
 type Ring struct {
 	mu   sync.Mutex
 	buf  []Event
-	next uint64 // total events ever appended
+	next atomic.Uint64 // clampi:atomic — total events ever appended; Total reads it lock-free
 }
 
 // NewRing returns a tracer retaining the newest capacity events.
@@ -98,8 +99,7 @@ func NewRing(capacity int) *Ring {
 // Append records one event, stamping its sequence number.
 func (t *Ring) Append(e Event) {
 	t.mu.Lock()
-	e.Seq = t.next
-	t.next++
+	e.Seq = t.next.Add(1) - 1
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, e)
 	} else {
@@ -116,10 +116,9 @@ func (t *Ring) Len() int {
 }
 
 // Total returns the number of events ever appended (retained + dropped).
+// It is lock-free: the sequence counter is atomic.
 func (t *Ring) Total() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.next
+	return t.next.Load()
 }
 
 // Snapshot returns the retained events oldest-first.
@@ -132,7 +131,7 @@ func (t *Ring) Snapshot() []Event {
 		return out
 	}
 	// Full ring: the oldest retained event sits at next % cap.
-	start := int(t.next) % cap(t.buf)
+	start := int(t.next.Load()) % cap(t.buf)
 	out = append(out, t.buf[start:]...)
 	out = append(out, t.buf[:start]...)
 	return out

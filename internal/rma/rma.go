@@ -27,6 +27,11 @@ import (
 // ErrOutOfRange, ErrNoEpoch — are what callers should test with
 // errors.Is; the finer-grained values below them add detail while still
 // matching their umbrella sentinel.
+//
+// Invariant (enforced by internal/analysis/sentinelerr): these values
+// are matched with errors.Is, never ==, and wrapped only with %w — a
+// direct comparison would miss every finer-grained sentinel wrapping
+// its umbrella value.
 var (
 	// ErrFreed reports an operation on a freed window.
 	ErrFreed = errors.New("rma: window has been freed")
@@ -150,7 +155,9 @@ type Window interface {
 
 	// Get reads count elements of dtype from target's region at byte
 	// displacement disp into dst (packed). dst may be consumed only
-	// after the next completion call on the window.
+	// after the next completion call on the window — the weak-
+	// consistency contract of paper §III, enforced at compile time by
+	// internal/analysis/epochcheck.
 	Get(dst []byte, dtype datatype.Datatype, count int, target, disp int) error
 	// Put writes count elements of dtype from src (packed) into
 	// target's region at byte displacement disp.

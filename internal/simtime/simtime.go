@@ -15,6 +15,11 @@
 // The result is a per-rank timeline in which the *measured* cache-management
 // overheads of this implementation compose with *modelled* network delays,
 // which is exactly the trade-off CLaMPI navigates.
+//
+// Invariant (enforced by internal/analysis/simclock): this package is
+// the only place allowed to sample the wall clock (time.Now/time.Since
+// inside Charge, and its calibration tests). Everywhere else latency
+// flows through Clock, keeping runs deterministic and reproducible.
 package simtime
 
 import "time"
