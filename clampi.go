@@ -249,6 +249,11 @@ func WithObserver(o Observer) Option { return func(p *Params) { p.Observer = o }
 // listed after it still apply on top.
 func WithParams(params Params) Option { return func(p *Params) { *p = params } }
 
+// WithoutCoalescing disables the miss-coalescing pass of GetBatch: every
+// batched miss is issued as its own remote message, exactly like a
+// sequential Get loop. Mainly for A/B measurements and equivalence tests.
+func WithoutCoalescing() Option { return func(p *Params) { p.DisableCoalesce = true } }
+
 // Window is a caching-enabled RMA window: the public handle combining a
 // raw window with its CLaMPI layer. All RMA and synchronization calls of
 // the underlying window are available; Get is transparently cached.
@@ -300,6 +305,17 @@ func (w *Window) Get(dst []byte, dtype Datatype, count, target, disp int) error 
 func (w *Window) GetBytes(dst []byte, target, disp int) error {
 	return w.cache.Get(dst, Byte, len(dst), target, disp)
 }
+
+// GetOp is one operation of a batched get; see GetBatch.
+type GetOp = core.GetOp
+
+// GetBatch issues many gets in one call with the semantics of individual
+// Get calls (destinations valid after the next Flush/Unlock). Hits are
+// served locally; the remaining misses are sorted per target and
+// adjacent or overlapping ranges are coalesced into one remote message
+// each, so a batch of k neighbouring misses pays one message overhead
+// instead of k. Disable coalescing with WithoutCoalescing.
+func (w *Window) GetBatch(ops []GetOp) error { return w.cache.GetBatch(ops) }
 
 // GetUncached bypasses the caching layer for one operation — the "special
 // get call" extension the paper sketches in §III-A as an alternative to

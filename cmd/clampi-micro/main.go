@@ -122,8 +122,8 @@ func main() {
 		if err := os.WriteFile("BENCH_micro.json", buf, 0o644); err != nil {
 			log.Fatalf("micro bench: %v", err)
 		}
-		fmt.Printf("BENCH_micro.json: %d ops, hit rate %.3f, %.1f virtual ns/op\n",
-			res.Ops, res.HitRate, res.VirtualNsPerOp)
+		fmt.Printf("BENCH_micro.json: %d ops, hit rate %.3f, %.1f virtual ns/op, %.0f wall ns/op, %.2f allocs/op, coalesce ratio %.1f\n",
+			res.Ops, res.HitRate, res.VirtualNsPerOp, res.WallNsPerOp, res.AllocsPerOp, res.BatchCoalesceRatio)
 	}
 
 	if err := experiments.WriteObservability(*metricsOut, *traceOut); err != nil {

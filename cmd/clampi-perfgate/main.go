@@ -1,0 +1,209 @@
+// Command clampi-perfgate is the CI performance gate for the caching hot
+// paths. It runs the op-level benchmarks (BenchmarkOp* in internal/core)
+// with -benchmem and enforces two invariants against the committed
+// baseline (PERF_baseline.json):
+//
+//   - the full-hit path (BenchmarkOpHitFull) performs 0 allocs/op, and
+//   - no benchmark's host ns/op regresses past the threshold (default
+//     1.25x) over its baseline.
+//
+// Virtual time (the vns/op metric) is recorded in the baseline for
+// reference but not gated on host variance grounds: it is deterministic
+// and asserted exactly by the regular tests instead.
+//
+// Usage:
+//
+//	clampi-perfgate [-update] [-threshold 1.25] [-baseline PERF_baseline.json] [-pkg ./internal/core]
+//
+// -update reruns the benchmarks and rewrites the baseline file.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured numbers.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	VNsPerOp    float64 `json:"vns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Baseline is the committed PERF_baseline.json schema.
+type Baseline struct {
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline from this run")
+	threshold := flag.Float64("threshold", 1.25, "allowed host ns/op ratio over baseline")
+	baselinePath := flag.String("baseline", "PERF_baseline.json", "baseline file")
+	pkg := flag.String("pkg", "./internal/core", "package holding the BenchmarkOp* set")
+	benchtime := flag.String("benchtime", "0.5s", "benchtime passed to go test")
+	count := flag.Int("count", 3, "benchmark repetitions; the minimum ns/op is kept")
+	flag.Parse()
+
+	results, err := runBenchmarks(*pkg, *benchtime, *count)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("perfgate: no BenchmarkOp* results parsed")
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, results); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("perfgate: baseline %s updated with %d benchmarks\n", *baselinePath, len(results))
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		log.Fatalf("perfgate: %v (run with -update to create the baseline)", err)
+	}
+
+	failed := false
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := results[name]
+		status := "ok"
+		if name == "BenchmarkOpHitFull" && r.AllocsPerOp > 0 {
+			status = fmt.Sprintf("FAIL: full-hit path allocates (%.2f allocs/op, want 0)", r.AllocsPerOp)
+			failed = true
+		}
+		if b, ok := base.Benchmarks[name]; ok && b.NsPerOp > 0 {
+			ratio := r.NsPerOp / b.NsPerOp
+			if ratio > *threshold {
+				status = fmt.Sprintf("FAIL: %.1f ns/op is %.2fx baseline %.1f (threshold %.2fx)",
+					r.NsPerOp, ratio, b.NsPerOp, *threshold)
+				failed = true
+			} else {
+				status = fmt.Sprintf("ok (%.2fx baseline)", ratio)
+			}
+		} else if status == "ok" {
+			status = "ok (no baseline entry)"
+		}
+		fmt.Printf("%-24s %10.1f ns/op %10.1f vns/op %6.2f allocs/op  %s\n",
+			name, r.NsPerOp, r.VNsPerOp, r.AllocsPerOp, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runBenchmarks executes the BenchmarkOp* set and parses the -benchmem
+// output into per-benchmark results. Each benchmark runs `count` times
+// and the minimum host ns/op is kept — scheduler noise only ever
+// inflates timings, so the minimum is the stable estimator — while
+// allocs/op and B/op keep the maximum to stay conservative.
+func runBenchmarks(pkg, benchtime string, count int) (map[string]Result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "^BenchmarkOp",
+		"-benchmem", "-benchtime", benchtime, "-count", strconv.Itoa(count), pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("perfgate: benchmark run failed: %w\n%s", err, out.String())
+	}
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		name, r, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, dup := results[name]; dup {
+			if prev.NsPerOp < r.NsPerOp {
+				r.NsPerOp = prev.NsPerOp
+			}
+			if prev.VNsPerOp < r.VNsPerOp {
+				r.VNsPerOp = prev.VNsPerOp
+			}
+			if prev.AllocsPerOp > r.AllocsPerOp {
+				r.AllocsPerOp = prev.AllocsPerOp
+			}
+			if prev.BytesPerOp > r.BytesPerOp {
+				r.BytesPerOp = prev.BytesPerOp
+			}
+		}
+		results[name] = r
+	}
+	return results, sc.Err()
+}
+
+// parseBenchLine parses one `go test -bench` output line of the form
+//
+//	BenchmarkOpHitFull-8  12039924  31.35 ns/op  108.0 vns/op  0 B/op  0 allocs/op
+//
+// returning the benchmark name with the -GOMAXPROCS suffix stripped.
+func parseBenchLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "BenchmarkOp") {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var r Result
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "vns/op":
+			r.VNsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return name, r, seen
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	return b, json.Unmarshal(buf, &b)
+}
+
+func writeBaseline(path string, results map[string]Result) error {
+	b := Baseline{
+		Note:       "Host-time baseline for cmd/clampi-perfgate; refresh with `go run ./cmd/clampi-perfgate -update` on the CI runner class.",
+		Benchmarks: results,
+	}
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -78,13 +78,35 @@ func main() {
 		}
 		hit := r.Clock().Now() - t0
 
+		// Batched gets: eight adjacent uncached blocks issued in one
+		// call coalesce into a single remote message (one issue
+		// overhead instead of eight).
+		const blk = 4 << 10
+		bbuf := make([]byte, 8*blk)
+		ops := make([]clampi.GetOp, 8)
+		for i := range ops {
+			ops[i] = clampi.GetOp{
+				Dst:    bbuf[i*blk : (i+1)*blk],
+				Target: neighbour,
+				Disp:   512<<10 + i*blk,
+			}
+		}
+		t0 = r.Clock().Now()
+		if err := w.GetBatch(ops); err != nil {
+			return err
+		}
+		if err := w.FlushAll(); err != nil { // bbuf is valid from here
+			return err
+		}
+		batch := r.Clock().Now() - t0
+
 		if err := w.UnlockAll(); err != nil {
 			return err
 		}
 
 		s := w.Stats()
-		fmt.Printf("rank %d: miss %-10v hit %-10v speedup %5.1fx  (gets=%d hits=%d)\n",
-			r.ID(), miss, hit, float64(miss)/float64(hit), s.Gets, s.Hits)
+		fmt.Printf("rank %d: miss %-10v hit %-10v speedup %5.1fx  batch8 %-10v (%.0f misses/message, gets=%d hits=%d)\n",
+			r.ID(), miss, hit, float64(miss)/float64(hit), batch, s.BatchCoalesceRatio(), s.Gets, s.Hits)
 		return nil
 	})
 	if err != nil {

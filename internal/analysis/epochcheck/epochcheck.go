@@ -1,16 +1,20 @@
 // Package epochcheck enforces the weak-consistency epoch contract of
-// internal/rma (paper §III): the destination buffer of a Get/Rget is
-// undefined until the epoch closes (Flush/FlushAll/Unlock/UnlockAll/
-// Fence/Complete, or Request.Wait for Rget), and a window must not be
-// used for data movement after its epoch was closed.
+// internal/rma (paper §III): the destination buffer of a Get/Rget — or of
+// any GetOp issued through BatchWindow.GetBatch — is undefined until the
+// epoch closes (Flush/FlushAll/Unlock/UnlockAll/Fence/Complete, or
+// Request.Wait for Rget), and a window must not be used for data
+// movement after its epoch was closed.
 //
 // The analysis is function-local and lexical: inside one function body
 // it orders issues, completions and buffer uses by source position and
 // flags
 //
-//  1. any read of a Get/Rget destination buffer between the issuing call
-//     and the next completion call (foMPI catches this class with a
-//     runtime assertion mode; here it is a compile-time diagnostic), and
+//  1. any read of a Get/Rget/GetBatch destination buffer between the
+//     issuing call and the next completion call (foMPI catches this
+//     class with a runtime assertion mode; here it is a compile-time
+//     diagnostic) — for GetBatch, a buffer identifier named as the Dst
+//     field of a rma.GetOp composite literal becomes pending at the next
+//     GetBatch call — and
 //  2. any Get/Put/Rget/Rput/Accumulate on a window after an Unlock/
 //     UnlockAll/Complete in the same function with no intervening
 //     Lock/LockAll/Fence/Start.
@@ -34,7 +38,7 @@ import (
 // Analyzer flags uses of RMA results before the epoch closes.
 var Analyzer = &analysis.Analyzer{
 	Name: "epochcheck",
-	Doc: "reads of a Get/Rget destination buffer before Flush/Unlock/Wait, " +
+	Doc: "reads of a Get/Rget/GetBatch destination buffer before Flush/Unlock/Wait, " +
 		"and rma.Window data access after the epoch was closed",
 	Run: run,
 }
@@ -59,13 +63,15 @@ type opKind int
 
 const (
 	opIssue       opKind = iota // w.Get(dst,...) / w.Rget(dst,...): dst becomes pending
+	opStage                     // rma.GetOp{Dst: buf, ...}: buf is staged for a batch issue
+	opBatchIssue                // w.GetBatch(ops): every staged buffer becomes pending
 	opCompleteAll               // epoch-closure call: every pending buffer completes
 	opCompleteReq               // req.Wait(): the buffer of that request completes
 	opUse                       // a pending buffer is read
 	opKill                      // the buffer variable is reassigned: stop tracking it
 	opLock                      // Lock/LockAll/LockWithType/Fence/Start: epoch (re)opens
 	opUnlock                    // Unlock/UnlockAll/Complete: epoch closes
-	opData                      // Get/Put/Rget/Rput/Accumulate: data movement on the window
+	opData                      // Get/Put/Rget/Rput/Accumulate/GetBatch: data movement on the window
 )
 
 // op is one event, ordered by source position.
@@ -135,6 +141,17 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 				classifyCall(info, n, reqOf[n], skipUse, &ops)
 			}
 
+		case *ast.CompositeLit:
+			// rma.GetOp{Dst: buf, ...} stages buf: it becomes pending at
+			// the next GetBatch call, exactly like a Get destination.
+			if tv, ok := info.Types[n]; ok && typeutil.IsNamed(tv.Type, RMAPath, "GetOp") {
+				if id := getOpDstIdent(n); id != nil {
+					if o := info.Uses[id]; o != nil {
+						ops = append(ops, op{kind: opStage, pos: n.Pos(), obj: o})
+					}
+				}
+			}
+
 		case *ast.Ident:
 			// A use of a slice variable is a potential read of a
 			// pending RMA destination.
@@ -150,12 +167,14 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
 
 	pending := make(map[types.Object]string) // buffer → issuing method
+	staged := make(map[types.Object]bool)    // buffer → named as a GetOp.Dst, batch not yet issued
 	reqBuf := make(map[types.Object]types.Object)
 	closed := make(map[types.Object]bool) // window → epoch closed earlier in this function
 	for _, o := range ops {
 		switch o.kind {
 		case opKill:
 			delete(pending, o.obj)
+			delete(staged, o.obj)
 		case opIssue:
 			if o.obj != nil {
 				pending[o.obj] = o.name
@@ -163,6 +182,13 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 					reqBuf[o.req] = o.obj
 				}
 			}
+		case opStage:
+			staged[o.obj] = true
+		case opBatchIssue:
+			for buf := range staged {
+				pending[buf] = o.name
+			}
+			clear(staged)
 		case opCompleteAll:
 			clear(pending)
 			clear(reqBuf)
@@ -219,10 +245,17 @@ func classifyCall(info *types.Info, call *ast.CallExpr, req types.Object, skipUs
 		return
 	}
 	switch {
-	case typeutil.IsNamed(tv.Type, RMAPath, "Window"):
+	case typeutil.IsNamed(tv.Type, RMAPath, "Window"),
+		typeutil.IsNamed(tv.Type, RMAPath, "BatchWindow"):
 		recv := typeutil.ObjectOf(info, sel.X)
 		name := sel.Sel.Name
 		switch name {
+		case "GetBatch":
+			// Every buffer staged in a GetOp literal up to here becomes
+			// pending; pos is the call's end so Dst identifiers in an
+			// inline ops literal stage before the issue.
+			*ops = append(*ops, op{kind: opBatchIssue, pos: call.End(), name: "rma.BatchWindow.GetBatch"})
+			*ops = append(*ops, op{kind: opData, pos: call.Pos(), obj: recv, name: name})
 		case "Get", "Rget":
 			var dst types.Object
 			if len(call.Args) > 0 {
@@ -256,6 +289,28 @@ func classifyCall(info *types.Info, call *ast.CallExpr, req types.Object, skipUs
 			}
 		}
 	}
+}
+
+// getOpDstIdent returns the identifier a GetOp composite literal names
+// as its Dst field — keyed or positional — or nil when the field is
+// absent or a more complex expression (a slice or selector expression
+// denotes a derived view, matching the ident-only tracking of Get).
+func getOpDstIdent(lit *ast.CompositeLit) *ast.Ident {
+	for i, elt := range lit.Elts {
+		switch e := elt.(type) {
+		case *ast.KeyValueExpr:
+			if key, ok := e.Key.(*ast.Ident); ok && key.Name == "Dst" {
+				id, _ := e.Value.(*ast.Ident)
+				return id
+			}
+		default:
+			if i == 0 { // positional: Dst is the first field
+				id, _ := elt.(*ast.Ident)
+				return id
+			}
+		}
+	}
+	return nil
 }
 
 func objOf(info *types.Info, id *ast.Ident) types.Object {

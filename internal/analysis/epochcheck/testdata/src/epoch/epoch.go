@@ -118,3 +118,49 @@ func fenceReopens(w rma.Window, src []byte) {
 	_ = w.Put(src, datatype.Byte, len(src), 1, 0)
 	_ = w.Fence()
 }
+
+// batchReadBeforeFlush reads a GetBatch destination before completion:
+// GetOp.Dst buffers follow the same epoch contract as Get destinations.
+func batchReadBeforeFlush(w rma.BatchWindow) byte {
+	dst := make([]byte, 64)
+	ops := []rma.GetOp{{Dst: dst, Target: 1, Disp: 0}}
+	_ = w.GetBatch(ops)
+	return dst[0] // want `buffer "dst" is read before the rma.BatchWindow.GetBatch completes`
+}
+
+// batchReadAfterFlush is the sanctioned pattern, ops literal inlined.
+func batchReadAfterFlush(w rma.BatchWindow) byte {
+	dst := make([]byte, 64)
+	_ = w.GetBatch([]rma.GetOp{{Dst: dst, Target: 1, Disp: 0}})
+	_ = w.FlushAll()
+	return dst[0]
+}
+
+// batchPositionalDst stages through a positional GetOp literal.
+func batchPositionalDst(w rma.BatchWindow) byte {
+	dst := make([]byte, 64)
+	_ = w.GetBatch([]rma.GetOp{{dst, 1, 0}})
+	b := dst[0] // want `buffer "dst" is read before the rma.BatchWindow.GetBatch completes`
+	_ = w.FlushAll()
+	return b
+}
+
+// batchStagedNotIssued: naming a buffer in a GetOp literal alone leaves
+// it defined — only the GetBatch call makes it pending.
+func batchStagedNotIssued(w rma.BatchWindow) byte {
+	dst := make([]byte, 64)
+	ops := []rma.GetOp{{Dst: dst, Target: 1, Disp: 0}}
+	_ = ops
+	return dst[0]
+}
+
+// batchAfterUnlock: GetBatch is data movement and must not follow an
+// epoch closure without a new lock.
+func batchAfterUnlock(w rma.BatchWindow) {
+	dst := make([]byte, 64)
+	_ = w.LockAll()
+	_ = w.GetBatch([]rma.GetOp{{Dst: dst, Target: 1, Disp: 0}})
+	_ = w.UnlockAll()
+	_ = w.GetBatch([]rma.GetOp{{Dst: dst, Target: 1, Disp: 0}}) // want `rma\.Window\.GetBatch after the epoch was closed`
+	_ = w.FlushAll()
+}

@@ -32,6 +32,7 @@ func (k Key) String() string { return fmt.Sprintf("(%d@%d)", k.Size, k.Off) }
 type Tree[V any] struct {
 	root *node[V]
 	size int
+	pool *node[V] // recycled nodes, linked through right
 }
 
 type node[V any] struct {
@@ -43,6 +44,44 @@ type node[V any] struct {
 
 // Len returns the number of entries.
 func (t *Tree[V]) Len() int { return t.size }
+
+// newNode takes a node off the pool (or allocates one). Pooling keeps
+// the storage manager's steady-state alloc/free cycle allocation-free.
+func (t *Tree[V]) newNode(key Key, val V) *node[V] {
+	n := t.pool
+	if n == nil {
+		return &node[V]{key: key, val: val, height: 1}
+	}
+	t.pool = n.right
+	*n = node[V]{key: key, val: val, height: 1}
+	return n
+}
+
+// recycle pushes a detached node onto the pool, dropping its value
+// reference.
+func (t *Tree[V]) recycle(n *node[V]) {
+	var zero V
+	n.val = zero
+	n.left = nil
+	n.right = t.pool
+	t.pool = n
+}
+
+// Clear empties the tree, recycling every node onto the pool.
+func (t *Tree[V]) Clear() {
+	var drop func(n *node[V])
+	drop = func(n *node[V]) {
+		if n == nil {
+			return
+		}
+		drop(n.left)
+		drop(n.right)
+		t.recycle(n)
+	}
+	drop(t.root)
+	t.root = nil
+	t.size = 0
+}
 
 func h[V any](n *node[V]) int {
 	if n == nil {
@@ -101,23 +140,23 @@ func rebalance[V any](n *node[V]) *node[V] {
 // entry was created (false if an existing key's value was replaced).
 func (t *Tree[V]) Insert(key Key, val V) bool {
 	var created bool
-	t.root, created = insert(t.root, key, val)
+	t.root, created = t.insert(t.root, key, val)
 	if created {
 		t.size++
 	}
 	return created
 }
 
-func insert[V any](n *node[V], key Key, val V) (*node[V], bool) {
+func (t *Tree[V]) insert(n *node[V], key Key, val V) (*node[V], bool) {
 	if n == nil {
-		return &node[V]{key: key, val: val, height: 1}, true
+		return t.newNode(key, val), true
 	}
 	var created bool
 	switch {
 	case key.Less(n.key):
-		n.left, created = insert(n.left, key, val)
+		n.left, created = t.insert(n.left, key, val)
 	case n.key.Less(key):
-		n.right, created = insert(n.right, key, val)
+		n.right, created = t.insert(n.right, key, val)
 	default:
 		n.val = val
 		return n, false
@@ -128,30 +167,34 @@ func insert[V any](n *node[V], key Key, val V) (*node[V], bool) {
 // Delete removes the entry for key, returning true if it existed.
 func (t *Tree[V]) Delete(key Key) bool {
 	var deleted bool
-	t.root, deleted = remove(t.root, key)
+	t.root, deleted = t.remove(t.root, key)
 	if deleted {
 		t.size--
 	}
 	return deleted
 }
 
-func remove[V any](n *node[V], key Key) (*node[V], bool) {
+func (t *Tree[V]) remove(n *node[V], key Key) (*node[V], bool) {
 	if n == nil {
 		return nil, false
 	}
 	var deleted bool
 	switch {
 	case key.Less(n.key):
-		n.left, deleted = remove(n.left, key)
+		n.left, deleted = t.remove(n.left, key)
 	case n.key.Less(key):
-		n.right, deleted = remove(n.right, key)
+		n.right, deleted = t.remove(n.right, key)
 	default:
 		deleted = true
 		if n.left == nil {
-			return n.right, true
+			r := n.right
+			t.recycle(n)
+			return r, true
 		}
 		if n.right == nil {
-			return n.left, true
+			l := n.left
+			t.recycle(n)
+			return l, true
 		}
 		// Replace with in-order successor.
 		succ := n.right
@@ -159,7 +202,7 @@ func remove[V any](n *node[V], key Key) (*node[V], bool) {
 			succ = succ.left
 		}
 		n.key, n.val = succ.key, succ.val
-		n.right, _ = remove(n.right, succ.key)
+		n.right, _ = t.remove(n.right, succ.key)
 	}
 	return rebalance(n), deleted
 }

@@ -75,7 +75,15 @@ func Run(r *mpi.Rank, d *graph.Dist, frontierWin rma.Window, frontier []byte, gt
 	}
 	r.Barrier() // all frontier maps initialized
 
-	var buf [1]byte
+	// Neighbour frontier bytes are checked in chunks: the remote bytes of
+	// a chunk are fetched in one batched get (coalesced by the caching
+	// layer when the displacements are adjacent) and then evaluated in
+	// neighbour order with the scalar kernel's early exit — levels are
+	// identical, but a chunk may prefetch a few bytes past the first hit,
+	// so RemoteGets counts issued fetches rather than consulted ones.
+	const chunkSize = 16
+	var stage [chunkSize]byte
+	var ops []getter.BatchOp
 	for level := int32(0); ; level++ {
 		if err := frontierWin.LockAll(); err != nil {
 			return res, err
@@ -86,28 +94,49 @@ func Run(r *mpi.Rank, d *graph.Dist, frontierWin rma.Window, frontier []byte, gt
 			if res.Levels[v-d.Lo] != Unreached {
 				continue
 			}
-			for _, u := range d.G.Neighbors(v) {
-				scanned++
-				res.Gets++
-				var inFrontier bool
-				if d.Owned(int(u)) {
-					inFrontier = frontier[int(u)-d.Lo] != 0
-				} else {
-					owner := d.Part.Owner(int(u))
-					olo, _ := d.Part.Range(owner)
-					if err := gt.Get(buf[:], owner, int(u)-olo); err != nil {
+			adj := d.G.Neighbors(v)
+			for base := 0; base < len(adj); base += chunkSize {
+				chunk := adj[base:min(base+chunkSize, len(adj))]
+				ops = ops[:0]
+				for i, u := range chunk {
+					if !d.Owned(int(u)) {
+						owner := d.Part.Owner(int(u))
+						olo, _ := d.Part.Range(owner)
+						ops = append(ops, getter.BatchOp{
+							Dst:    stage[i : i+1 : i+1],
+							Target: owner,
+							Disp:   int(u) - olo,
+						})
+					}
+				}
+				if len(ops) > 0 {
+					if err := getter.GetBatch(gt, ops); err != nil {
 						return res, err
 					}
 					if err := gt.Flush(); err != nil {
 						return res, err
 					}
-					res.RemoteGets++
-					inFrontier = buf[0] != 0
+					res.RemoteGets += int64(len(ops))
 				}
-				if inFrontier {
-					res.Levels[v-d.Lo] = level + 1
-					next[v-d.Lo] = true
-					discovered++
+				hit := false
+				for i, u := range chunk {
+					scanned++
+					res.Gets++
+					var inFrontier bool
+					if d.Owned(int(u)) {
+						inFrontier = frontier[int(u)-d.Lo] != 0
+					} else {
+						inFrontier = stage[i] != 0
+					}
+					if inFrontier {
+						res.Levels[v-d.Lo] = level + 1
+						next[v-d.Lo] = true
+						discovered++
+						hit = true
+						break
+					}
+				}
+				if hit {
 					break
 				}
 			}

@@ -1,0 +1,288 @@
+package core
+
+// Vectorized gets with miss coalescing (DESIGN.md §10).
+//
+// Applications that request many ranges from the same target inside one
+// epoch (LCC neighbor scans, N-body interaction lists, BFS frontier
+// probes) pay one LogGP issue overhead o per range when the ranges are
+// issued as individual gets. GetBatch serves all hits locally first,
+// then sorts the remaining contiguous misses by (target, displacement),
+// merges adjacent and overlapping ranges, and issues ONE remote message
+// per merged range — amortizing o across the run while still inserting
+// every constituent range into the cache individually under the weak-
+// caching bound (at most one eviction per constituent miss).
+
+import (
+	"slices"
+
+	"clampi/internal/cuckoo"
+	"clampi/internal/datatype"
+	"clampi/internal/rma"
+	"clampi/internal/simtime"
+)
+
+// GetOp describes one get of a batch (Cache.GetBatch). A nil Dtype
+// selects datatype.Byte with Count = len(Dst) — the contiguous byte-range
+// form the application kernels issue.
+type GetOp struct {
+	Dst    []byte
+	Dtype  datatype.Datatype
+	Count  int
+	Target int
+	Disp   int
+}
+
+// batchMiss is one coalescible (dense) miss of the current batch.
+type batchMiss struct {
+	op     int // index into the ops slice
+	target int
+	disp   int
+	size   int
+	lookup simtime.Duration // lookup cost attributed to this op
+	dup    bool             // an earlier miss in this batch has the same key
+}
+
+// batchRun is one merged range: misses[from:to) coalesced into the byte
+// range [lo, hi) of target, staged in stage.
+type batchRun struct {
+	target   int
+	lo, hi   int
+	from, to int
+	stage    []byte
+}
+
+// GetBatch processes every op as a get_c (identical classification,
+// statistics and weak-caching semantics as calling Get per op), but
+// coalesces the contiguous misses into merged per-target ranges and
+// issues one remote message per merged range. Destination buffers obey
+// the usual epoch contract: valid only after the next completion call
+// on the window. On error the batch may have been partially processed —
+// ops preceding the failure were served normally.
+//
+// Ops with strided datatypes or empty transfers are served through the
+// scalar path; they are counted in BatchOps but never coalesced.
+func (c *Cache) GetBatch(ops []GetOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	c.stats.BatchOps += int64(len(ops))
+	if c.params.DisableCoalesce || len(ops) == 1 {
+		for i := range ops {
+			if err := c.getOp(&ops[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Pass 1: serve hits and strided misses immediately; defer dense
+	// misses for coalescing.
+	misses := c.bmisses[:0]
+	for i := range ops {
+		op := &ops[i]
+		dtype, count := op.Dtype, op.Count
+		if dtype == nil {
+			dtype = datatype.Byte
+			count = len(op.Dst)
+		}
+		size := datatype.TransferSize(dtype, count)
+		if len(op.Dst) < size {
+			return rma.ErrShortBuf
+		}
+		c.beginGet(size)
+		key := cuckoo.Key{Target: op.Target, Disp: op.Disp}
+		e, found, lookupT := c.lookup(key)
+		c.last.Lookup = lookupT
+		c.stats.LookupTime += lookupT
+		if found && e.state != stateEvicted {
+			if err := c.serveHit(e, op.Dst, dtype, count, op.Target, op.Disp, size); err != nil {
+				return err
+			}
+			c.emitAccess(op.Target, op.Disp, size, nil)
+			continue
+		}
+		if size == 0 || dtype.Size() != dtype.Extent() {
+			// Strided or empty transfer: scalar miss path.
+			if err := c.serveMiss(key, op.Dst, dtype, count, op.Target, op.Disp, size); err != nil {
+				return err
+			}
+			c.emitAccess(op.Target, op.Disp, size, nil)
+			continue
+		}
+		misses = append(misses, batchMiss{op: i, target: op.Target, disp: op.Disp, size: size, lookup: lookupT})
+	}
+	if len(misses) == 0 {
+		c.bmisses = misses
+		return nil
+	}
+
+	// Pass 2: plan — sort by (target, disp, size desc), mark duplicate
+	// keys (the largest instance admits the entry; repeats become
+	// pending hits), and merge adjacent/overlapping ranges per target.
+	runs := c.bruns[:0]
+	rops := c.bops[:0]
+	planT := c.chargeFn(func() {
+		sortMisses(misses)
+		for i := 0; i < len(misses); {
+			run := batchRun{target: misses[i].target, lo: misses[i].disp, hi: misses[i].disp + misses[i].size, from: i}
+			j := i + 1
+			for ; j < len(misses); j++ {
+				n := &misses[j]
+				if n.target != run.target || n.disp > run.hi {
+					break
+				}
+				// Identical keys are adjacent after the sort; the
+				// first (largest) instance admits the entry.
+				if n.disp == misses[j-1].disp {
+					n.dup = true
+				}
+				if end := n.disp + n.size; end > run.hi {
+					run.hi = end
+				}
+			}
+			run.to = j
+			run.stage = c.stageBuf(run.hi - run.lo)
+			runs = append(runs, run)
+			rops = append(rops, rma.GetOp{Dst: run.stage, Target: run.target, Disp: run.lo})
+			i = j
+		}
+	}, func() simtime.Duration {
+		return simtime.Duration(len(misses)) * CostBatchPlanPerMiss
+	})
+	c.stats.MgmtTime += planT
+
+	c.stats.BatchMisses += int64(len(misses))
+	c.stats.BatchMessages += int64(len(rops))
+	if err := c.issueRanges(rops); err != nil {
+		return err
+	}
+
+	// One sampling scan serves every capacity eviction of the batch:
+	// when the admissions to come exceed the free storage, fill the
+	// victim reservoir now instead of paying a scan per miss.
+	newBytes := 0
+	fresh := 0
+	for i := range misses {
+		if !misses[i].dup {
+			newBytes += misses[i].size
+			fresh++
+		}
+	}
+	if newBytes > c.store.FreeBytes() {
+		c.fillVictimPool(fresh)
+	}
+	c.inBatch = true
+
+	// Pass 3: serve every constituent from its staged merged range —
+	// deliver the payload to the user buffer and admit the range into
+	// the cache (weak caching, at most one eviction each).
+	for r := range runs {
+		run := &runs[r]
+		c.stats.BytesFromNetwork += int64(run.hi - run.lo)
+		for _, m := range misses[run.from:run.to] {
+			op := &ops[m.op]
+			src := run.stage[m.disp-run.lo : m.disp-run.lo+m.size]
+			c.last = Access{Lookup: m.lookup, Issued: true}
+			copyT := c.copyOut(op.Dst[:m.size], src)
+			c.last.Copy = copyT
+			c.stats.CopyTime += copyT
+			if m.dup {
+				c.servePendingDup(m, src)
+			} else {
+				key := cuckoo.Key{Target: m.target, Disp: m.disp}
+				c.finish(c.insertPending(key, src, m.size))
+			}
+			c.emitAccess(m.target, m.disp, m.size, nil)
+		}
+	}
+	c.inBatch = false
+	c.dropVictimPool()
+	c.bmisses = misses[:0]
+	c.bruns = runs[:0]
+	c.bops = rops[:0]
+	return nil
+}
+
+// servePendingDup classifies a batched miss whose key was admitted by an
+// earlier (larger-or-equal) constituent of the same batch: the data is
+// already on the wire in the same merged message, so this is a pending
+// hit — except when the earlier insert failed, in which case the repeat
+// gets its own weak-caching attempt with the same staged source.
+func (c *Cache) servePendingDup(m batchMiss, src []byte) {
+	key := cuckoo.Key{Target: m.target, Disp: m.disp}
+	e, found, lookupT := c.lookup(key)
+	c.last.Lookup += lookupT
+	c.stats.LookupTime += lookupT
+	if !found || e.state != statePending {
+		c.finish(c.insertPending(key, src, m.size))
+		return
+	}
+	e.last = c.getSeq
+	c.last.Type = AccessHit
+	c.stats.Hits++
+	c.stats.PendingHits++
+	// The duplicate-sort order (size descending) guarantees the admitted
+	// payload covers this repeat in full.
+	c.stats.FullHits++
+	c.stats.BytesFromCache += int64(m.size)
+}
+
+// getOp serves one batch op through the scalar path.
+func (c *Cache) getOp(op *GetOp) error {
+	if op.Dtype == nil {
+		return c.Get(op.Dst, datatype.Byte, len(op.Dst), op.Target, op.Disp)
+	}
+	return c.Get(op.Dst, op.Dtype, op.Count, op.Target, op.Disp)
+}
+
+// issueRanges issues one remote byte-range get per merged range — through
+// the transport's native batch call when it implements rma.BatchWindow,
+// per-range Window.Get otherwise. Either way exactly one LogGP issue
+// overhead o is charged per merged range; the native path additionally
+// amortizes the per-call host work.
+func (c *Cache) issueRanges(rops []rma.GetOp) error {
+	if c.bwin != nil {
+		return c.bwin.GetBatch(rops)
+	}
+	for i := range rops {
+		r := &rops[i]
+		if err := c.win.Get(r.Dst, datatype.Byte, len(r.Dst), r.Target, r.Disp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortMisses orders the batch's misses by (target, disp, size descending,
+// submission order): per-target address order is what the merge scan
+// needs, and size-descending within a key makes the first instance of a
+// duplicated key the one that admits the (largest) entry.
+func sortMisses(ms []batchMiss) {
+	slices.SortFunc(ms, func(a, b batchMiss) int {
+		switch {
+		case a.target != b.target:
+			return a.target - b.target
+		case a.disp != b.disp:
+			return a.disp - b.disp
+		case a.size != b.size:
+			return b.size - a.size
+		default:
+			return a.op - b.op
+		}
+	})
+}
+
+// stageBuf carves n bytes off the epoch-lifetime staging arena. The
+// returned slice stays valid until the pending queue drains (epoch
+// closure or invalidation) even if the arena's backing array is replaced
+// mid-epoch: the old array remains referenced by the slices cut from it.
+// Capacity is kept across epochs, so steady-state batches allocate
+// nothing here.
+func (c *Cache) stageBuf(n int) []byte {
+	if len(c.arena)+n > cap(c.arena) {
+		c.arena = make([]byte, 0, max(n, 64<<10))
+	}
+	s := c.arena[len(c.arena) : len(c.arena)+n : len(c.arena)+n]
+	c.arena = c.arena[:len(c.arena)+n]
+	return s
+}

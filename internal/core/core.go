@@ -123,6 +123,9 @@ type Params struct {
 	// calibrated analytic model (default, deterministic) to real wall
 	// time measured around each operation (see costs.go).
 	CostMeasured bool
+	// DisableCoalesce makes GetBatch process its ops as plain sequential
+	// gets, skipping miss coalescing (ablation / equivalence baseline).
+	DisableCoalesce bool
 	// AllocPolicy selects the storage allocation strategy; the default
 	// is the paper's best-fit (storage.BestFit). FirstFit exists as an
 	// ablation baseline.
@@ -251,18 +254,35 @@ type Cache struct {
 	store *storage.Manager
 	rng   *rand.Rand
 
-	getSeq       int64 // index in C_w.G
-	sumGetSizes  int64 // for the average get size (ags)
-	lastTuneGets int64
+	getSeq      int64 // index in C_w.G
+	sumGetSizes int64 // for the average get size (ags)
 
 	pending []*entry // entries awaiting epoch-closure copy-in
 
-	stats     Stats // running totals since creation
-	tuneStats Stats // window since the last adaptive adjustment
+	// Entry-record pool (allocation-free steady state): evicted records
+	// first land on dead — they may still be referenced from pending
+	// until the epoch closes — and move to free once the pending queue
+	// has drained, where newEntry picks them up again.
+	free []*entry
+	dead []*entry
+
+	stats    Stats // running totals since creation
+	tuneSnap Stats // snapshot of stats at the last adaptive evaluation
 
 	last Access // last processed get_c
 
-	scratch []byte // staging buffer for strided remote gets
+	// arena is epoch-lifetime staging storage for batched miss payloads
+	// and prefetches; see stageBuf. Reset (capacity kept) when the
+	// pending queue drains.
+	arena []byte
+
+	// GetBatch working state (see batch.go), reused across calls.
+	bwin    rma.BatchWindow // non-nil when the transport batches natively
+	bops    []rma.GetOp     // merged-range issue buffer
+	bmisses []batchMiss     // coalescible-miss workspace
+	bruns   []batchRun      // merged-range workspace
+	bvict   []scoredVictim  // batch capacity-eviction reservoir
+	inBatch bool            // insertPending draws victims from bvict
 }
 
 // Errors.
@@ -299,6 +319,7 @@ func New(win rma.Window, params Params) (*Cache, error) {
 		store:  storage.NewWithPolicy(params.StorageBytes, params.AllocPolicy),
 		rng:    rand.New(rand.NewSource(params.Seed + 1)),
 	}
+	c.bwin, _ = win.(rma.BatchWindow)
 	win.AddEpochListener(c.onEpochClose)
 	return c, nil
 }
@@ -346,23 +367,12 @@ func (c *Cache) Get(dst []byte, dtype datatype.Datatype, count int, target, disp
 	if len(dst) < size {
 		return rma.ErrShortBuf
 	}
-	c.getSeq++
-	c.sumGetSizes += int64(size)
-	c.stats.Gets++
-	c.tuneStats.Gets++
-	c.last = Access{}
+	c.beginGet(size)
 
 	key := cuckoo.Key{Target: target, Disp: disp}
-	var (
-		e     *entry
-		found bool
-	)
-	lookupT := c.charge(CostLookup, func() {
-		e, _, found = c.idx.Lookup(key)
-	})
+	e, found, lookupT := c.lookup(key)
 	c.last.Lookup = lookupT
 	c.stats.LookupTime += lookupT
-	c.tuneStats.LookupTime += lookupT
 
 	var err error
 	if found && e.state != stateEvicted {
@@ -370,40 +380,76 @@ func (c *Cache) Get(dst []byte, dtype datatype.Datatype, count int, target, disp
 	} else {
 		err = c.serveMiss(key, dst, dtype, count, target, disp, size)
 	}
-	if c.obs != nil && err == nil {
-		c.obs.OnAccess(AccessEvent{
-			Rank:    c.rank,
-			Epoch:   c.win.Epoch(),
-			Time:    c.clock.Now(),
-			Type:    c.last.Type,
-			Partial: c.last.Partial,
-			Issued:  c.last.Issued,
-			Target:  target,
-			Disp:    disp,
-			Size:    size,
-			Lookup:  c.last.Lookup,
-			Evict:   c.last.Evict,
-			Copy:    c.last.Copy,
-			Mgmt:    c.last.Mgmt,
-		})
-	}
+	c.emitAccess(target, disp, size, err)
 	return err
+}
+
+// beginGet records the arrival of one get_c of the given size.
+func (c *Cache) beginGet(size int) {
+	c.getSeq++
+	c.sumGetSizes += int64(size)
+	c.stats.Gets++
+	c.last = Access{}
+}
+
+// lookup probes the index under cost accounting. On the modeled-cost
+// path (the default) it runs without constructing a closure, keeping the
+// steady-state hit path free of heap allocation.
+func (c *Cache) lookup(key cuckoo.Key) (e *entry, found bool, d simtime.Duration) {
+	if !c.params.CostMeasured {
+		e, _, found = c.idx.Lookup(key)
+		c.clock.Busy(CostLookup)
+		return e, found, CostLookup
+	}
+	d = c.clock.Charge(func() { e, _, found = c.idx.Lookup(key) })
+	return e, found, d
+}
+
+// copyOut copies a served payload cache→user under cost accounting,
+// closure-free on the modeled-cost path.
+func (c *Cache) copyOut(dst, src []byte) simtime.Duration {
+	if !c.params.CostMeasured {
+		copy(dst, src)
+		est := copyCost(len(dst))
+		c.clock.Busy(est)
+		return est
+	}
+	return c.clock.Charge(func() { copy(dst, src) })
+}
+
+// emitAccess reports the classified access recorded in c.last.
+func (c *Cache) emitAccess(target, disp, size int, err error) {
+	if c.obs == nil || err != nil {
+		return
+	}
+	c.obs.OnAccess(AccessEvent{
+		Rank:    c.rank,
+		Epoch:   c.win.Epoch(),
+		Time:    c.clock.Now(),
+		Type:    c.last.Type,
+		Partial: c.last.Partial,
+		Issued:  c.last.Issued,
+		Target:  target,
+		Disp:    disp,
+		Size:    size,
+		Lookup:  c.last.Lookup,
+		Evict:   c.last.Evict,
+		Copy:    c.last.Copy,
+		Mgmt:    c.last.Mgmt,
+	})
 }
 
 // serveHit handles CACHED and PENDING lookups (§III-B1).
 func (c *Cache) serveHit(e *entry, dst []byte, dtype datatype.Datatype, count, target, disp, size int) error {
 	e.last = c.getSeq
 	c.stats.Hits++
-	c.tuneStats.Hits++
 	c.last.Type = AccessHit
 
 	full := size <= e.payload
 	if full {
 		c.stats.FullHits++
-		c.tuneStats.FullHits++
 	} else {
 		c.stats.PartialHits++
-		c.tuneStats.PartialHits++
 		c.last.Partial = true
 	}
 
@@ -416,12 +462,9 @@ func (c *Cache) serveHit(e *entry, dst []byte, dtype datatype.Datatype, count, t
 	switch e.state {
 	case stateCached:
 		served := min(size, e.payload)
-		copyT := c.charge(copyCost(served), func() {
-			copy(dst[:served], c.store.Bytes(e.region, served))
-		})
+		copyT := c.copyOut(dst[:served], c.store.Bytes(e.region, served))
 		c.last.Copy = copyT
 		c.stats.CopyTime += copyT
-		c.tuneStats.CopyTime += copyT
 		c.stats.BytesFromCache += int64(served)
 		if full {
 			return nil
@@ -447,7 +490,6 @@ func (c *Cache) serveHit(e *entry, dst []byte, dtype datatype.Datatype, count, t
 		})
 		c.last.Mgmt = mgmtT
 		c.stats.MgmtTime += mgmtT
-		c.tuneStats.MgmtTime += mgmtT
 		if grown {
 			e.extSrc = dst[from:size]
 			e.extFrom = from
@@ -460,7 +502,6 @@ func (c *Cache) serveHit(e *entry, dst []byte, dtype datatype.Datatype, count, t
 		// Same-epoch repeat: the data is already on the wire; defer
 		// the copy to epoch closure (§III-B1).
 		c.stats.PendingHits++
-		c.tuneStats.PendingHits++
 		served := min(size, e.payload)
 		if full || contig {
 			e.waiters = append(e.waiters, waiter{dst: dst[:served], size: served})
@@ -505,7 +546,17 @@ func (c *Cache) serveMiss(key cuckoo.Key, dst []byte, dtype datatype.Datatype, c
 	}
 	c.last.Issued = true
 	c.stats.BytesFromNetwork += int64(size)
+	c.finish(c.insertPending(key, dst[:size], size))
+	return nil
+}
 
+// insertPending tries to admit one missed range into the cache as a
+// PENDING entry whose payload is copied in from src at epoch closure
+// (§III-B2), and returns the access classification. Weak caching: at
+// most one eviction (capacity or conflict) is performed; if storage
+// still cannot be allocated the access fails and nothing is cached.
+// src must stay intact until the epoch closes.
+func (c *Cache) insertPending(key cuckoo.Key, src []byte, size int) AccessType {
 	// --- Storage allocation (may require one capacity eviction). ---
 	var region *storage.Region
 	mgmtT := c.charge(CostAlloc, func() {
@@ -513,8 +564,18 @@ func (c *Cache) serveMiss(key cuckoo.Key, dst []byte, dtype datatype.Datatype, c
 	})
 	accessType := AccessDirect
 	if region == nil {
-		victim, evictT := c.selectCapacityVictim()
-		c.last.Evict += evictT
+		// Inside a batch the victim comes from the reservoir filled by
+		// one amortized scan (its cost was charged at fill time); a
+		// drained reservoir falls back to a fresh per-miss scan.
+		var victim *entry
+		if c.inBatch {
+			victim = c.nextBatchVictim()
+		}
+		if victim == nil {
+			var evictT simtime.Duration
+			victim, evictT = c.selectCapacityVictim()
+			c.last.Evict += evictT
+		}
 		if victim != nil {
 			c.evictEntry(victim)
 			accessType = AccessCapacity
@@ -525,13 +586,12 @@ func (c *Cache) serveMiss(key cuckoo.Key, dst []byte, dtype datatype.Datatype, c
 		if region == nil {
 			// Weak caching: give up after a single eviction.
 			c.recordMgmt(mgmtT)
-			c.finish(AccessFailing)
-			return nil
+			return AccessFailing
 		}
 	}
 
 	// --- Index insertion (may require one conflict eviction). ---
-	e := &entry{key: key, region: region, payload: size, state: statePending, src: dst[:size], last: c.getSeq}
+	e := c.newEntry(key, region, size, src)
 	var res cuckoo.InsertResult[*entry]
 	mgmtT += c.charge(CostInsert, func() {
 		res = c.idx.Insert(key, e)
@@ -547,26 +607,76 @@ func (c *Cache) serveMiss(key cuckoo.Key, dst []byte, dtype datatype.Datatype, c
 			c.dropHomeless(res.HomelessVal)
 			c.recordMgmt(mgmtT)
 			if res.HomelessKey == key {
-				c.finish(AccessFailing)
-				return nil
+				return AccessFailing
 			}
 			c.pending = append(c.pending, e)
-			c.finish(AccessConflicting)
-			return nil
+			return AccessConflicting
 		}
 		mgmtT += c.charge(CostInsert+CostFree, func() {
 			evictedKey, evicted := c.idx.ReplaceAt(victimSlot, res.HomelessKey, res.HomelessVal)
-			_ = evictedKey
 			if evicted != nil {
-				c.freeEvicted(evicted)
+				c.freeEvicted(evictedKey, evicted)
 			}
 		})
 		accessType = AccessConflicting
 	}
 	c.pending = append(c.pending, e)
 	c.recordMgmt(mgmtT)
-	c.finish(accessType)
-	return nil
+	return accessType
+}
+
+// newEntry takes a record off the free list (or allocates one) and
+// initializes it PENDING for key.
+func (c *Cache) newEntry(key cuckoo.Key, region *storage.Region, size int, src []byte) *entry {
+	var e *entry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		e = &entry{}
+	}
+	e.key = key
+	e.region = region
+	e.payload = size
+	e.state = statePending
+	e.last = c.getSeq
+	e.src = src
+	return e
+}
+
+// retire parks an evicted entry on the graveyard. Records are recycled
+// onto the free list only once the pending queue drains (epoch closure
+// or invalidation), because a stateEvicted record may still sit in
+// c.pending until then. PENDING entries are never retired directly:
+// callers transition them to stateEvicted first, and the record keeps
+// carrying its waiters until recycling.
+func (c *Cache) retire(e *entry) {
+	c.dead = append(c.dead, e)
+}
+
+// recycleDead moves the graveyard onto the free list, dropping every
+// buffer reference while keeping waiter-slice capacity. Must only run
+// right after the pending queue was drained — no stateEvicted record
+// can then still be referenced from c.pending.
+func (c *Cache) recycleDead() {
+	for i, e := range c.dead {
+		e.region = nil
+		e.src = nil
+		e.extSrc = nil
+		e.extFrom, e.extTo = 0, 0
+		clearWaiters(e)
+		c.free = append(c.free, e)
+		c.dead[i] = nil
+	}
+	c.dead = c.dead[:0]
+}
+
+// clearWaiters empties the waiter queue, dropping user-buffer references
+// but keeping the slice capacity for reuse in later epochs.
+func clearWaiters(e *entry) {
+	clear(e.waiters)
+	e.waiters = e.waiters[:0]
 }
 
 // dropHomeless releases the storage of a homeless element that could not
@@ -580,15 +690,19 @@ func (c *Cache) dropHomeless(homeless *entry) {
 	}
 	homeless.state = stateEvicted
 	c.store.FreeRegion(homeless.region)
+	c.retire(homeless)
 }
 
-// freeEvicted releases an entry displaced by a conflict eviction.
-func (c *Cache) freeEvicted(e *entry) {
+// freeEvicted releases an entry displaced by a conflict eviction. key is
+// the index key the entry was displaced under (as returned by
+// cuckoo.Table.ReplaceAt), reported to OnEviction observers so they see
+// exactly which entry the conflict pushed out.
+func (c *Cache) freeEvicted(key cuckoo.Key, e *entry) {
 	e.state = stateEvicted
 	c.store.FreeRegion(e.region)
+	c.retire(e)
 	c.stats.Evictions++
-	c.tuneStats.Evictions++
-	c.emitEviction(e, true)
+	c.emitEviction(key, e.payload, true)
 }
 
 // evictEntry removes a capacity-eviction victim from index and storage.
@@ -598,13 +712,13 @@ func (c *Cache) evictEntry(e *entry) {
 		e.state = stateEvicted
 		c.store.FreeRegion(e.region)
 	})
+	c.retire(e)
 	c.stats.Evictions++
-	c.tuneStats.Evictions++
-	c.emitEviction(e, false)
+	c.emitEviction(e.key, e.payload, false)
 }
 
 // emitEviction reports one evicted entry to the observer.
-func (c *Cache) emitEviction(e *entry, conflict bool) {
+func (c *Cache) emitEviction(key cuckoo.Key, payload int, conflict bool) {
 	if c.obs == nil {
 		return
 	}
@@ -612,9 +726,9 @@ func (c *Cache) emitEviction(e *entry, conflict bool) {
 		Rank:     c.rank,
 		Epoch:    c.win.Epoch(),
 		Time:     c.clock.Now(),
-		Target:   e.key.Target,
-		Disp:     e.key.Disp,
-		Bytes:    e.payload,
+		Target:   key.Target,
+		Disp:     key.Disp,
+		Bytes:    payload,
 		Conflict: conflict,
 	})
 }
@@ -622,7 +736,6 @@ func (c *Cache) emitEviction(e *entry, conflict bool) {
 func (c *Cache) recordMgmt(d simtime.Duration) {
 	c.last.Mgmt += d
 	c.stats.MgmtTime += d
-	c.tuneStats.MgmtTime += d
 }
 
 // finish classifies the completed miss.
@@ -631,16 +744,12 @@ func (c *Cache) finish(t AccessType) {
 	switch t {
 	case AccessDirect:
 		c.stats.Direct++
-		c.tuneStats.Direct++
 	case AccessConflicting:
 		c.stats.Conflicting++
-		c.tuneStats.Conflicting++
 	case AccessCapacity:
 		c.stats.Capacity++
-		c.tuneStats.Capacity++
 	case AccessFailing:
 		c.stats.Failing++
-		c.tuneStats.Failing++
 	}
 }
 
@@ -665,7 +774,7 @@ func (c *Cache) onEpochClose(epoch int64) {
 					copy(w.dst, c.store.Bytes(e.region, w.size))
 					copiedBytes += w.size
 				}
-				e.waiters = nil
+				clearWaiters(e)
 			}
 			if e.extTo > e.extFrom {
 				// Partial-hit extension: append the suffix.
@@ -687,15 +796,16 @@ func (c *Cache) onEpochClose(epoch int64) {
 	})
 	c.last.Copy += copyT
 	c.stats.CopyTime += copyT
-	c.tuneStats.CopyTime += copyT
 	c.pending = c.pending[:0]
+	c.recycleDead()
+	c.arena = c.arena[:0]
 
 	invalidated := false
 	if c.mode == Transparent {
 		// Tuning is pointless when every epoch starts cold.
 		c.invalidate()
 		invalidated = true
-	} else if c.params.Adaptive && c.tuneStats.Gets >= c.params.TuneInterval {
+	} else if c.params.Adaptive && c.stats.Gets-c.tuneSnap.Gets >= c.params.TuneInterval {
 		c.tune()
 	}
 	if c.obs != nil {
@@ -733,17 +843,29 @@ func (c *Cache) invalidate() {
 				copy(w.dst, e.src[:w.size])
 			}
 		})
-		e.waiters = nil
+		clearWaiters(e)
 		e.state = stateEvicted
+		c.retire(e)
 	}
+	// Remaining indexed entries (all CACHED now) are dropped wholesale by
+	// Clear/Reset below; retire their records for reuse. Their regions
+	// are reclaimed by Reset, so no per-entry FreeRegion.
+	c.idx.Walk(func(_ cuckoo.Key, e *entry) bool {
+		if e.state == stateCached {
+			e.state = stateEvicted
+			c.retire(e)
+		}
+		return true
+	})
 	est := CostInvalidateBase + simtime.Duration(c.idx.Cap())*CostInvalidatePerSlot
 	c.charge(est, func() {
 		c.idx.Clear()
 		c.store.Reset()
 	})
 	c.pending = c.pending[:0]
+	c.recycleDead()
+	c.arena = c.arena[:0]
 	c.stats.Invalidations++
-	c.tuneStats.Invalidations++
 }
 
 // waiterBytes sums the bytes owed to an entry's same-epoch waiters.

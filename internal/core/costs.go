@@ -46,6 +46,9 @@ const (
 	CostInvalidateBase = 500 * simtime.Nanosecond
 	// CostInvalidatePerSlot models the index memset.
 	CostInvalidatePerSlot = simtime.Nanosecond / 1 // 1ns per slot
+	// CostBatchPlanPerMiss is charged per coalescible miss for the
+	// sort-and-merge planning of a batched get (batch.go).
+	CostBatchPlanPerMiss = 30 * simtime.Nanosecond
 )
 
 // copyCost models a size-byte cache<->user copy.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"math"
 
 	"clampi/internal/cuckoo"
@@ -80,14 +82,83 @@ func (c *Cache) selectCapacityVictim() (*entry, simtime.Duration) {
 		return simtime.Duration(visited)*CostPerScanSlot + simtime.Duration(nonEmpty)*CostPerScoredEntry
 	})
 	c.stats.EvictionScans++
-	c.tuneStats.EvictionScans++
 	c.stats.VisitedSlots += int64(visited)
-	c.tuneStats.VisitedSlots += int64(visited)
 	c.stats.NonEmptyVisited += int64(nonEmpty)
-	c.tuneStats.NonEmptyVisited += int64(nonEmpty)
 	c.stats.EvictTime += d
-	c.tuneStats.EvictTime += d
 	return victim, d
+}
+
+// scoredVictim is one capacity-eviction candidate of a batch's victim
+// reservoir, carrying the score it had when the reservoir was filled.
+type scoredVictim struct {
+	e *entry
+	s float64
+}
+
+// fillVictimPool runs ONE sampling scan sized for a whole batch: visit
+// at least M consecutive slots from a random start, extending the scan
+// until `want` evictable entries have been seen (or the table wraps),
+// and keep every CACHED occupant sorted by descending score — so
+// nextBatchVictim pops the lowest-scoring candidates first. The scan is
+// charged once, amortizing the per-eviction sampling of §III-D across
+// the batch's capacity evictions.
+func (c *Cache) fillVictimPool(want int) {
+	c.bvict = c.bvict[:0]
+	if want <= 0 {
+		return
+	}
+	var visited, nonEmpty int
+	d := c.chargeFn(func() {
+		start := c.idx.RandomSlot()
+		c.idx.Scan(start, func(_ int, _ cuckoo.Key, e *entry, used bool) bool {
+			visited++
+			if used && e.state == stateCached {
+				nonEmpty++
+				c.bvict = append(c.bvict, scoredVictim{e: e, s: c.score(e)})
+			}
+			return visited < c.params.SampleSize || nonEmpty < want
+		})
+		slices.SortFunc(c.bvict, func(a, b scoredVictim) int {
+			switch {
+			case a.s > b.s:
+				return -1
+			case a.s < b.s:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}, func() simtime.Duration {
+		return simtime.Duration(visited)*CostPerScanSlot + simtime.Duration(nonEmpty)*CostPerScoredEntry
+	})
+	c.stats.EvictionScans++
+	c.stats.VisitedSlots += int64(visited)
+	c.stats.NonEmptyVisited += int64(nonEmpty)
+	c.stats.EvictTime += d
+}
+
+// nextBatchVictim pops the lowest-scoring candidate that is still
+// evictable off the reservoir; nil once it is drained (the caller then
+// falls back to a fresh per-miss scan).
+func (c *Cache) nextBatchVictim() *entry {
+	for n := len(c.bvict); n > 0; n = len(c.bvict) {
+		v := c.bvict[n-1].e
+		c.bvict[n-1].e = nil
+		c.bvict = c.bvict[:n-1]
+		if v.state == stateCached {
+			return v
+		}
+	}
+	return nil
+}
+
+// dropVictimPool clears the reservoir at the end of a batch, dropping
+// its entry references while keeping capacity.
+func (c *Cache) dropVictimPool() {
+	for i := range c.bvict {
+		c.bvict[i].e = nil
+	}
+	c.bvict = c.bvict[:0]
 }
 
 // selectConflictVictim picks the victim of a conflicting access among the
@@ -110,6 +181,5 @@ func (c *Cache) selectConflictVictim(candidates [cuckoo.NumHashes]int) (int, sim
 		}
 	})
 	c.stats.EvictTime += d
-	c.tuneStats.EvictTime += d
 	return victimSlot, d
 }

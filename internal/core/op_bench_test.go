@@ -1,0 +1,184 @@
+package core
+
+// Op-level micro benchmarks of the caching hot paths, measuring host
+// time (ns/op with -benchmem for allocs/op) alongside the modeled
+// virtual time reported as the custom vns/op metric. cmd/clampi-perfgate
+// runs the BenchmarkOp* set and fails CI when the full-hit path
+// allocates or host time regresses past the committed baseline.
+
+import (
+	"testing"
+
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+	"clampi/internal/simtime"
+)
+
+// benchCache runs fn on rank 0 of a 2-rank world with a cache over a
+// 1 MiB target region.
+func benchCache(b *testing.B, params Params, fn func(c *Cache, win *mpi.Win, clock *simtime.Clock)) {
+	b.Helper()
+	err := mpi.Run(2, mpi.Config{}, func(r *mpi.Rank) error {
+		region := make([]byte, 1<<20)
+		if r.ID() == 1 {
+			for i := range region {
+				region[i] = pattern(i)
+			}
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		var fnErr error
+		if r.ID() == 0 {
+			var c *Cache
+			c, fnErr = New(win, params)
+			if fnErr == nil {
+				fnErr = win.LockAll()
+			}
+			if fnErr == nil {
+				fn(c, win, r.Clock())
+				fnErr = win.UnlockAll()
+			}
+		}
+		r.Barrier()
+		return fnErr
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkOpHitFull measures the steady-state full-hit path: the
+// tentpole target is 0 allocs/op.
+func BenchmarkOpHitFull(b *testing.B) {
+	benchCache(b, alwaysParams(), func(c *Cache, win *mpi.Win, clock *simtime.Clock) {
+		dst := make([]byte, 256)
+		if err := c.Get(dst, datatype.Byte, 256, 1, 128); err != nil {
+			b.Error(err)
+			return
+		}
+		if err := win.FlushAll(); err != nil {
+			b.Error(err)
+			return
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := clock.Now()
+		for i := 0; i < b.N; i++ {
+			if err := c.Get(dst, datatype.Byte, 256, 1, 128); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(clock.Now()-v0)/float64(b.N), "vns/op")
+	})
+}
+
+// BenchmarkOpMissEvict measures the steady-state miss path under
+// capacity pressure: every get misses, evicts one entry and inserts a
+// pending one (pools keep it at <= 2 allocs/op).
+func BenchmarkOpMissEvict(b *testing.B) {
+	p := alwaysParams()
+	p.StorageBytes = 8 << 10
+	benchCache(b, p, func(c *Cache, win *mpi.Win, clock *simtime.Clock) {
+		const perEpoch = 64
+		dst := make([]byte, 64)
+		round := 0
+		epoch := func() bool {
+			base := (round % 4) * perEpoch * 64
+			round++
+			for j := 0; j < perEpoch; j++ {
+				if err := c.Get(dst, datatype.Byte, 64, 1, base+j*64); err != nil {
+					b.Error(err)
+					return false
+				}
+			}
+			if err := win.FlushAll(); err != nil {
+				b.Error(err)
+				return false
+			}
+			return true
+		}
+		for i := 0; i < 8; i++ {
+			if !epoch() {
+				return
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := clock.Now()
+		for i := 0; i < b.N; i += perEpoch {
+			if !epoch() {
+				return
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(clock.Now()-v0)/float64(b.N), "vns/op")
+	})
+}
+
+// BenchmarkOpBatch16Miss measures a 16-op adjacent-range miss batch per
+// iteration (one merged message); BenchmarkOpSeq16Miss is the same
+// workload issued as sequential gets. The vns/op ratio between the two
+// is the coalescing win asserted by TestBatchMicroBenchSpeedup.
+func BenchmarkOpBatch16Miss(b *testing.B) {
+	p := alwaysParams()
+	p.StorageBytes = 64 << 10
+	benchCache(b, p, func(c *Cache, win *mpi.Win, clock *simtime.Clock) {
+		const width, opBytes = 16, 64
+		dst := make([]byte, width*opBytes)
+		ops := make([]GetOp, width)
+		round := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := clock.Now()
+		for i := 0; i < b.N; i++ {
+			base := (round * width * opBytes) % (1 << 20)
+			round++
+			for j := 0; j < width; j++ {
+				lo := j * opBytes
+				ops[j] = GetOp{Dst: dst[lo : lo+opBytes], Target: 1, Disp: base + lo}
+			}
+			if err := c.GetBatch(ops); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := win.FlushAll(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(clock.Now()-v0)/float64(b.N*width), "vns/op")
+	})
+}
+
+func BenchmarkOpSeq16Miss(b *testing.B) {
+	p := alwaysParams()
+	p.StorageBytes = 64 << 10
+	benchCache(b, p, func(c *Cache, win *mpi.Win, clock *simtime.Clock) {
+		const width, opBytes = 16, 64
+		dst := make([]byte, width*opBytes)
+		round := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := clock.Now()
+		for i := 0; i < b.N; i++ {
+			base := (round * width * opBytes) % (1 << 20)
+			round++
+			for j := 0; j < width; j++ {
+				lo := j * opBytes
+				if err := c.Get(dst[lo:lo+opBytes], datatype.Byte, opBytes, 1, base+lo); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := win.FlushAll(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(clock.Now()-v0)/float64(b.N*width), "vns/op")
+	})
+}

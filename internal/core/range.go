@@ -45,13 +45,14 @@ func (c *Cache) InvalidateRange(target, disp, size int) int {
 					copy(w.dst, e.src[:w.size])
 				}
 			})
-			e.waiters = nil
+			clearWaiters(e)
 		}
 		c.charge(CostLookup+CostFree, func() {
 			c.idx.Delete(e.key)
 			e.state = stateEvicted
 			c.store.FreeRegion(e.region)
 		})
+		c.retire(e)
 	}
 	return len(victims)
 }
@@ -77,6 +78,9 @@ func (c *Cache) Prefetch(target, disp, size int) error {
 		return nil
 	}
 	c.stats.Prefetches++
-	buf := make([]byte, size)
+	// The destination lives in the epoch-lifetime arena: it must stay
+	// intact until the closure copy-in, and carving it off the arena
+	// keeps the prefetch path allocation-free in steady state.
+	buf := c.stageBuf(size)
 	return c.Get(buf, datatype.Byte, size, target, disp)
 }

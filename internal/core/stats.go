@@ -69,6 +69,11 @@ type Stats struct {
 	BytesFromCache   int64 // payload served locally
 	BytesFromNetwork int64 // payload fetched remotely
 
+	// Batched-get counters (GetBatch, DESIGN.md §10).
+	BatchOps      int64 // gets submitted through GetBatch (subset of Gets)
+	BatchMisses   int64 // batched contiguous misses that entered coalescing
+	BatchMessages int64 // merged remote messages issued for those misses
+
 	// Time attribution (virtual, measured portions).
 	LookupTime simtime.Duration
 	EvictTime  simtime.Duration
@@ -103,6 +108,16 @@ func (s Stats) Rate(a AccessType) float64 {
 		c = s.Failing
 	}
 	return float64(c) / float64(s.Gets)
+}
+
+// BatchCoalesceRatio returns BatchMisses/BatchMessages — the mean number
+// of constituent misses amortized per merged remote message (1.0 means
+// coalescing never merged anything; 0 when no batched miss occurred).
+func (s Stats) BatchCoalesceRatio() float64 {
+	if s.BatchMessages == 0 {
+		return 0
+	}
+	return float64(s.BatchMisses) / float64(s.BatchMessages)
 }
 
 // AvgVisitedPerEviction returns the mean number of index slots visited per
@@ -151,6 +166,9 @@ func (s *Stats) add(o *Stats) {
 	s.Adjustments += o.Adjustments
 	s.BytesFromCache += o.BytesFromCache
 	s.BytesFromNetwork += o.BytesFromNetwork
+	s.BatchOps += o.BatchOps
+	s.BatchMisses += o.BatchMisses
+	s.BatchMessages += o.BatchMessages
 	s.LookupTime += o.LookupTime
 	s.EvictTime += o.EvictTime
 	s.CopyTime += o.CopyTime
@@ -181,6 +199,9 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.Adjustments -= prev.Adjustments
 	d.BytesFromCache -= prev.BytesFromCache
 	d.BytesFromNetwork -= prev.BytesFromNetwork
+	d.BatchOps -= prev.BatchOps
+	d.BatchMisses -= prev.BatchMisses
+	d.BatchMessages -= prev.BatchMessages
 	d.LookupTime -= prev.LookupTime
 	d.EvictTime -= prev.EvictTime
 	d.CopyTime -= prev.CopyTime

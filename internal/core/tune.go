@@ -26,7 +26,11 @@ const minStorageBytes = 4096
 // evaluation. It must only run at an epoch boundary (no in-flight
 // PENDING entries rely on the index/storage being stable).
 func (c *Cache) tune() {
-	s := &c.tuneStats
+	// The observation window is the delta of the running totals since the
+	// last evaluation — a snapshot subtraction instead of a second
+	// counter increment at every access site.
+	win := c.stats.Sub(c.tuneSnap)
+	s := &win
 	gets := float64(s.Gets)
 	if gets == 0 {
 		return
@@ -72,8 +76,7 @@ func (c *Cache) tune() {
 		}
 	}
 	// Start a fresh observation window either way.
-	c.tuneStats = Stats{}
-	c.lastTuneGets = c.getSeq
+	c.tuneSnap = c.stats
 }
 
 // resizeIndex applies factor to |I_w|, clamped to

@@ -111,14 +111,14 @@ func TestTuneShrinksSparseIndex(t *testing.T) {
 	p.IndexSlots = 1 << 14
 	p.Adaptive = true
 	withCache(t, 1<<14, p, func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
-		c.tuneStats = Stats{
+		c.stats = c.stats.Add(Stats{
 			Gets:            1000,
 			Hits:            400, // below StableThreshold: no |S_w| shrink
 			Capacity:        20,  // 2%: below CapacityThreshold
 			EvictionScans:   20,
 			VisitedSlots:    2000,
 			NonEmptyVisited: 40, // q = 0.02 << SparsityThreshold
-		}
+		})
 		c.tune()
 		if c.IndexSlots() >= 1<<14 {
 			t.Errorf("sparse index did not shrink: %d", c.IndexSlots())
@@ -128,7 +128,7 @@ func TestTuneShrinksSparseIndex(t *testing.T) {
 		}
 		// The shrink is clamped at minIndexSlots.
 		for i := 0; i < 20; i++ {
-			c.tuneStats = Stats{Gets: 1000, EvictionScans: 20, VisitedSlots: 2000, NonEmptyVisited: 1}
+			c.stats = c.stats.Add(Stats{Gets: 1000, EvictionScans: 20, VisitedSlots: 2000, NonEmptyVisited: 1})
 			c.tune()
 		}
 		if c.IndexSlots() < minIndexSlots {
@@ -145,7 +145,7 @@ func TestTuneShrinkStorageClamp(t *testing.T) {
 	p.Adaptive = true
 	withCache(t, 1<<14, p, func(c *Cache, win *mpi.Win, r *mpi.Rank) error {
 		for i := 0; i < 20; i++ {
-			c.tuneStats = Stats{Gets: 1000, Hits: 950} // stable, empty buffer
+			c.stats = c.stats.Add(Stats{Gets: 1000, Hits: 950}) // stable, empty buffer
 			c.tune()
 		}
 		if c.StorageBytes() < minStorageBytes {

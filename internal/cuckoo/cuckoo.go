@@ -49,6 +49,7 @@ type Table[V any] struct {
 	rng     *rand.Rand
 	len     int
 	maxIter int
+	path    []int // reusable walk buffer; InsertResult.Path aliases it
 }
 
 type slot[V any] struct {
@@ -158,7 +159,8 @@ type InsertResult[V any] struct {
 	// homeless element.
 	Placed bool
 	// Path is the sequence of slot indices visited by the displacement
-	// walk (the paper's insertion path).
+	// walk (the paper's insertion path). It aliases a per-table scratch
+	// buffer and is only valid until the next Insert on the table.
 	Path []int
 	// HomelessKey/HomelessVal identify the element left without a slot
 	// after a failed walk. It is not necessarily the key passed to
@@ -179,7 +181,7 @@ func (t *Table[V]) Insert(k Key, v V) InsertResult[V] {
 	if _, _, ok := t.Lookup(k); ok {
 		panic(fmt.Sprintf("cuckoo: duplicate insert of %v", k))
 	}
-	res := InsertResult[V]{}
+	res := InsertResult[V]{Path: t.path[:0]}
 	curKey, curVal := k, v
 	// The hash-function index whose slot currently holds the walking
 	// element; -1 means unconstrained (first placement).
@@ -197,6 +199,7 @@ func (t *Table[V]) Insert(k Key, v V) InsertResult[V] {
 			t.slots[s] = slot[V]{key: curKey, val: curVal, used: true}
 			t.len++
 			res.Placed = true
+			t.path = res.Path[:0]
 			return res
 		}
 		// Displace the occupant and walk on with it.
@@ -216,6 +219,7 @@ func (t *Table[V]) Insert(k Key, v V) InsertResult[V] {
 	// are all occupied (otherwise the walk would have placed it).
 	res.HomelessKey, res.HomelessVal = curKey, curVal
 	res.CandidateSlots = t.Candidates(curKey)
+	t.path = res.Path[:0]
 	// The element that started the walk is now stored (unless the walk
 	// never displaced anyone, i.e. curKey == k after 0 swaps — then
 	// nothing was stored). Either way t.len reflects stored entries:

@@ -316,6 +316,12 @@ func FlattenTransfer(dtype Datatype, count, base int) []Block {
 // Contig reports whether a transfer of count elements of dtype is a single
 // contiguous block (the common fast path in the cache copy routines).
 func Contig(dtype Datatype, count int) bool {
+	if dtype.Size() == dtype.Extent() {
+		// Dense datatype: any count of elements coalesces into one
+		// block. Answered without flattening (and thus allocation-free)
+		// since this runs on the cache's partial-hit path.
+		return true
+	}
 	blocks := FlattenTransfer(dtype, count, 0)
 	return len(blocks) <= 1
 }

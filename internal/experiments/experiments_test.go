@@ -445,3 +445,17 @@ func TestFig15To18Shapes(t *testing.T) {
 		t.Errorf("P=2: CLaMPI %v not faster than foMPI %v", c2, f2)
 	}
 }
+
+func TestBatchMicroBenchSpeedup(t *testing.T) {
+	res, err := BatchMicroBench(32, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoalesceRatio != 16 {
+		t.Errorf("CoalesceRatio = %v, want 16 (every 16-op group merges into one message)", res.CoalesceRatio)
+	}
+	if res.Speedup < 1.5 {
+		t.Errorf("batched misses only %.2fx faster than sequential (%.0f vs %.0f virtual ns/op), want >= 1.5x",
+			res.Speedup, res.BatchVirtualNsPerOp, res.SeqVirtualNsPerOp)
+	}
+}

@@ -2,9 +2,15 @@ package experiments
 
 // Machine-readable micro-benchmark summary backing the -json flag of
 // cmd/clampi-micro: one capacity-bound always-cache run whose headline
-// numbers (ops, hit rate, virtual ns/op) are tracked across PRs.
+// numbers (ops, hit rate, virtual ns/op — and, since the vectorized-gets
+// PR, host wall ns/op, allocations/op and the batch coalescing ratio)
+// are tracked across PRs.
 
 import (
+	"runtime"
+	"time"
+
+	"clampi/internal/core"
 	"clampi/internal/workload"
 )
 
@@ -16,17 +22,34 @@ type MicroBenchResult struct {
 	HitRate        float64 `json:"hit_rate"`
 	VirtualNsPerOp float64 `json:"virtual_ns_per_op"`
 	TotalVirtualNs int64   `json:"total_virtual_ns"`
+	// Host-side cost of the same run: wall-clock nanoseconds and heap
+	// allocations per operation (the allocation-free hot path keeps the
+	// latter near zero at high hit rates).
+	WallNsPerOp float64 `json:"wall_ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Headline numbers of the adjacent-range batch microbenchmark
+	// (BatchMicroBench with default geometry): constituent misses per
+	// merged message, and virtual ns/op batched vs sequential.
+	BatchCoalesceRatio  float64 `json:"batch_coalesce_ratio"`
+	BatchVirtualNsPerOp float64 `json:"batch_virtual_ns_per_op"`
+	SeqVirtualNsPerOp   float64 `json:"seq_virtual_ns_per_op"`
 }
 
 // MicroBench replays the §IV-A micro workload (N distinct gets sampled Z
 // times, Zipf-like) through a CLaMPI always-cache window and returns the
-// headline numbers.
+// headline numbers, including the host-side wall time and allocation
+// rate of the run.
 func MicroBench(n, z int) (MicroBenchResult, error) {
 	specs, seq, regionSize := workload.Micro(n, z, 31)
 	p := alwaysCacheParams(n*2, 256<<10)
 	var res MicroBenchResult
 	err := withMicro(regionSize, &p, func(env *microEnv) error {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		w0 := time.Now() //clampi:walltime host ns/op is a benchmark output, not simulated time
 		t, err := env.runSequence(specs, seq)
+		wall := time.Since(w0) //clampi:walltime host ns/op is a benchmark output, not simulated time
+		runtime.ReadMemStats(&m1)
 		if err != nil {
 			return err
 		}
@@ -38,8 +61,105 @@ func MicroBench(n, z int) (MicroBenchResult, error) {
 			HitRate:        st.HitRate(),
 			TotalVirtualNs: int64(t),
 			VirtualNsPerOp: float64(t) / float64(st.Gets),
+			WallNsPerOp:    float64(wall.Nanoseconds()) / float64(st.Gets),
+			AllocsPerOp:    float64(m1.Mallocs-m0.Mallocs) / float64(st.Gets),
 		}
 		return nil
 	})
-	return res, err
+	if err != nil {
+		return res, err
+	}
+	batch, err := BatchMicroBench(64, 16, 64)
+	if err != nil {
+		return res, err
+	}
+	res.BatchCoalesceRatio = batch.CoalesceRatio
+	res.BatchVirtualNsPerOp = batch.BatchVirtualNsPerOp
+	res.SeqVirtualNsPerOp = batch.SeqVirtualNsPerOp
+	return res, nil
+}
+
+// BatchBenchResult summarizes the adjacent-range batch microbenchmark:
+// the same miss workload issued as width-op batches versus sequential
+// gets, one epoch per group either way.
+type BatchBenchResult struct {
+	Batches             int     `json:"batches"`
+	OpsPerBatch         int     `json:"ops_per_batch"`
+	OpBytes             int     `json:"op_bytes"`
+	CoalesceRatio       float64 `json:"batch_coalesce_ratio"`
+	BatchVirtualNsPerOp float64 `json:"batch_virtual_ns_per_op"`
+	SeqVirtualNsPerOp   float64 `json:"seq_virtual_ns_per_op"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// BatchMicroBench measures miss coalescing: `batches` groups of `width`
+// adjacent opBytes-sized ranges, every range a compulsory miss, issued
+// (a) as one GetBatch per group and (b) as width sequential Gets — one
+// epoch (FlushAll) per group in both variants. The batched variant merges
+// each group into one remote message, paying one LogGP issue overhead o
+// where the sequential variant pays width of them.
+func BatchMicroBench(batches, width, opBytes int) (BatchBenchResult, error) {
+	regionSize := batches * width * opBytes
+	p := alwaysCacheParams(4*batches*width, 4*regionSize)
+	res := BatchBenchResult{Batches: batches, OpsPerBatch: width, OpBytes: opBytes}
+
+	var batchT, seqT int64
+	var ratio float64
+	err := withMicro(regionSize, &p, func(env *microEnv) error {
+		dst := make([]byte, width*opBytes)
+		ops := make([]core.GetOp, width)
+		t0 := env.clock.Now()
+		for b := 0; b < batches; b++ {
+			for i := 0; i < width; i++ {
+				lo := i * opBytes
+				ops[i] = core.GetOp{
+					Dst:    dst[lo : lo+opBytes],
+					Target: 1,
+					Disp:   (b*width + i) * opBytes,
+				}
+			}
+			if err := env.cache.GetBatch(ops); err != nil {
+				return err
+			}
+			if err := env.win.FlushAll(); err != nil {
+				return err
+			}
+		}
+		batchT = int64(env.clock.Now() - t0)
+		ratio = env.cache.Stats().BatchCoalesceRatio()
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	err = withMicro(regionSize, &p, func(env *microEnv) error {
+		dst := make([]byte, width*opBytes)
+		t0 := env.clock.Now()
+		for b := 0; b < batches; b++ {
+			for i := 0; i < width; i++ {
+				lo := i * opBytes
+				if err := env.cache.Get(dst[lo:lo+opBytes], byteType, opBytes, 1, (b*width+i)*opBytes); err != nil {
+					return err
+				}
+			}
+			if err := env.win.FlushAll(); err != nil {
+				return err
+			}
+		}
+		seqT = int64(env.clock.Now() - t0)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	ops := float64(batches * width)
+	res.CoalesceRatio = ratio
+	res.BatchVirtualNsPerOp = float64(batchT) / ops
+	res.SeqVirtualNsPerOp = float64(seqT) / ops
+	if batchT > 0 {
+		res.Speedup = float64(seqT) / float64(batchT)
+	}
+	return res, nil
 }

@@ -32,9 +32,44 @@ type Getter interface {
 	Name() string
 }
 
+// BatchOp is one contiguous read of a batched get: len(Dst) bytes at
+// byte displacement Disp of Target's region.
+type BatchOp struct {
+	Dst    []byte
+	Target int
+	Disp   int
+}
+
+// Batcher is the optional vectorized extension of Getter: systems that
+// can issue many gets in one call (coalescing misses, amortizing
+// per-call overhead) implement it. Use the package-level GetBatch to
+// issue a batch through any Getter.
+type Batcher interface {
+	// GetBatch issues every op with the semantics of individual Get
+	// calls; destinations are valid after the next Flush.
+	GetBatch(ops []BatchOp) error
+}
+
+// GetBatch issues ops through g's Batcher fast path when it has one,
+// falling back to sequential Get calls otherwise.
+func GetBatch(g Getter, ops []BatchOp) error {
+	if b, ok := g.(Batcher); ok {
+		return b.GetBatch(ops)
+	}
+	for i := range ops {
+		op := &ops[i]
+		if err := g.Get(op.Dst, op.Target, op.Disp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Raw issues uncached window gets: the foMPI baseline.
 type Raw struct {
 	Win rma.Window
+
+	scratch []rma.GetOp // reusable GetBatch translation buffer
 }
 
 // NewRaw wraps a window in the baseline getter.
@@ -54,9 +89,30 @@ func (r *Raw) Invalidate() {}
 // Name implements Getter.
 func (r *Raw) Name() string { return "foMPI" }
 
+// GetBatch implements Batcher: the ops go to the transport's native
+// batch call when it has one (one message per op either way — the
+// baseline never coalesces).
+func (r *Raw) GetBatch(ops []BatchOp) error {
+	if bw, ok := r.Win.(rma.BatchWindow); ok {
+		r.scratch = appendRMAOps(r.scratch[:0], ops)
+		err := bw.GetBatch(r.scratch)
+		clearRMAOps(r.scratch)
+		return err
+	}
+	for i := range ops {
+		op := &ops[i]
+		if err := r.Get(op.Dst, op.Target, op.Disp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Cached issues gets through a CLaMPI cache.
 type Cached struct {
 	Cache *core.Cache
+
+	scratch []core.GetOp // reusable GetBatch translation buffer
 }
 
 // NewCached wraps a caching layer in the Getter interface.
@@ -75,3 +131,40 @@ func (c *Cached) Invalidate() { c.Cache.Invalidate() }
 
 // Name implements Getter.
 func (c *Cached) Name() string { return "CLaMPI" }
+
+// GetBatch implements Batcher: hits are served locally and the misses
+// are coalesced into merged per-target ranges by core.Cache.GetBatch.
+func (c *Cached) GetBatch(ops []BatchOp) error {
+	c.scratch = c.scratch[:0]
+	for i := range ops {
+		op := &ops[i]
+		c.scratch = append(c.scratch, core.GetOp{Dst: op.Dst, Target: op.Target, Disp: op.Disp})
+	}
+	err := c.Cache.GetBatch(c.scratch)
+	for i := range c.scratch {
+		c.scratch[i].Dst = nil
+	}
+	return err
+}
+
+// appendRMAOps translates getter ops into transport ops.
+func appendRMAOps(dst []rma.GetOp, ops []BatchOp) []rma.GetOp {
+	for i := range ops {
+		op := &ops[i]
+		dst = append(dst, rma.GetOp{Dst: op.Dst, Target: op.Target, Disp: op.Disp})
+	}
+	return dst
+}
+
+// clearRMAOps drops the buffer references of a translated batch.
+func clearRMAOps(ops []rma.GetOp) {
+	for i := range ops {
+		ops[i].Dst = nil
+	}
+}
+
+// Compile-time checks: both built-in getters batch.
+var (
+	_ Batcher = (*Raw)(nil)
+	_ Batcher = (*Cached)(nil)
+)

@@ -462,8 +462,9 @@ func (w *Win) Endpoint() rma.Endpoint { return w.rank }
 
 // Compile-time checks: this runtime implements the transport contract.
 var (
-	_ rma.Window   = (*Win)(nil)
-	_ rma.Endpoint = (*Rank)(nil)
+	_ rma.Window      = (*Win)(nil)
+	_ rma.BatchWindow = (*Win)(nil)
+	_ rma.Endpoint    = (*Rank)(nil)
 )
 
 // lockTarget serializes data movement on target's region in Throughput
@@ -553,6 +554,19 @@ func (w *Win) Get(dst []byte, dtype datatype.Datatype, count int, target, disp i
 		return ErrShortBuf
 	}
 	region := w.shared.regions[target]
+	if size > 0 && dtype.Size() == dtype.Extent() {
+		// Dense datatype: the whole transfer is one contiguous block,
+		// so skip the flattening (and its allocation) on the path every
+		// byte-range get takes.
+		if disp < 0 || disp+size > len(region) {
+			return ErrBounds
+		}
+		w.lockTarget(target)
+		copy(dst[:size], region[disp:disp+size])
+		w.unlockTarget(target)
+		w.enqueueOp(target, size)
+		return nil
+	}
 	blocks := datatype.FlattenTransfer(dtype, count, disp)
 	for _, b := range blocks {
 		if b.Offset < 0 || b.Offset+b.Size > len(region) {
@@ -564,6 +578,37 @@ func (w *Win) Get(dst []byte, dtype datatype.Datatype, count int, target, disp i
 	w.unlockTarget(target)
 
 	w.enqueueOp(target, size)
+	return nil
+}
+
+// GetBatch issues several contiguous byte-range gets in one call — the
+// vectorized form of Get for datatype.Byte transfers (rma.BatchWindow).
+// Each op is validated and charged exactly like an individual Get (one
+// LogGP issue overhead per op, i.e. per network message: callers
+// coalesce adjacent ranges before issuing); the per-call epoch and
+// window checks are paid once for the whole batch.
+func (w *Win) GetBatch(ops []rma.GetOp) error {
+	if w.freed {
+		return ErrFreedWin
+	}
+	if !w.inEpoch() {
+		return ErrBadEpoch
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.Target < 0 || op.Target >= len(w.shared.regions) {
+			return ErrRankRange
+		}
+		n := len(op.Dst)
+		region := w.shared.regions[op.Target]
+		if op.Disp < 0 || op.Disp+n > len(region) {
+			return ErrBounds
+		}
+		w.lockTarget(op.Target)
+		copy(op.Dst, region[op.Disp:op.Disp+n])
+		w.unlockTarget(op.Target)
+		w.enqueueOp(op.Target, n)
+	}
 	return nil
 }
 
@@ -585,6 +630,17 @@ func (w *Win) Put(src []byte, dtype datatype.Datatype, count int, target, disp i
 		return ErrShortBuf
 	}
 	region := w.shared.regions[target]
+	if size > 0 && dtype.Size() == dtype.Extent() {
+		// Dense datatype: single contiguous block (see Get).
+		if disp < 0 || disp+size > len(region) {
+			return ErrBounds
+		}
+		w.lockTarget(target)
+		copy(region[disp:disp+size], src[:size])
+		w.unlockTarget(target)
+		w.enqueueOp(target, size)
+		return nil
+	}
 	blocks := datatype.FlattenTransfer(dtype, count, disp)
 	for _, b := range blocks {
 		if b.Offset < 0 || b.Offset+b.Size > len(region) {

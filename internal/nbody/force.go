@@ -51,7 +51,9 @@ type Space struct {
 	NodeVisits   int64
 	RemoteGets   int64
 
-	buf [NodeBytes]byte
+	buf  [NodeBytes]byte
+	cbuf [8 * NodeBytes]byte // staging for one node's batched children
+	ops  []getter.BatchOp    // reusable batch descriptor buffer
 }
 
 // fetch returns node idx of rank's tree.
@@ -76,11 +78,49 @@ func (s *Space) fetch(rank int, idx int32, n *Node) error {
 	return nil
 }
 
-// frame is one traversal stack entry.
+// frame is one traversal stack entry. Remote frames pushed by an opened
+// node carry the prefetched node payload (have == true): the children
+// are fetched in one batched get at push time, so the caching layer can
+// coalesce the misses, while the pop order — and hence the floating-point
+// accumulation order — is exactly that of a fetch-at-pop traversal.
 type frame struct {
 	rank int
 	idx  int32
 	half float64
+	node Node
+	have bool
+}
+
+// fetchChildren batch-fetches the remote frames stack[base:], which all
+// name nodes of one rank's tree, decoding each into its frame.
+func (s *Space) fetchChildren(stack []frame, base int) error {
+	k := len(stack) - base
+	s.ops = s.ops[:0]
+	for i := base; i < len(stack); i++ {
+		disp := int(stack[i].idx) * NodeBytes
+		off := (i - base) * NodeBytes
+		s.ops = append(s.ops, getter.BatchOp{
+			Dst:    s.cbuf[off : off+NodeBytes : off+NodeBytes],
+			Target: stack[i].rank,
+			Disp:   disp,
+		})
+	}
+	if err := getter.GetBatch(s.Gt, s.ops); err != nil {
+		return err
+	}
+	if err := s.Gt.Flush(); err != nil {
+		return err
+	}
+	s.RemoteGets += int64(k)
+	for i := base; i < len(stack); i++ {
+		op := &s.ops[i-base]
+		if s.Recorder != nil {
+			s.Recorder.Record(op.Target, op.Disp, NodeBytes)
+		}
+		DecodeNode(op.Dst, &stack[i].node)
+		stack[i].have = true
+	}
+	return nil
 }
 
 // Accel computes the gravitational acceleration at p (for a unit-mass
@@ -102,7 +142,10 @@ func (s *Space) Accel(p Vec3) (Vec3, error) {
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if err := s.fetch(f.rank, f.idx, &n); err != nil {
+		if f.have {
+			n = f.node
+			s.NodeVisits++
+		} else if err := s.fetch(f.rank, f.idx, &n); err != nil {
 			return Vec3{}, err
 		}
 		visits++
@@ -113,9 +156,15 @@ func (s *Space) Accel(p Vec3) (Vec3, error) {
 		dist2 := d.Norm2()
 		open := !n.Leaf() && 4*f.half*f.half >= s.Theta*s.Theta*dist2
 		if open {
+			base := len(stack)
 			for _, c := range n.Children {
 				if c != NoChild {
 					stack = append(stack, frame{rank: f.rank, idx: c, half: f.half / 2})
+				}
+			}
+			if f.rank != s.Rank && len(stack) > base {
+				if err := s.fetchChildren(stack, base); err != nil {
+					return Vec3{}, err
 				}
 			}
 			continue

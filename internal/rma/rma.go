@@ -196,3 +196,29 @@ type Window interface {
 	// Free collectively releases the window.
 	Free() error
 }
+
+// GetOp is one contiguous byte-range get of a batched issue: len(Dst)
+// bytes from Target's region at byte displacement Disp. The Dst buffers
+// follow the same epoch contract as Window.Get — undefined until the
+// next completion call (enforced by internal/analysis/epochcheck).
+type GetOp struct {
+	Dst    []byte
+	Target int
+	Disp   int
+}
+
+// BatchWindow is the optional vectorized extension of Window: backends
+// that can validate and dispatch many contiguous gets in one call
+// implement it, and the caching layer issues its coalesced miss ranges
+// through it (one network message per op — callers coalesce before
+// issuing). Layers above probe for it with a type assertion and fall
+// back to per-op Window.Get when absent, so implementing it is purely a
+// host-side-overhead optimization.
+type BatchWindow interface {
+	Window
+	// GetBatch issues every op in ops. Each op is validated and charged
+	// exactly like an individual Get(op.Dst, Byte, len(op.Dst), op.Target,
+	// op.Disp); on the first failing op the error is returned and the
+	// remaining ops are not issued.
+	GetBatch(ops []GetOp) error
+}

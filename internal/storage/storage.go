@@ -84,6 +84,28 @@ type Manager struct {
 
 	freeBytes int
 	entries   int
+
+	pool *Region // recycled descriptors, linked through next
+}
+
+// newRegion takes a descriptor off the pool (or allocates one). Pooling
+// keeps the steady-state alloc/free cycle of the cache allocation-free.
+func (m *Manager) newRegion(off, size int, free bool) *Region {
+	r := m.pool
+	if r == nil {
+		return &Region{off: off, size: size, free: free}
+	}
+	m.pool = r.next
+	*r = Region{off: off, size: size, free: free}
+	return r
+}
+
+// recycle returns a discarded descriptor to the pool. Callers must not
+// hold live references to it afterwards (stale entry handles exist after
+// FreeRegion, but the contract forbids dereferencing them).
+func (m *Manager) recycle(r *Region) {
+	*r = Region{next: m.pool}
+	m.pool = r
 }
 
 // New creates a best-fit manager over a buffer of the given size, rounded
@@ -187,7 +209,8 @@ func (m *Manager) Alloc(n int) *Region {
 	// Split: the entry takes the front, the remainder stays free. The
 	// new descriptor slots into the address-ordered list right after r
 	// in O(1) (paper §III-C3).
-	rest := &Region{off: r.off + n, size: r.size - n, free: true, prev: r, next: r.next}
+	rest := m.newRegion(r.off+n, r.size-n, true)
+	rest.prev, rest.next = r, r.next
 	if r.next != nil {
 		r.next.prev = rest
 	}
@@ -217,6 +240,7 @@ func (m *Manager) FreeRegion(r *Region) {
 		if n.next != nil {
 			n.next.prev = r
 		}
+		m.recycle(n)
 	}
 	// Coalesce with prev.
 	if p := r.prev; p != nil && p.free {
@@ -226,6 +250,7 @@ func (m *Manager) FreeRegion(r *Region) {
 		if r.next != nil {
 			r.next.prev = p
 		}
+		m.recycle(r)
 		r = p
 	}
 	m.tree.Insert(key(r), r)
@@ -255,6 +280,7 @@ func (m *Manager) Grow(r *Region, extra int) bool {
 		if n.next != nil {
 			n.next.prev = r
 		}
+		m.recycle(n)
 	} else {
 		n.off += extra
 		n.size -= extra
@@ -290,9 +316,14 @@ func (m *Manager) WouldFit(n int) bool {
 // Reset frees everything, restoring a single free region of the current
 // capacity. Used on cache invalidation.
 func (m *Manager) Reset() {
-	r := &Region{off: 0, size: len(m.buf), free: true}
+	for r := m.head; r != nil; {
+		next := r.next
+		m.recycle(r)
+		r = next
+	}
+	m.tree.Clear()
+	r := m.newRegion(0, len(m.buf), true)
 	m.head = r
-	m.tree = avl.Tree[*Region]{}
 	m.tree.Insert(key(r), r)
 	m.freeBytes = len(m.buf)
 	m.entries = 0
