@@ -3,6 +3,7 @@ package clampi
 import (
 	"clampi/internal/core"
 	"clampi/internal/datatype"
+	"clampi/internal/fault"
 	"clampi/internal/mpi"
 	"clampi/internal/netsim"
 	"clampi/internal/obsv"
@@ -215,6 +216,61 @@ var (
 	PublishStats = obsv.PublishStats
 )
 
+// Resilience and fault injection (DESIGN.md §11): the transient sentinel
+// family, the retry/breaker policies of the resilient fill path, and the
+// deterministic seed-driven fault injector for chaos runs.
+var (
+	// ErrTransient is the umbrella sentinel for recoverable transport
+	// failures: an operation that failed with it may succeed if retried.
+	ErrTransient = rma.ErrTransient
+	// ErrTimeout reports a transient per-operation timeout.
+	ErrTimeout = rma.ErrTimeout
+	// ErrCorrupt reports a payload rejected by integrity verification.
+	ErrCorrupt = rma.ErrCorrupt
+)
+
+type (
+	// RetryPolicy bounds how the caching layer re-issues transient
+	// remote-get failures (exponential backoff with deterministic jitter,
+	// all in virtual time).
+	RetryPolicy = rma.RetryPolicy
+	// BreakerPolicy configures the per-target circuit breaker.
+	BreakerPolicy = core.BreakerPolicy
+	// FaultScenario scripts one reproducible chaos run (fault rates,
+	// triggers, scripted outages).
+	FaultScenario = fault.Scenario
+	// FaultOutage is one scripted per-target blackout window.
+	FaultOutage = fault.Outage
+	// FaultCounts tallies the faults one injector delivered; its Digest
+	// identifies the exact injected sequence.
+	FaultCounts = fault.Counts
+	// FaultyWindow is the fault-injecting window decorator returned by
+	// InjectFaults.
+	FaultyWindow = fault.Window
+)
+
+// Resilience policy constructors and fault-injection helpers.
+var (
+	// DefaultRetryPolicy returns the retry policy the drivers use.
+	DefaultRetryPolicy = rma.DefaultRetryPolicy
+	// DefaultBreakerPolicy returns the breaker policy the drivers use.
+	DefaultBreakerPolicy = core.DefaultBreakerPolicy
+	// LoadFaultScenario reads a scenario from a JSON file.
+	LoadFaultScenario = fault.LoadScenario
+	// FaultScenarios returns the canned chaos scenario suite.
+	FaultScenarios = fault.Canned
+)
+
+// InjectFaults decorates a window with seed-driven fault injection: the
+// returned window fails, delays, truncates or corrupts gets according to
+// the scenario, deterministically from the seed. Wrap the result with
+// Wrap to run the caching layer under chaos. Give each rank's window a
+// distinct seed (e.g. base+rank) so ranks fail independently while the
+// fleet stays reproducible.
+func InjectFaults(win RMA, sc FaultScenario, seed int64) *FaultyWindow {
+	return fault.Wrap(win, sc, seed)
+}
+
 // Option configures Wrap.
 type Option func(*Params)
 
@@ -253,6 +309,33 @@ func WithParams(params Params) Option { return func(p *Params) { *p = params } }
 // batched miss is issued as its own remote message, exactly like a
 // sequential Get loop. Mainly for A/B measurements and equivalence tests.
 func WithoutCoalescing() Option { return func(p *Params) { p.DisableCoalesce = true } }
+
+// WithRetry makes the caching layer retry transient remote-get failures
+// under the given policy (DESIGN.md §11). Backoffs advance the rank's
+// virtual clock, so retried runs stay deterministic.
+func WithRetry(pol RetryPolicy) Option {
+	return func(p *Params) { cp := pol; p.Retry = &cp }
+}
+
+// WithBreaker arms the per-target circuit breaker: after enough
+// consecutive transient failures towards one rank, further gets to it
+// fail fast for a cooldown, then half-open probes recover it.
+func WithBreaker(pol BreakerPolicy) Option {
+	return func(p *Params) { cp := pol; p.Breaker = &cp }
+}
+
+// WithFillVerification checksums every dense remote fill against the
+// backend's integrity attestation: silently corrupted payloads are
+// rejected (and retried under WithRetry) instead of delivered or cached.
+func WithFillVerification() Option { return func(p *Params) { p.VerifyFills = true } }
+
+// WithStaleWhenOpen defers the Transparent mode's epoch-closure
+// invalidation while any target's circuit breaker is open, serving stale
+// hits instead of alternating breaker failures with cold misses — legal
+// under the paper's §II weak-consistency contract. Requires WithBreaker;
+// the deferred invalidation runs at the first closure with all breakers
+// closed.
+func WithStaleWhenOpen() Option { return func(p *Params) { p.ServeStale = true } }
 
 // Window is a caching-enabled RMA window: the public handle combining a
 // raw window with its CLaMPI layer. All RMA and synchronization calls of

@@ -1,0 +1,113 @@
+// Command clampi-chaos runs the seeded fault-injection suite
+// (DESIGN.md §11): every selected application (LCC, BFS, N-body) under
+// every selected fault scenario, asserting that the results stay
+// bit-identical to a fault-free run and that a same-seed rerun injects
+// the identical fault sequence. Any failed cell makes the process exit
+// non-zero, so the suite doubles as the CI chaos smoke job.
+//
+// Usage:
+//
+//	clampi-chaos [-app all|lcc|bfs|nbody] [-scenario all|drop|timeout|corrupt|outage]
+//	             [-scenario-file sc.json] [-seed 42] [-p 4] [-mode fidelity|throughput]
+//	             [-metrics out.prom] [-trace trace.jsonl]
+//
+// -scenario-file loads one custom scenario (the JSON form of
+// fault.Scenario) instead of the canned suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clampi/internal/experiments"
+	"clampi/internal/fault"
+	"clampi/internal/mpi"
+	"clampi/internal/obsv"
+)
+
+func main() {
+	app := flag.String("app", "all", "application to run: all, lcc, bfs or nbody")
+	scenario := flag.String("scenario", "all", "canned scenario: all, drop, timeout, corrupt or outage")
+	scenarioFile := flag.String("scenario-file", "", "load a custom scenario from this JSON file (overrides -scenario)")
+	seed := flag.Int64("seed", 42, "chaos seed: scenario RNGs derive from it, so a seed reproduces the exact fault sequence")
+	p := flag.Int("p", 4, "processing elements P")
+	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
+	metricsOut := flag.String("metrics", "", "write merged cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
+	flag.Parse()
+
+	m, err := mpi.ParseExecMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.SetExecMode(m)
+	if *metricsOut != "" || *traceOut != "" {
+		experiments.EnableObservability(0)
+	}
+
+	var apps []string
+	if *app != "all" {
+		found := false
+		for _, a := range experiments.ChaosApps() {
+			if a == *app {
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("unknown app %q (want all, lcc, bfs or nbody)", *app)
+		}
+		apps = []string{*app}
+	}
+
+	var scenarios []fault.Scenario
+	switch {
+	case *scenarioFile != "":
+		sc, err := fault.LoadScenario(*scenarioFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios = []fault.Scenario{sc}
+	case *scenario != "all":
+		sc, ok := fault.ByName(*scenario)
+		if !ok {
+			log.Fatalf("unknown scenario %q (want all, drop, timeout, corrupt or outage)", *scenario)
+		}
+		scenarios = []fault.Scenario{sc}
+	}
+
+	rows, tbl, err := experiments.ChaosBench(*p, *seed, apps, scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tbl)
+
+	if *metricsOut != "" {
+		// Merge the live per-cache registries, then add one gauge set
+		// per (app, scenario) cell so the chaos totals land in the same
+		// export file.
+		reg := experiments.MetricsSnapshot()
+		for _, row := range rows {
+			experiments.PublishFleetStats(reg, row.App+"/"+row.Scenario, row.Stats)
+		}
+		if err := obsv.WriteMetricsFile(*metricsOut, reg); err != nil {
+			log.Fatalf("observability: %v", err)
+		}
+	}
+	if err := experiments.WriteObservability("", *traceOut); err != nil {
+		log.Fatalf("observability: %v", err)
+	}
+
+	failed := 0
+	for _, row := range rows {
+		if !row.OK() {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL %s/%s: match=%v replay=%v (%v)\n",
+				row.App, row.Scenario, row.Match, row.Replay, row.Faults)
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("chaos: %d of %d cells failed", failed, len(rows))
+	}
+}

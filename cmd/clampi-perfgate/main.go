@@ -3,7 +3,10 @@
 // with -benchmem and enforces two invariants against the committed
 // baseline (PERF_baseline.json):
 //
-//   - the full-hit path (BenchmarkOpHitFull) performs 0 allocs/op, and
+//   - the full-hit path performs 0 allocs/op — both bare
+//     (BenchmarkOpHitFull) and with the resilience layer armed
+//     (BenchmarkOpHitFullResilient): retry, breaker and fill
+//     verification must be free until a fault actually occurs — and
 //   - no benchmark's host ns/op regresses past the threshold (default
 //     1.25x) over its baseline.
 //
@@ -85,7 +88,7 @@ func main() {
 	for _, name := range names {
 		r := results[name]
 		status := "ok"
-		if name == "BenchmarkOpHitFull" && r.AllocsPerOp > 0 {
+		if (name == "BenchmarkOpHitFull" || name == "BenchmarkOpHitFullResilient") && r.AllocsPerOp > 0 {
 			status = fmt.Sprintf("FAIL: full-hit path allocates (%.2f allocs/op, want 0)", r.AllocsPerOp)
 			failed = true
 		}

@@ -1,0 +1,93 @@
+// Chaos: running a caching window over an unreliable transport.
+//
+// Four simulated ranks read from their right neighbour while a seeded
+// fault injector drops 20% of the remote gets and corrupts another 10%.
+// The resilience layer hides all of it: transparent retries with
+// virtual-time backoff recover the drops, checksum verification catches
+// the silent corruption and refetches, and the delivered data is
+// bit-identical to a fault-free run. The same seed always injects the
+// same fault sequence, so a failure found under chaos is replayable.
+//
+// Run with: go run ./examples/chaos [-seed 42]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+
+	"clampi"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "chaos seed (same seed = identical fault sequence)")
+	flag.Parse()
+
+	scenario := clampi.FaultScenario{
+		Name:        "demo",
+		DropRate:    0.20,
+		CorruptRate: 0.10,
+	}
+
+	const ranks = 4
+	err := clampi.Run(ranks, clampi.RunConfig{}, func(r *clampi.Rank) error {
+		region := make([]byte, 256<<10)
+		for i := range region {
+			region[i] = byte(r.ID() ^ (i * 7))
+		}
+
+		// Decorate the raw window with the injector (per-rank seed),
+		// then wrap the caching layer with the resilience stack on top.
+		faulty := clampi.InjectFaults(r.WinCreate(region, nil), scenario, *seed+int64(r.ID()))
+		w, err := clampi.Wrap(faulty,
+			clampi.WithMode(clampi.AlwaysCache),
+			clampi.WithRetry(clampi.RetryPolicy{MaxAttempts: 0}), // retry until it lands
+			clampi.WithBreaker(clampi.DefaultBreakerPolicy()),
+			clampi.WithFillVerification(),
+		)
+		if err != nil {
+			return err
+		}
+		defer w.Free()
+
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		neighbour := (r.ID() + 1) % r.Size()
+		const blk = 4 << 10
+		got := make([]byte, blk)
+		want := make([]byte, blk)
+		clean := 0
+		for i := 0; i < 16; i++ {
+			disp := i * blk
+			if err := w.GetBytes(got, neighbour, disp); err != nil {
+				return err
+			}
+			if err := w.FlushAll(); err != nil { // got is valid from here
+				return err
+			}
+			for j := range want {
+				want[j] = byte(neighbour ^ ((disp + j) * 7))
+			}
+			if bytes.Equal(got, want) {
+				clean++
+			}
+		}
+		if err := w.UnlockAll(); err != nil {
+			return err
+		}
+
+		s := w.Stats()
+		fmt.Printf("rank %d: %2d/16 blocks bit-identical under chaos  (faults: %v; retries=%d corrupt-fills-caught=%d)\n",
+			r.ID(), clean, faulty.Counts(), s.Retries, s.CorruptFills)
+		if clean != 16 {
+			return fmt.Errorf("rank %d delivered damaged data", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all data survived the chaos — same seed replays the identical fault sequence")
+}

@@ -164,3 +164,37 @@ func batchAfterUnlock(w rma.BatchWindow) {
 	_ = w.GetBatch([]rma.GetOp{{Dst: dst, Target: 1, Disp: 0}}) // want `rma\.Window\.GetBatch after the epoch was closed`
 	_ = w.FlushAll()
 }
+
+// tailCallIssueEscapes: a Get issued in a return statement leaves with
+// the transfer in flight — the caller owns its completion, and the
+// fall-through branch never observes it. This is the direct fast path
+// of every transport middleware (`if bypass { return w.Get(...) }`).
+func tailCallIssueEscapes(w rma.Window, dst []byte, direct bool) error {
+	if direct {
+		return w.Get(dst, datatype.Byte, len(dst), 1, 0)
+	}
+	consume(dst)
+	return w.FlushAll()
+}
+
+// errorCheckedIssueStaysCaught: an early return on the error path does
+// not complete the success path — the issue is outside the return
+// expression, so the pre-completion read is still flagged.
+func errorCheckedIssueStaysCaught(w rma.Window) byte {
+	dst := make([]byte, 64)
+	if err := w.Get(dst, datatype.Byte, 64, 1, 0); err != nil {
+		return 0
+	}
+	return dst[0] // want `buffer "dst" is read before the rma.Window.Get completes`
+}
+
+// annotatedPreCompletionRead is the sanctioned override for transport
+// middleware that must touch payload bytes at issue time (the simulated
+// transport materializes them there), stated with a reason.
+func annotatedPreCompletionRead(w rma.Window) byte {
+	dst := make([]byte, 64)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	b := dst[0] //clampi:epoch middleware corpus: injectors touch payloads at issue time
+	_ = w.FlushAll()
+	return b
+}

@@ -61,3 +61,36 @@ func wrapWithW(err error) error {
 func nonErrorArgsAreFine(rank int) error {
 	return fmt.Errorf("rank %d out of range", rank)
 }
+
+// transientDirectComparison: the transient family is always delivered
+// wrapped (ErrTimeout wraps ErrTransient, injectors wrap both), so ==
+// can never match a real failure — retry loops written this way spin on
+// nothing or give up on everything.
+func transientDirectComparison(err error) bool {
+	return err == rma.ErrTransient // want `error compared to sentinel ErrTransient with ==`
+}
+
+// transientSwitch hides the same mistake behind a retry-dispatch switch.
+func transientSwitch(err error) string {
+	switch err {
+	case rma.ErrTimeout: // want `switch compares errors to sentinel ErrTimeout with ==`
+		return "timeout"
+	case rma.ErrCorrupt: // want `switch compares errors to sentinel ErrCorrupt with ==`
+		return "corrupt"
+	}
+	return "other"
+}
+
+// transientErrorsIsChain is the sanctioned retry-loop classification:
+// errors.Is sees through every wrap layer.
+func transientErrorsIsChain(err error) bool {
+	if !errors.Is(err, rma.ErrTransient) {
+		return false // permanent: do not retry
+	}
+	return !errors.Is(err, rma.ErrTimeout) || !errors.Is(err, rma.ErrCorrupt)
+}
+
+// transientWrapWithW: adding attempt context keeps the family matchable.
+func transientWrapWithW(attempt int, err error) error {
+	return fmt.Errorf("attempt %d: %w", attempt, err)
+}

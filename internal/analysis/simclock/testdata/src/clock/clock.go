@@ -24,3 +24,18 @@ func durationsAreFine() time.Duration {
 func annotatedEscapeHatch() time.Time {
 	return time.Now() //clampi:walltime CLI progress timestamps are wall-clock by definition
 }
+
+// wallClockBackoff is the retry-loop mistake the resilience layer must
+// never make: sleeping real time between attempts desynchronizes the
+// virtual clocks and makes chaos runs irreproducible. Backoffs must
+// advance the rank's simtime.Clock instead.
+func wallClockBackoff(attempt int) {
+	d := time.Duration(attempt) * time.Millisecond
+	time.Sleep(d) // want `wall-clock time\.Sleep breaks virtual-time determinism`
+}
+
+// deadlineByWallClock: bounding retries with the wall clock is the same
+// mistake in a different spot.
+func deadlineByWallClock(start time.Time) bool {
+	return time.Since(start) > time.Second // want `wall-clock time\.Since breaks virtual-time determinism`
+}

@@ -13,6 +13,7 @@ package core
 // caching bound (at most one eviction per constituent miss).
 
 import (
+	"errors"
 	"slices"
 
 	"clampi/internal/cuckoo"
@@ -240,13 +241,53 @@ func (c *Cache) getOp(op *GetOp) error {
 // per-range Window.Get otherwise. Either way exactly one LogGP issue
 // overhead o is charged per merged range; the native path additionally
 // amortizes the per-call host work.
+//
+// Under the resilience layer a transient batch failure does not abandon
+// the already-delivered prefix: when the backend identifies the failing
+// op (*rma.BatchError), that merged range is retried as a unit through
+// netGet — with backoff, breaker and verification — and the batch call
+// resumes after it. A transient failure the backend cannot attribute
+// degrades the remaining ranges to the per-range resilient path.
 func (c *Cache) issueRanges(rops []rma.GetOp) error {
-	if c.bwin != nil {
-		return c.bwin.GetBatch(rops)
+	rem := rops
+	for c.bwin != nil && len(rem) > 0 {
+		err := c.bwin.GetBatch(rem)
+		delivered := len(rem)
+		var be *rma.BatchError
+		if err != nil {
+			if !c.resilient || !errors.Is(err, rma.ErrTransient) {
+				return err
+			}
+			if !errors.As(err, &be) {
+				break // unattributed transient failure: per-range fallback
+			}
+			delivered = be.Op // rem[:be.Op] was delivered normally
+		}
+		// The batch call bypasses tryGet, so verify its delivered ranges
+		// here; a corrupted range is refetched as a unit through netGet
+		// (which re-verifies).
+		for i := 0; i < delivered; i++ {
+			r := &rem[i]
+			if c.verifyRange(r) != nil {
+				if err := c.netGet(r.Dst, datatype.Byte, len(r.Dst), r.Target, r.Disp); err != nil {
+					return err
+				}
+			}
+		}
+		if err == nil {
+			return nil
+		}
+		// Retry the failing range as a unit and resume the batch after it.
+		rem = rem[delivered:]
+		r := &rem[0]
+		if err := c.netGet(r.Dst, datatype.Byte, len(r.Dst), r.Target, r.Disp); err != nil {
+			return err
+		}
+		rem = rem[1:]
 	}
-	for i := range rops {
-		r := &rops[i]
-		if err := c.win.Get(r.Dst, datatype.Byte, len(r.Dst), r.Target, r.Disp); err != nil {
+	for i := range rem {
+		r := &rem[i]
+		if err := c.netGet(r.Dst, datatype.Byte, len(r.Dst), r.Target, r.Disp); err != nil {
 			return err
 		}
 	}

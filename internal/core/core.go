@@ -134,6 +134,28 @@ type Params struct {
 	// events (see observe.go). nil disables emission; the disabled
 	// cost on the get path is a single branch.
 	Observer Observer
+
+	// Retry, when non-nil, retries remote gets that fail with
+	// rma.ErrTransient under the given policy (resilience.go); nil
+	// disables retrying (transient failures surface to the caller).
+	Retry *rma.RetryPolicy
+	// Breaker, when non-nil, adds a per-target circuit breaker in front
+	// of remote gets (breaker.go). Implies retrying: when Retry is nil,
+	// rma.DefaultRetryPolicy applies.
+	Breaker *BreakerPolicy
+	// VerifyFills checks every dense fill payload against the backend's
+	// integrity attestation (rma.IntegrityWindow) and stamps cached
+	// entries with their payload checksum; corrupted fills are refetched
+	// instead of served or cached. Ignored (with verification skipped)
+	// when the backend cannot attest. Implies retrying, as Breaker.
+	VerifyFills bool
+	// ServeStale keeps the cache across transparent-mode epoch closures
+	// while any target's breaker is open or half-open, serving possibly
+	// stale hits instead of guaranteed breaker failures — graceful
+	// degradation that is legal under the §II weak-consistency contract
+	// (DESIGN.md §11). The deferred invalidation runs at the first
+	// closure after all breakers close. Requires Breaker.
+	ServeStale bool
 }
 
 // Defaults for Params fields left zero.
@@ -222,7 +244,8 @@ type entry struct {
 	region  *storage.Region
 	payload int // valid bytes cached (size(i))
 	state   entryState
-	last    int64 // index in C_w.G of the last matching get_c
+	last    int64  // index in C_w.G of the last matching get_c
+	sum     uint64 // payload checksum (0 unless Params.VerifyFills)
 
 	// PENDING bookkeeping: src is the user destination buffer of the
 	// get that missed; its bytes are copied into region at epoch
@@ -283,6 +306,17 @@ type Cache struct {
 	bruns   []batchRun      // merged-range workspace
 	bvict   []scoredVictim  // batch capacity-eviction reservoir
 	inBatch bool            // insertPending draws victims from bvict
+
+	// Resilience state (resilience.go, breaker.go); zero when no
+	// resilience option is configured.
+	resilient   bool                // any of Retry/Breaker/VerifyFills set
+	retry       rma.RetryPolicy     // effective retry policy
+	retryRng    *rand.Rand          // deterministic backoff jitter (Seed+2)
+	retryBudget int64               // retries spent against retry.Budget
+	brk         *breaker            // per-target circuit breakers, nil if disabled
+	verify      bool                // fill verification enabled
+	iw          rma.IntegrityWindow // backend attestation, nil if unsupported
+	staleDefer  bool                // transparent invalidation deferred (stale serving)
 }
 
 // Errors.
@@ -320,6 +354,24 @@ func New(win rma.Window, params Params) (*Cache, error) {
 		rng:    rand.New(rand.NewSource(params.Seed + 1)),
 	}
 	c.bwin, _ = win.(rma.BatchWindow)
+	if params.Retry != nil || params.Breaker != nil || params.VerifyFills {
+		c.resilient = true
+		if params.Retry != nil {
+			c.retry = *params.Retry
+		} else {
+			c.retry = rma.DefaultRetryPolicy()
+		}
+		// Seed+2: distinct stream from the eviction-sampling RNG (Seed+1)
+		// so enabling resilience never perturbs victim selection.
+		c.retryRng = rand.New(rand.NewSource(params.Seed + 2))
+		if params.Breaker != nil {
+			c.brk = newBreaker(*params.Breaker, win.Endpoint().Size())
+		}
+		if params.VerifyFills {
+			c.verify = true
+			c.iw, _ = win.(rma.IntegrityWindow)
+		}
+	}
 	win.AddEpochListener(c.onEpochClose)
 	return c, nil
 }
@@ -461,6 +513,11 @@ func (c *Cache) serveHit(e *entry, dst []byte, dtype datatype.Datatype, count, t
 
 	switch e.state {
 	case stateCached:
+		if c.staleDefer {
+			// The entry survived a deferred transparent invalidation:
+			// this hit is served stale (DESIGN.md §11).
+			c.stats.StaleServes++
+		}
 		served := min(size, e.payload)
 		copyT := c.copyOut(dst[:served], c.store.Bytes(e.region, served))
 		c.last.Copy = copyT
@@ -527,14 +584,16 @@ func (c *Cache) serveHit(e *entry, dst []byte, dtype datatype.Datatype, count, t
 	return nil
 }
 
-// remoteGetRange issues a plain byte-range MPI_Get.
+// remoteGetRange issues a plain byte-range MPI_Get through the
+// resilience layer (netGet, a direct Window.Get when disabled).
 func (c *Cache) remoteGetRange(dst []byte, target, disp, n int) error {
-	return c.win.Get(dst, datatype.Byte, n, target, disp)
+	return c.netGet(dst, datatype.Byte, n, target, disp)
 }
 
-// remoteGet issues the full (possibly strided) MPI_Get for a miss.
+// remoteGet issues the full (possibly strided) MPI_Get for a miss,
+// through the resilience layer.
 func (c *Cache) remoteGet(dst []byte, dtype datatype.Datatype, count, target, disp int) error {
-	return c.win.Get(dst, dtype, count, target, disp)
+	return c.netGet(dst, dtype, count, target, disp)
 }
 
 // serveMiss handles MISSING lookups: issue the remote get and try to
@@ -557,6 +616,14 @@ func (c *Cache) serveMiss(key cuckoo.Key, dst []byte, dtype datatype.Datatype, c
 // still cannot be allocated the access fails and nothing is cached.
 // src must stay intact until the epoch closes.
 func (c *Cache) insertPending(key cuckoo.Key, src []byte, size int) AccessType {
+	if c.brk != nil && !c.brk.closed(key.Target) {
+		// Degraded target: the fill itself succeeded (possibly via a
+		// half-open probe), but the target is not yet re-certified
+		// healthy. Fail over to direct gets — deliver without admitting,
+		// so the cache never fills with payloads from a flapping peer
+		// that the next probe may disown (DESIGN.md §11).
+		return AccessFailing
+	}
 	// --- Storage allocation (may require one capacity eviction). ---
 	var region *storage.Region
 	mgmtT := c.charge(CostAlloc, func() {
@@ -592,6 +659,12 @@ func (c *Cache) insertPending(key cuckoo.Key, src []byte, size int) AccessType {
 
 	// --- Index insertion (may require one conflict eviction). ---
 	e := c.newEntry(key, region, size, src)
+	if c.verify {
+		// Stamp the entry with its payload checksum (the fill was already
+		// verified against the target attestation in netGet); cached-side
+		// integrity checks revalidate against it.
+		mgmtT += c.charge(checksumCost(size), func() { e.sum = rma.ChecksumBytes(src[:size]) })
+	}
 	var res cuckoo.InsertResult[*entry]
 	mgmtT += c.charge(CostInsert, func() {
 		res = c.idx.Insert(key, e)
@@ -663,6 +736,7 @@ func (c *Cache) recycleDead() {
 	for i, e := range c.dead {
 		e.region = nil
 		e.src = nil
+		e.sum = 0
 		e.extSrc = nil
 		e.extFrom, e.extTo = 0, 0
 		clearWaiters(e)
@@ -784,6 +858,10 @@ func (c *Cache) onEpochClose(epoch int64) {
 				if e.extTo > e.payload {
 					e.payload = e.extTo
 				}
+				if c.verify {
+					// The payload changed shape: restamp its checksum.
+					e.sum = rma.ChecksumBytes(c.store.Bytes(e.region, e.payload))
+				}
 				e.extSrc = nil
 				e.extFrom, e.extTo = 0, 0
 			}
@@ -802,9 +880,23 @@ func (c *Cache) onEpochClose(epoch int64) {
 
 	invalidated := false
 	if c.mode == Transparent {
-		// Tuning is pointless when every epoch starts cold.
-		c.invalidate()
-		invalidated = true
+		if c.params.ServeStale && c.brk != nil && c.brk.anyOpen() {
+			// Graceful degradation: a target's breaker is open, so the
+			// next epoch would alternate between guaranteed breaker
+			// failures and cold misses. Keep the cache across this
+			// closure and serve stale hits instead — legal under the
+			// §II weak-consistency contract, which lets get_c return
+			// any value the target range held since the last epoch the
+			// origin synchronized with it (DESIGN.md §11). The deferred
+			// invalidation runs at the first closure with all breakers
+			// closed (the else branch below).
+			c.staleDefer = true
+		} else {
+			// Tuning is pointless when every epoch starts cold.
+			c.staleDefer = false
+			c.invalidate()
+			invalidated = true
+		}
 	} else if c.params.Adaptive && c.stats.Gets-c.tuneSnap.Gets >= c.params.TuneInterval {
 		c.tune()
 	}
@@ -822,8 +914,10 @@ func (c *Cache) onEpochClose(epoch int64) {
 
 // Invalidate drops every cache entry (the CLAMPI_Invalidate call of the
 // user-defined mode). In-flight PENDING copies of the current epoch are
-// cancelled.
+// cancelled. An explicit invalidation always runs — it also clears any
+// stale-serving deferral left by an open breaker (Params.ServeStale).
 func (c *Cache) Invalidate() {
+	c.staleDefer = false
 	c.invalidate()
 }
 

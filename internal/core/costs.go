@@ -54,6 +54,18 @@ const (
 // copyCost models a size-byte cache<->user copy.
 func copyCost(size int) simtime.Duration { return netsim.MemcpyCost(size) }
 
+// checksumCost models a size-byte FNV-1a integrity hash (resilience.go):
+// byte-at-a-time multiply-xor, ~2.5 GB/s on the calibration Xeon, plus a
+// small fixed cost.
+func checksumCost(size int) simtime.Duration {
+	const bytesPerSecond = 2.5e9
+	const fixed = 25 * simtime.Nanosecond
+	if size < 0 {
+		size = 0
+	}
+	return fixed + simtime.Duration(float64(size)*1e9/bytesPerSecond)
+}
+
 // charge runs f and advances the clock according to the policy: by est
 // when modelling, by the measured duration otherwise. It returns the
 // amount charged.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clampi/internal/cuckoo"
+	"clampi/internal/rma"
 	"clampi/internal/storage"
 )
 
@@ -54,6 +55,10 @@ func (c *Cache) CheckIntegrity() error {
 		case stateCached:
 			if len(e.waiters) != 0 {
 				err = fmt.Errorf("core: CACHED entry %v has %d waiters", k, len(e.waiters))
+				return false
+			}
+			if c.verify && e.sum != 0 && rma.ChecksumBytes(c.store.Bytes(e.region, e.payload)) != e.sum {
+				err = fmt.Errorf("core: CACHED entry %v fails its payload checksum", k)
 				return false
 			}
 		}

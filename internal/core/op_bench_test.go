@@ -11,6 +11,7 @@ import (
 
 	"clampi/internal/datatype"
 	"clampi/internal/mpi"
+	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
 
@@ -51,6 +52,41 @@ func benchCache(b *testing.B, params Params, fn func(c *Cache, win *mpi.Win, clo
 // tentpole target is 0 allocs/op.
 func BenchmarkOpHitFull(b *testing.B) {
 	benchCache(b, alwaysParams(), func(c *Cache, win *mpi.Win, clock *simtime.Clock) {
+		dst := make([]byte, 256)
+		if err := c.Get(dst, datatype.Byte, 256, 1, 128); err != nil {
+			b.Error(err)
+			return
+		}
+		if err := win.FlushAll(); err != nil {
+			b.Error(err)
+			return
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := clock.Now()
+		for i := 0; i < b.N; i++ {
+			if err := c.Get(dst, datatype.Byte, 256, 1, 128); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(clock.Now()-v0)/float64(b.N), "vns/op")
+	})
+}
+
+// BenchmarkOpHitFullResilient is BenchmarkOpHitFull with the full
+// resilience layer compiled in and armed (retry policy, circuit breaker,
+// fill verification) but zero faults injected: the fault-free hit path
+// must stay 0 allocs/op — resilience is free until something fails.
+func BenchmarkOpHitFullResilient(b *testing.B) {
+	params := alwaysParams()
+	retry := rma.DefaultRetryPolicy()
+	brk := DefaultBreakerPolicy()
+	params.Retry = &retry
+	params.Breaker = &brk
+	params.VerifyFills = true
+	benchCache(b, params, func(c *Cache, win *mpi.Win, clock *simtime.Clock) {
 		dst := make([]byte, 256)
 		if err := c.Get(dst, datatype.Byte, 256, 1, 128); err != nil {
 			b.Error(err)

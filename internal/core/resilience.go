@@ -1,0 +1,134 @@
+package core
+
+// The resilient fill path (DESIGN.md §11): every remote get the caching
+// layer issues — scalar misses, partial-hit suffixes, coalesced batch
+// ranges — funnels through netGet, which layers three defenses over the
+// raw transport call:
+//
+//   - retry with exponential backoff and deterministic jitter, entirely
+//     in virtual time (Params.Retry);
+//   - a per-target circuit breaker that fails fast while a target is
+//     down and probes it half-open after a cooldown (Params.Breaker);
+//   - checksum verification of dense fills against the backend's
+//     integrity attestation, so silently corrupted payloads are rejected
+//     (and refetched) instead of being delivered or cached
+//     (Params.VerifyFills).
+//
+// When none of the three is configured, netGet is a direct call to
+// Window.Get — the fault-free hot path pays one branch.
+
+import (
+	"errors"
+	"fmt"
+
+	"clampi/internal/datatype"
+	"clampi/internal/rma"
+)
+
+// ErrBreakerOpen reports a get that failed fast because the target's
+// circuit breaker is open. Matches rma.ErrTransient: the condition is
+// recoverable (the breaker half-opens after its cooldown), so retry
+// loops treat it like any other transient failure — except that the
+// attempt never reaches the network and never feeds back into the
+// breaker (tryGet returns before the transport call). The sentinel is a
+// single package-level value, so the fail-fast path allocates nothing.
+var ErrBreakerOpen = fmt.Errorf("%w: circuit breaker open", rma.ErrTransient)
+
+// netGet issues one remote get through the resilience layer. It is the
+// single network funnel of the caching layer: remoteGet, remoteGetRange
+// and issueRanges all land here.
+//
+// The retry loop is closure-free and allocation-free; backoffs advance
+// the origin's virtual clock with Advance (the origin is blocked
+// waiting, not computing, so the wait is modelled rather than measured).
+func (c *Cache) netGet(dst []byte, dtype datatype.Datatype, count, target, disp int) error {
+	if !c.resilient {
+		return c.win.Get(dst, dtype, count, target, disp)
+	}
+	start := c.clock.Now()
+	attempt := 1
+	for {
+		err := c.tryGet(dst, dtype, count, target, disp)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, rma.ErrTransient) {
+			return err // misuse family: retrying can never fix it
+		}
+		if errors.Is(err, rma.ErrTimeout) {
+			c.stats.Timeouts++
+		}
+		if !c.retry.Unlimited() && attempt >= c.retry.MaxAttempts {
+			return err
+		}
+		if c.retry.Budget > 0 && c.retryBudget >= c.retry.Budget {
+			return err
+		}
+		d := c.retry.Backoff(attempt, c.retryRng)
+		if c.retry.Deadline > 0 && c.clock.Now()-start+d > c.retry.Deadline {
+			return err
+		}
+		c.clock.Advance(d)
+		c.retryBudget++
+		c.stats.Retries++
+		attempt++
+	}
+}
+
+// tryGet is one attempt of netGet: breaker gate, transport call,
+// integrity verification, breaker bookkeeping.
+func (c *Cache) tryGet(dst []byte, dtype datatype.Datatype, count, target, disp int) error {
+	if c.brk != nil && !c.brk.allow(target, c.clock.Now()) {
+		return ErrBreakerOpen
+	}
+	err := c.win.Get(dst, dtype, count, target, disp)
+	if err == nil && c.verify && c.iw != nil {
+		if size := datatype.TransferSize(dtype, count); size > 0 && dtype.Size() == dtype.Extent() {
+			// Dense transfers only: a strided payload is not one
+			// contiguous target range, so no single attestation covers it.
+			err = c.verifyFill(dst[:size], target, disp, size) //clampi:epoch simulated transport fills dst at issue time; verification is the completion event (see verifyFill)
+		}
+	}
+	if c.brk != nil {
+		if err == nil {
+			c.brk.onSuccess(target)
+		} else if errors.Is(err, rma.ErrTransient) {
+			if c.brk.onFailure(target, c.clock.Now()) {
+				c.stats.BreakerOpens++
+			}
+		}
+	}
+	return err
+}
+
+// verifyRange verifies one delivered byte-range get (the batch issue
+// path); nil when verification is disabled or unsupported.
+func (c *Cache) verifyRange(r *rma.GetOp) error {
+	if !c.verify || c.iw == nil || len(r.Dst) == 0 {
+		return nil
+	}
+	return c.verifyFill(r.Dst, r.Target, r.Disp, len(r.Dst))
+}
+
+// verifyFill compares a delivered payload against the backend's
+// attestation of the target range. A mismatch is reported as
+// rma.ErrCorrupt — transient, so the retry loop refetches. Ranges the
+// backend cannot attest are accepted unverified.
+//
+// The simulated transport materializes payload bytes at issue time, so
+// verification can run immediately; a real implementation would verify
+// at the completion event instead (same state machine, later trigger).
+func (c *Cache) verifyFill(data []byte, target, disp, size int) error {
+	want, aerr := c.iw.Checksum(target, disp, size)
+	if aerr != nil {
+		return nil
+	}
+	var sum uint64
+	mgmtT := c.charge(checksumCost(size), func() { sum = rma.ChecksumBytes(data) })
+	c.recordMgmt(mgmtT)
+	if sum != want {
+		c.stats.CorruptFills++
+		return rma.ErrCorrupt
+	}
+	return nil
+}

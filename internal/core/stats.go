@@ -74,6 +74,13 @@ type Stats struct {
 	BatchMisses   int64 // batched contiguous misses that entered coalescing
 	BatchMessages int64 // merged remote messages issued for those misses
 
+	// Resilience counters (DESIGN.md §11).
+	Retries      int64 // remote-get attempts re-issued after a transient failure
+	Timeouts     int64 // transient failures that were timeouts (rma.ErrTimeout)
+	StaleServes  int64 // hits served from entries kept across a deferred invalidation
+	BreakerOpens int64 // circuit-breaker transitions to open (incl. reopens)
+	CorruptFills int64 // fills rejected by integrity verification
+
 	// Time attribution (virtual, measured portions).
 	LookupTime simtime.Duration
 	EvictTime  simtime.Duration
@@ -169,6 +176,11 @@ func (s *Stats) add(o *Stats) {
 	s.BatchOps += o.BatchOps
 	s.BatchMisses += o.BatchMisses
 	s.BatchMessages += o.BatchMessages
+	s.Retries += o.Retries
+	s.Timeouts += o.Timeouts
+	s.StaleServes += o.StaleServes
+	s.BreakerOpens += o.BreakerOpens
+	s.CorruptFills += o.CorruptFills
 	s.LookupTime += o.LookupTime
 	s.EvictTime += o.EvictTime
 	s.CopyTime += o.CopyTime
@@ -202,6 +214,11 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.BatchOps -= prev.BatchOps
 	d.BatchMisses -= prev.BatchMisses
 	d.BatchMessages -= prev.BatchMessages
+	d.Retries -= prev.Retries
+	d.Timeouts -= prev.Timeouts
+	d.StaleServes -= prev.StaleServes
+	d.BreakerOpens -= prev.BreakerOpens
+	d.CorruptFills -= prev.CorruptFills
 	d.LookupTime -= prev.LookupTime
 	d.EvictTime -= prev.EvictTime
 	d.CopyTime -= prev.CopyTime

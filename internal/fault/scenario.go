@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"clampi/internal/simtime"
+)
+
+// Outage is one scripted per-target blackout: while active, every get
+// towards Target fails transiently (as a drop), regardless of the
+// probabilistic rates. Two trigger kinds compose; the outage is active
+// when either window contains the op:
+//
+//   - op-count: injector ops [FromOp, ToOp) on this window handle, and
+//   - virtual-time: origin clock in [From, To).
+//
+// A window with To <= From (or ToOp <= FromOp) is disabled. Virtual-time
+// windows are the robust choice when the origin retries with a circuit
+// breaker: fail-fast attempts consume no injector ops, but virtual time
+// always advances past the outage.
+type Outage struct {
+	// Target is the rank whose gets fail; -1 means every target.
+	Target int `json:"target"`
+	// FromOp/ToOp delimit the op-count trigger window.
+	FromOp int64 `json:"from_op,omitempty"`
+	ToOp   int64 `json:"to_op,omitempty"`
+	// From/To delimit the virtual-time trigger window (nanoseconds).
+	From simtime.Duration `json:"from_ns,omitempty"`
+	To   simtime.Duration `json:"to_ns,omitempty"`
+}
+
+// active reports whether the outage applies to an op towards target,
+// numbered op on its window, issued at virtual time now.
+func (o *Outage) active(target int, op int64, now simtime.Duration) bool {
+	if o.Target >= 0 && o.Target != target {
+		return false
+	}
+	if o.ToOp > o.FromOp && op >= o.FromOp && op < o.ToOp {
+		return true
+	}
+	return o.To > o.From && now >= o.From && now < o.To
+}
+
+// Scenario scripts one reproducible chaos run: per-op fault rates,
+// trigger conditions and scripted outages. A Scenario plus a seed fully
+// determines the injected fault sequence — the RNG is seeded per wrapped
+// window, every draw is tied to the (deterministic) op stream, and all
+// delays are virtual time.
+type Scenario struct {
+	// Name labels the scenario in tables and trace output.
+	Name string `json:"name"`
+
+	// Per-op injection probabilities, evaluated cumulatively in the
+	// order drop, timeout, corrupt, short-read, spike. Their sum must
+	// not exceed 1.
+	DropRate      float64 `json:"drop_rate,omitempty"`
+	TimeoutRate   float64 `json:"timeout_rate,omitempty"`
+	CorruptRate   float64 `json:"corrupt_rate,omitempty"`
+	ShortReadRate float64 `json:"short_read_rate,omitempty"`
+	SpikeRate     float64 `json:"spike_rate,omitempty"`
+
+	// Timeout is the virtual time burned by an injected timeout before
+	// it fails; zero selects DefaultTimeout.
+	Timeout simtime.Duration `json:"timeout_ns,omitempty"`
+	// SpikeLatency is the extra virtual latency of an injected spike;
+	// zero selects DefaultSpikeLatency.
+	SpikeLatency simtime.Duration `json:"spike_latency_ns,omitempty"`
+
+	// Targets restricts injection to these ranks; empty means all.
+	Targets []int `json:"targets,omitempty"`
+
+	// AfterOps suppresses injection for the first AfterOps ops of each
+	// wrapped window; AfterTime until the origin clock reaches it.
+	AfterOps  int64            `json:"after_ops,omitempty"`
+	AfterTime simtime.Duration `json:"after_time_ns,omitempty"`
+
+	// Outages are the scripted per-target blackout windows.
+	Outages []Outage `json:"outages,omitempty"`
+}
+
+// Defaults for Scenario fields left zero.
+const (
+	DefaultTimeout      = 10 * simtime.Microsecond
+	DefaultSpikeLatency = 5 * simtime.Microsecond
+)
+
+// timeout returns the effective injected-timeout delay.
+func (s *Scenario) timeout() simtime.Duration {
+	if s.Timeout > 0 {
+		return s.Timeout
+	}
+	return DefaultTimeout
+}
+
+// spike returns the effective latency-spike delay.
+func (s *Scenario) spike() simtime.Duration {
+	if s.SpikeLatency > 0 {
+		return s.SpikeLatency
+	}
+	return DefaultSpikeLatency
+}
+
+// Validate checks the rates are probabilities summing to at most 1.
+func (s *Scenario) Validate() error {
+	sum := 0.0
+	for _, r := range []float64{s.DropRate, s.TimeoutRate, s.CorruptRate, s.ShortReadRate, s.SpikeRate} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("fault: scenario %q: rate %v outside [0, 1]", s.Name, r)
+		}
+		sum += r
+	}
+	if sum > 1 {
+		return fmt.Errorf("fault: scenario %q: rates sum to %v > 1", s.Name, sum)
+	}
+	return nil
+}
+
+// LoadScenario reads a scenario from a JSON file (the format Scenario
+// marshals to).
+func LoadScenario(path string) (Scenario, error) {
+	var s Scenario
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return s, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Canned returns the scenario suite the chaos driver and CI smoke runs
+// use: one scenario per fault class, rates high enough to exercise every
+// resilience path at small scale.
+func Canned() []Scenario {
+	return []Scenario{
+		{Name: "drop", DropRate: 0.10},
+		{Name: "timeout", TimeoutRate: 0.08, Timeout: 20 * simtime.Microsecond},
+		{Name: "corrupt", CorruptRate: 0.08, ShortReadRate: 0.04},
+		{Name: "outage", DropRate: 0.02, Outages: []Outage{
+			{Target: 0, From: 50 * simtime.Microsecond, To: 250 * simtime.Microsecond},
+			{Target: 1, From: 400 * simtime.Microsecond, To: 600 * simtime.Microsecond},
+		}},
+	}
+}
+
+// ByName returns the canned scenario with the given name.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range Canned() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,114 @@
+package getter
+
+import (
+	"errors"
+	"math/rand"
+
+	"clampi/internal/rma"
+	"clampi/internal/simtime"
+)
+
+// Resilient decorates any Getter with transient-failure retry
+// (DESIGN.md §11). The caching layer has its own, deeper resilience
+// (internal/core retries individual fills behind hits); this shim is for
+// the systems that have none — the Raw baseline, the block cache — so
+// chaos experiments can run every compared system under the same fault
+// scenario. Backoffs advance the supplied virtual clock; jitter comes
+// from the shim's own deterministic RNG, so a seeded run reproduces the
+// exact retry schedule.
+type Resilient struct {
+	G      Getter
+	Clock  *simtime.Clock
+	Policy rma.RetryPolicy
+
+	rng     *rand.Rand
+	retries int64
+	scratch []BatchOp // reusable GetBatch retry buffer
+}
+
+// NewResilient wraps g in a retry shim with the given policy, seeding
+// the jitter RNG with seed.
+func NewResilient(g Getter, clock *simtime.Clock, policy rma.RetryPolicy, seed int64) *Resilient {
+	return &Resilient{G: g, Clock: clock, Policy: policy, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Retries returns the number of re-issued attempts so far.
+func (r *Resilient) Retries() int64 { return r.retries }
+
+// retry runs op until it succeeds, fails non-transiently, or the policy
+// stops it.
+func (r *Resilient) retry(op func() error) error {
+	start := r.Clock.Now()
+	attempt := 1
+	for {
+		err := op()
+		if err == nil || !errors.Is(err, rma.ErrTransient) {
+			return err
+		}
+		if !r.Policy.Unlimited() && attempt >= r.Policy.MaxAttempts {
+			return err
+		}
+		d := r.Policy.Backoff(attempt, r.rng)
+		if r.Policy.Deadline > 0 && r.Clock.Now()-start+d > r.Policy.Deadline {
+			return err
+		}
+		r.Clock.Advance(d)
+		r.retries++
+		attempt++
+	}
+}
+
+// Get implements Getter.
+func (r *Resilient) Get(dst []byte, target, disp int) error {
+	return r.retry(func() error { return r.G.Get(dst, target, disp) })
+}
+
+// Flush implements Getter. Completion calls are not retried: the
+// simulated transports never fail them transiently, and replaying an
+// epoch closure is not a local decision.
+func (r *Resilient) Flush() error { return r.G.Flush() }
+
+// Invalidate implements Getter.
+func (r *Resilient) Invalidate() { r.G.Invalidate() }
+
+// Name implements Getter.
+func (r *Resilient) Name() string { return r.G.Name() }
+
+// GetBatch implements Batcher: one attempt through the inner batch fast
+// path, then per-op retry of whatever the inner call did not certify
+// delivered. An inner *rma.BatchError pins the delivered prefix; any
+// other transient failure retries the whole batch per-op (individual
+// re-gets are idempotent, so re-reading a delivered op is safe).
+func (r *Resilient) GetBatch(ops []BatchOp) error {
+	err := GetBatch(r.G, ops)
+	if err == nil || !errors.Is(err, rma.ErrTransient) {
+		return err
+	}
+	rest := ops
+	var be *rma.BatchError
+	if errors.As(err, &be) {
+		rest = ops[be.Op:]
+	}
+	r.scratch = append(r.scratch[:0], rest...)
+	defer clearBatchOps(r.scratch)
+	for i := range r.scratch {
+		op := &r.scratch[i]
+		if err := r.Get(op.Dst, op.Target, op.Disp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clearBatchOps drops the buffer references of a retried batch.
+func clearBatchOps(ops []BatchOp) {
+	for i := range ops {
+		ops[i].Dst = nil
+	}
+}
+
+// Compile-time checks.
+var (
+	_ Getter  = (*Resilient)(nil)
+	_ Batcher = (*Resilient)(nil)
+)

@@ -1,0 +1,163 @@
+package getter
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clampi/internal/rma"
+	"clampi/internal/simtime"
+)
+
+// flaky is a Getter whose every get fails transiently failsPerOp times
+// before succeeding. When batchFailAt >= 0 it also implements Batcher,
+// failing the batch once at that op with a *rma.BatchError.
+type flaky struct {
+	failsPerOp  int
+	batchFailAt int
+	attempts    map[[2]int]int
+	batchCalls  int
+	flushes     int
+}
+
+func newFlaky(failsPerOp int) *flaky {
+	return &flaky{failsPerOp: failsPerOp, batchFailAt: -1, attempts: map[[2]int]int{}}
+}
+
+func (f *flaky) Get(dst []byte, target, disp int) error {
+	k := [2]int{target, disp}
+	f.attempts[k]++
+	if f.attempts[k] <= f.failsPerOp {
+		return fmt.Errorf("%w: flaky", rma.ErrTransient)
+	}
+	for i := range dst {
+		dst[i] = byte(disp + i)
+	}
+	return nil
+}
+
+func (f *flaky) Flush() error { f.flushes++; return nil }
+func (f *flaky) Invalidate()  {}
+func (f *flaky) Name() string { return "flaky" }
+
+// batchFlaky adds a Batcher fast path to flaky.
+type batchFlaky struct{ *flaky }
+
+func (f *batchFlaky) GetBatch(ops []BatchOp) error {
+	f.batchCalls++
+	for i := range ops {
+		if i == f.batchFailAt && f.batchCalls == 1 {
+			return &rma.BatchError{Op: i, Err: fmt.Errorf("%w: flaky batch", rma.ErrTransient)}
+		}
+		if err := f.Get(ops[i].Dst, ops[i].Target, ops[i].Disp); err != nil {
+			return &rma.BatchError{Op: i, Err: err}
+		}
+	}
+	return nil
+}
+
+func TestResilientRetriesUntilSuccess(t *testing.T) {
+	g := newFlaky(2)
+	clock := simtime.NewClock()
+	r := NewResilient(g, clock, rma.RetryPolicy{MaxAttempts: 4, BaseBackoff: simtime.Microsecond}, 1)
+	dst := make([]byte, 8)
+	if err := r.Get(dst, 1, 32); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range dst {
+		if b != byte(32+i) {
+			t.Fatalf("byte %d = %d after recovery", i, b)
+		}
+	}
+	if r.Retries() != 2 {
+		t.Errorf("Retries = %d, want 2", r.Retries())
+	}
+	if clock.Now() == 0 {
+		t.Error("backoffs did not advance the virtual clock")
+	}
+}
+
+func TestResilientGivesUpAtMaxAttempts(t *testing.T) {
+	g := newFlaky(10)
+	r := NewResilient(g, simtime.NewClock(), rma.RetryPolicy{MaxAttempts: 3}, 1)
+	err := r.Get(make([]byte, 8), 1, 0)
+	if !errors.Is(err, rma.ErrTransient) {
+		t.Fatalf("exhausted Get = %v, want transient", err)
+	}
+	if got := g.attempts[[2]int{1, 0}]; got != 3 {
+		t.Errorf("inner attempts = %d, want 3", got)
+	}
+}
+
+func TestResilientPropagatesNonTransient(t *testing.T) {
+	r := NewResilient(&Raw{}, simtime.NewClock(), rma.DefaultRetryPolicy(), 1)
+	// A nil window makes Raw fail hard; easier: use a Getter returning a
+	// permanent error.
+	perm := errors.New("permanent")
+	g := getterFunc(func(dst []byte, target, disp int) error { return perm })
+	r.G = g
+	if err := r.Get(make([]byte, 4), 1, 0); !errors.Is(err, perm) {
+		t.Fatalf("permanent failure = %v, want it surfaced unretried", err)
+	}
+	if r.Retries() != 0 {
+		t.Errorf("Retries = %d after a permanent failure, want 0", r.Retries())
+	}
+}
+
+// getterFunc adapts a function to the Getter interface.
+type getterFunc func(dst []byte, target, disp int) error
+
+func (f getterFunc) Get(dst []byte, target, disp int) error { return f(dst, target, disp) }
+func (f getterFunc) Flush() error                           { return nil }
+func (f getterFunc) Invalidate()                            {}
+func (f getterFunc) Name() string                           { return "func" }
+
+func TestResilientBatchResumesAfterPrefix(t *testing.T) {
+	inner := newFlaky(0)
+	inner.batchFailAt = 2
+	g := &batchFlaky{inner}
+	r := NewResilient(g, simtime.NewClock(), rma.RetryPolicy{MaxAttempts: 4}, 1)
+	bufs := make([][]byte, 5)
+	ops := make([]BatchOp, 5)
+	for i := range ops {
+		bufs[i] = make([]byte, 8)
+		ops[i] = BatchOp{Dst: bufs[i], Target: 1, Disp: i * 8}
+	}
+	if err := r.GetBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		for j, b := range bufs[i] {
+			if b != byte(i*8+j) {
+				t.Fatalf("op %d byte %d = %d after batch recovery", i, j, b)
+			}
+		}
+	}
+	if g.batchCalls != 1 {
+		t.Errorf("inner batch calls = %d, want 1 (suffix retried per-op)", g.batchCalls)
+	}
+}
+
+func TestResilientBatchFallsBackWithoutBatcher(t *testing.T) {
+	g := newFlaky(1)
+	r := NewResilient(g, simtime.NewClock(), rma.RetryPolicy{MaxAttempts: 3}, 1)
+	bufs := make([][]byte, 3)
+	ops := make([]BatchOp, 3)
+	for i := range ops {
+		bufs[i] = make([]byte, 8)
+		ops[i] = BatchOp{Dst: bufs[i], Target: 1, Disp: i * 8}
+	}
+	if err := r.GetBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		for j, b := range bufs[i] {
+			if b != byte(i*8+j) {
+				t.Fatalf("op %d byte %d = %d", i, j, b)
+			}
+		}
+	}
+	if r.Retries() == 0 {
+		t.Error("flaky batch completed without retries")
+	}
+}

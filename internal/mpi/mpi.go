@@ -462,9 +462,10 @@ func (w *Win) Endpoint() rma.Endpoint { return w.rank }
 
 // Compile-time checks: this runtime implements the transport contract.
 var (
-	_ rma.Window      = (*Win)(nil)
-	_ rma.BatchWindow = (*Win)(nil)
-	_ rma.Endpoint    = (*Rank)(nil)
+	_ rma.Window          = (*Win)(nil)
+	_ rma.BatchWindow     = (*Win)(nil)
+	_ rma.IntegrityWindow = (*Win)(nil)
+	_ rma.Endpoint        = (*Rank)(nil)
 )
 
 // lockTarget serializes data movement on target's region in Throughput
@@ -610,6 +611,29 @@ func (w *Win) GetBatch(ops []rma.GetOp) error {
 		w.enqueueOp(op.Target, n)
 	}
 	return nil
+}
+
+// Checksum returns the ground-truth rma.ChecksumBytes of target's region
+// bytes [disp, disp+size) (rma.IntegrityWindow). It reads the
+// authoritative target-side bytes — under the data-path shard lock in
+// Throughput mode — so a fill verifier comparing against it detects any
+// origin-side payload damage. The attestation is a control-channel read:
+// it charges no network latency and requires no open epoch.
+func (w *Win) Checksum(target, disp, size int) (uint64, error) {
+	if w.freed {
+		return 0, ErrFreedWin
+	}
+	if target < 0 || target >= len(w.shared.regions) {
+		return 0, ErrRankRange
+	}
+	region := w.shared.regions[target]
+	if size < 0 || disp < 0 || disp+size > len(region) {
+		return 0, ErrBounds
+	}
+	w.lockTarget(target)
+	h := rma.ChecksumBytes(region[disp : disp+size])
+	w.unlockTarget(target)
+	return h, nil
 }
 
 // Put writes count elements of dtype from src (packed) into target's

@@ -107,6 +107,7 @@ func RunSimPersistent(r *mpi.Rank, cfg SimConfig, mk GetterFactory) ([]StepStats
 			return stats, err
 		}
 		Integrate(local[:nb], accs[:nb], cfg.DT, r.Clock())
+		stats[len(stats)-1].BodiesDigest = BodiesDigest(local)
 		r.Barrier()
 	}
 	return stats, nil

@@ -1,6 +1,8 @@
 package nbody
 
 import (
+	"math"
+
 	"clampi/internal/getter"
 	"clampi/internal/mpi"
 	"clampi/internal/rma"
@@ -35,6 +37,37 @@ type StepStats struct {
 	NodeVisits   int64
 	RemoteGets   int64
 	TreeNodes    int // local tree size
+	// BodiesDigest fingerprints this rank's local bodies after the
+	// step's integration (BodiesDigest below): two runs computed
+	// bit-identical physics iff every rank's per-step digests match.
+	BodiesDigest uint64
+}
+
+// BodiesDigest folds the exact bit patterns of every body's position and
+// velocity into one FNV-1a value. Chaos experiments compare it between
+// faulty and fault-free runs: any divergence — a wrong byte served, a
+// stale-but-changed payload — changes some accumulation and flips the
+// digest.
+func BodiesDigest(bs []Body) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(f float64) {
+		h ^= math.Float64bits(f)
+		h *= prime64
+	}
+	for i := range bs {
+		b := &bs[i]
+		for d := 0; d < 3; d++ {
+			mix(b.Pos[d])
+		}
+		for d := 0; d < 3; d++ {
+			mix(b.Vel[d])
+		}
+	}
+	return h
 }
 
 // TimePerBody is the paper's Fig. 12/14 metric.
@@ -135,6 +168,7 @@ func RunSim(r *mpi.Rank, cfg SimConfig, mk GetterFactory) ([]StepStats, error) {
 		}
 
 		Integrate(local[:nb], accs[:nb], cfg.DT, r.Clock())
+		stats[len(stats)-1].BodiesDigest = BodiesDigest(local)
 		r.Barrier()
 	}
 	return stats, nil

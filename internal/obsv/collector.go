@@ -193,6 +193,11 @@ func PublishStats(reg *Registry, s core.Stats, labels ...Label) {
 	set("clampi_stats_adjustments", s.Adjustments)
 	set("clampi_stats_bytes_from_cache", s.BytesFromCache)
 	set("clampi_stats_bytes_from_network", s.BytesFromNetwork)
+	set("clampi_stats_retries", s.Retries)
+	set("clampi_stats_timeouts", s.Timeouts)
+	set("clampi_stats_stale_serves", s.StaleServes)
+	set("clampi_stats_breaker_opens", s.BreakerOpens)
+	set("clampi_stats_corrupt_fills", s.CorruptFills)
 	set("clampi_stats_lookup_vtime_ns", int64(s.LookupTime))
 	set("clampi_stats_evict_vtime_ns", int64(s.EvictTime))
 	set("clampi_stats_copy_vtime_ns", int64(s.CopyTime))

@@ -1,0 +1,111 @@
+package rma
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clampi/internal/simtime"
+)
+
+func TestTransientSentinelFamily(t *testing.T) {
+	for _, err := range []error{ErrTimeout, ErrCorrupt} {
+		if !errors.Is(err, ErrTransient) {
+			t.Errorf("%v does not match ErrTransient", err)
+		}
+	}
+	wrapped := fmt.Errorf("attempt 3: %w", ErrTimeout)
+	if !errors.Is(wrapped, ErrTimeout) || !errors.Is(wrapped, ErrTransient) {
+		t.Error("wrapping breaks sentinel matching")
+	}
+	if errors.Is(ErrTransient, ErrTimeout) {
+		t.Error("umbrella must not match its members")
+	}
+	// The misuse family stays disjoint: retry loops must never spin on it.
+	if errors.Is(ErrShortBuf, ErrTransient) {
+		t.Error("ErrShortBuf matches ErrTransient")
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := DefaultRetryPolicy()
+	a := rand.New(rand.NewSource(9))
+	b := rand.New(rand.NewSource(9))
+	for attempt := 1; attempt <= 12; attempt++ {
+		da := p.Backoff(attempt, a)
+		db := p.Backoff(attempt, b)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", attempt, da, db)
+		}
+		lo := simtime.Duration(float64(p.BaseBackoff) * (1 - p.JitterFrac))
+		hi := simtime.Duration(float64(p.MaxBackoff) * (1 + p.JitterFrac))
+		if da < lo || da > hi {
+			t.Errorf("attempt %d backoff %v outside [%v, %v]", attempt, da, lo, hi)
+		}
+	}
+	// Growth saturates at MaxBackoff (jitter off for exact values).
+	exact := RetryPolicy{BaseBackoff: simtime.Microsecond, MaxBackoff: 8 * simtime.Microsecond, Multiplier: 2}
+	want := []simtime.Duration{1000, 2000, 4000, 8000, 8000, 8000}
+	for i, w := range want {
+		if got := exact.Backoff(i+1, nil); got != w {
+			t.Errorf("attempt %d = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaultsAndFloor(t *testing.T) {
+	var zero RetryPolicy
+	if got := zero.Backoff(1, nil); got != DefaultBaseBackoff {
+		t.Errorf("zero policy first backoff = %v, want %v", got, DefaultBaseBackoff)
+	}
+	if got := zero.Backoff(100, nil); got != DefaultMaxBackoff {
+		t.Errorf("zero policy saturated backoff = %v, want %v", got, DefaultMaxBackoff)
+	}
+	// The floor: a backoff is always at least one virtual nanosecond, so
+	// retry loops always make forward progress in virtual time.
+	tiny := RetryPolicy{BaseBackoff: 1, MaxBackoff: 1, JitterFrac: 1}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if got := tiny.Backoff(1, rng); got < 1 {
+			t.Fatalf("backoff %v below the 1 ns floor", got)
+		}
+	}
+	if !zero.Unlimited() {
+		t.Error("zero MaxAttempts must mean unlimited")
+	}
+	if (&RetryPolicy{MaxAttempts: 1}).Unlimited() {
+		t.Error("MaxAttempts=1 reported unlimited")
+	}
+}
+
+func TestBatchErrorWrapping(t *testing.T) {
+	be := &BatchError{Op: 3, Err: fmt.Errorf("%w: lost", ErrTransient)}
+	if !errors.Is(be, ErrTransient) {
+		t.Error("BatchError hides its transient cause")
+	}
+	var got *BatchError
+	if !errors.As(fmt.Errorf("batch: %w", be), &got) || got.Op != 3 {
+		t.Error("errors.As cannot recover the failing op through a wrap")
+	}
+}
+
+func TestChecksumBytes(t *testing.T) {
+	if ChecksumBytes(nil) != ChecksumBytes([]byte{}) {
+		t.Error("nil and empty slices disagree")
+	}
+	a := []byte("transparent caching")
+	if ChecksumBytes(a) != ChecksumBytes(a) {
+		t.Error("not deterministic")
+	}
+	b := append([]byte(nil), a...)
+	b[4] ^= 0x01
+	if ChecksumBytes(a) == ChecksumBytes(b) {
+		t.Error("single-bit flip not detected")
+	}
+	// FNV-1a, 64-bit: fixed reference value guards the parameters the
+	// mpi attestation and the core verifier must both use.
+	if got := ChecksumBytes([]byte("a")); got != 0xaf63dc4c8601ec8c {
+		t.Errorf("ChecksumBytes(\"a\") = %#x, want FNV-1a 0xaf63dc4c8601ec8c", got)
+	}
+}

@@ -63,6 +63,30 @@ var (
 	ErrBadEpoch = ErrNoEpoch
 )
 
+// Transient-failure sentinels. Unlike the misuse family above — which
+// reports caller bugs that retrying can never fix — these describe
+// conditions of the transport itself: a lost or timed-out operation, or
+// a payload that arrived damaged. Retrying the same call is legal and
+// expected to eventually succeed; the resilience layer (retry policies,
+// circuit breakers) keys exclusively on errors.Is(err, ErrTransient).
+//
+// ErrTransient is the umbrella: ErrTimeout and ErrCorrupt wrap it, so a
+// single errors.Is test catches the whole family, while callers that
+// care (timeout accounting, checksum statistics) can still distinguish
+// the finer-grained values — the same two-level idiom as ErrOutOfRange.
+var (
+	// ErrTransient is the umbrella sentinel for recoverable transport
+	// failures: the operation did not take effect and may be retried.
+	ErrTransient = errors.New("rma: transient transport failure")
+	// ErrTimeout reports an operation that exceeded its completion
+	// deadline. Matches ErrTransient.
+	ErrTimeout = fmt.Errorf("%w: operation timed out", ErrTransient)
+	// ErrCorrupt reports a payload that failed integrity verification
+	// after delivery. Matches ErrTransient (a refetch yields clean
+	// data).
+	ErrCorrupt = fmt.Errorf("%w: payload failed integrity check", ErrTransient)
+)
+
 // Info carries window-creation hints (the MPI_Info of the MPI backend).
 // CLaMPI reads its operational mode from here (paper §III-A).
 type Info map[string]string
@@ -219,6 +243,8 @@ type BatchWindow interface {
 	// GetBatch issues every op in ops. Each op is validated and charged
 	// exactly like an individual Get(op.Dst, Byte, len(op.Dst), op.Target,
 	// op.Disp); on the first failing op the error is returned and the
-	// remaining ops are not issued.
+	// remaining ops are not issued. Backends that can identify the
+	// failing op wrap the cause in a *BatchError so callers can resume
+	// after the already-delivered prefix.
 	GetBatch(ops []GetOp) error
 }
