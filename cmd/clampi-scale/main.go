@@ -1,0 +1,227 @@
+// Command clampi-scale is the scale-out proof driver: thousands of
+// lightweight rank contexts stream an R-MAT graph (DESIGN.md §12) and
+// hammer one concurrent cache (core.Shared) with the vertex-record
+// reads an LCC/BFS traversal would issue — hits lock-free, misses and
+// evictions under per-shard locks. The graph is never materialized:
+// each worker replays the rmat.Stream and picks out its contexts'
+// edges, so a 10⁸-edge run (-scale 23 -ef 16) uses constant memory.
+//
+// Correctness claim: the backend is a deterministic read-only pattern,
+// so caching may change where bytes come from but never what they are.
+// The driver proves it the same way the mode-equivalence tests do —
+// each context checksums every byte it reads, and with -verify (the
+// default) the whole workload is rerun serially on a fresh cache; the
+// per-context checksums must match bit for bit.
+//
+// On a single-core host (GOMAXPROCS=1) the concurrent pass cannot
+// demonstrate reader scaling; the driver says so and leans on the
+// structural proof instead (TestSharedStructuralNonBlockingReads:
+// lookups complete with every writer lock held).
+//
+// Usage:
+//
+//	clampi-scale [-scale 16] [-ef 16] [-contexts 2048] [-workers N]
+//	             [-targets 16] [-shards 16] [-shardbytes 262144]
+//	             [-seed 42] [-verify] [-metrics out.prom]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"clampi/internal/core"
+	"clampi/internal/obsv"
+	"clampi/internal/rmat"
+	"clampi/internal/simtime"
+)
+
+// recordSize is the vertex record each edge endpoint read fetches — one
+// cache line, matching the caching layer's storage granularity.
+const recordSize = 64
+
+func main() {
+	scale := flag.Int("scale", 16, "R-MAT scale (vertices = 2^scale, edges = ef * 2^scale)")
+	ef := flag.Int("ef", 16, "R-MAT edge factor")
+	contexts := flag.Int("contexts", 2048, "number of rank contexts sharing the cache")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent worker goroutines")
+	targets := flag.Int("targets", 16, "remote targets the vertex records are spread over")
+	shards := flag.Int("shards", 16, "cache index/storage shards")
+	shardBytes := flag.Int("shardbytes", 256<<10, "storage bytes per shard")
+	seed := flag.Int64("seed", 42, "R-MAT and cache seed")
+	verify := flag.Bool("verify", true, "rerun the workload serially and require bit-identical checksums")
+	metricsOut := flag.String("metrics", "", "write cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
+	flag.Parse()
+
+	edges := *ef * (1 << *scale)
+	fmt.Printf("clampi-scale: %d contexts, %d workers, %d edges (scale %d, ef %d), %d targets\n",
+		*contexts, *workers, edges, *scale, *ef, *targets)
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Println("clampi-scale: GOMAXPROCS=1 — reader scaling cannot show on one core; " +
+			"non-blocking reads rest on the structural proof (lookups complete with every writer lock held)")
+	}
+
+	params := core.SharedParams{Shards: *shards, BytesPerShard: *shardBytes, Seed: *seed}
+
+	start := time.Now() //clampi:walltime progress reporting only — results depend on virtual time alone
+	conc, concStats, concVtime := runPass(*scale, *ef, *seed, *targets, *contexts, *workers, params)
+	concWall := time.Since(start) //clampi:walltime progress reporting only
+	fmt.Printf("concurrent pass: %v wall, %v virtual, %.1f%% hits (%d gets, %d seqlock retries)\n",
+		concWall.Round(time.Millisecond), concVtime, hitRate(concStats), concStats.Gets, conc.retries)
+
+	if *metricsOut != "" {
+		reg := obsv.NewRegistry()
+		obsv.PublishStats(reg, concStats, obsv.L("run", "concurrent"))
+		obsv.PublishSharedStats(reg, conc.cache, obsv.L("run", "concurrent"))
+		if err := obsv.WriteMetricsFile(*metricsOut, reg); err != nil {
+			log.Fatalf("clampi-scale: metrics: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+
+	if *verify {
+		start = time.Now() //clampi:walltime progress reporting only
+		serial, serialStats, _ := runPass(*scale, *ef, *seed, *targets, *contexts, 1, params)
+		fmt.Printf("serial pass: %v wall, %.1f%% hits\n",
+			time.Since(start).Round(time.Millisecond), hitRate(serialStats)) //clampi:walltime progress reporting only
+		mismatches := 0
+		for i := range conc.sums {
+			if conc.sums[i] != serial.sums[i] {
+				mismatches++
+				if mismatches <= 5 {
+					fmt.Fprintf(os.Stderr, "context %d: concurrent checksum %016x != serial %016x\n",
+						i, conc.sums[i], serial.sums[i])
+				}
+			}
+		}
+		if mismatches > 0 {
+			log.Fatalf("clampi-scale: %d of %d contexts returned different bytes", mismatches, *contexts)
+		}
+		fmt.Printf("verify: %d per-context checksums bit-identical across concurrent and serial passes\n", *contexts)
+	}
+}
+
+// passResult carries what a pass produced: the cache (for gauge
+// publication), per-context checksums, and total seqlock retries.
+type passResult struct {
+	cache   *core.Shared
+	sums    []uint64
+	retries uint64
+}
+
+// runPass streams the R-MAT graph through nContexts contexts over a
+// fresh cache, with nWorkers goroutines each owning a contiguous block
+// of contexts. Edge j belongs to context j % nContexts regardless of
+// worker count, and every worker replays its own rmat.Stream, so the
+// per-context request sequences — and therefore the checksums — are
+// defined by (scale, ef, seed, nContexts) alone. The replay trades
+// (nWorkers-1) redundant generator passes for zero cross-worker
+// coordination; edge generation is a fraction of the per-edge cache
+// work, and the stream keeps memory constant either way.
+func runPass(scale, ef int, seed int64, targets, nContexts, nWorkers int, params core.SharedParams) (passResult, core.Stats, simtime.Duration) {
+	cache, err := core.NewShared(patternFetch(targets), params)
+	if err != nil {
+		log.Fatalf("clampi-scale: %v", err)
+	}
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	if nWorkers > nContexts {
+		nWorkers = nContexts
+	}
+	sums := make([]uint64, nContexts)
+	stats := make([]core.Stats, nWorkers)
+	vtimes := make([]simtime.Duration, nWorkers)
+	perWorker := (nContexts + nWorkers - 1) / nWorkers
+
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * perWorker
+			hi := lo + perWorker
+			if hi > nContexts {
+				hi = nContexts
+			}
+			ctxs := make([]*core.Context, hi-lo)
+			for i := range ctxs {
+				ctxs[i] = cache.NewContext(lo + i)
+			}
+			var rec [recordSize]byte
+			s := rmat.NewStream(scale, ef, rmat.Graph500, seed)
+			for j := 0; ; j++ {
+				e, ok := s.Next()
+				if !ok {
+					break
+				}
+				ci := j % nContexts
+				if ci < lo || ci >= hi {
+					continue
+				}
+				x := ctxs[ci-lo]
+				target, disp := place(int(e.V), targets)
+				if err := x.Get(rec[:], target, disp); err != nil {
+					log.Fatalf("clampi-scale: context %d: %v", ci, err)
+				}
+				sums[ci] = fnvMix(sums[ci], rec[:])
+			}
+			for _, x := range ctxs {
+				stats[w] = stats[w].Add(x.Stats())
+				vtimes[w] += x.VirtualTime()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total core.Stats
+	var vtotal simtime.Duration
+	for w := 0; w < nWorkers; w++ {
+		total = total.Add(stats[w])
+		vtotal += vtimes[w]
+	}
+	return passResult{cache: cache, sums: sums, retries: cache.SeqlockRetries()}, total, vtotal
+}
+
+// place maps a vertex to its record's home: records are dealt
+// round-robin over targets, cache-line aligned within each.
+func place(v, targets int) (target, disp int) {
+	return v % targets, (v / targets) * recordSize
+}
+
+// patternFetch is the deterministic read-only backend: byte k of
+// target t's region is a fixed function of (t, k), so any correct
+// execution — cached or not, concurrent or serial — reads identical
+// bytes.
+func patternFetch(targets int) core.FetchFunc {
+	return func(target, disp int, dst []byte) error {
+		for i := range dst {
+			off := disp + i
+			dst[i] = byte(target*131 + off*31 + (off >> 8))
+		}
+		return nil
+	}
+}
+
+// fnvMix folds buf into an FNV-1a style running checksum.
+func fnvMix(h uint64, buf []byte) uint64 {
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hitRate(s core.Stats) float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits) / float64(s.Gets)
+}

@@ -7,6 +7,7 @@
 //	sentinelerr   sentinel errors are matched with errors.Is / wrapped with %w
 //	atomicfield   // clampi:atomic fields use sync/atomic only
 //	observerlock  core.Observer is never notified under a mutex
+//	seqlockcheck  // clampi:seqlock fields stay inside write sections
 //
 // Usage:
 //

@@ -7,8 +7,9 @@
 // weak-consistency epoch contract of internal/rma (epochcheck), the
 // virtual-time discipline of internal/simtime (simclock), the errors.Is
 // wrapping contract of the package sentinels (sentinelerr), atomic-only
-// field access in internal/obsv (atomicfield), and the lock-free
-// observer hot path (observerlock).
+// field access in internal/obsv (atomicfield), the lock-free observer
+// hot path (observerlock), and the write-section discipline of the
+// seqlock-published sharded index (seqlockcheck).
 //
 // The shape mirrors go/analysis deliberately — an Analyzer holds a Run
 // function over a Pass carrying the package's syntax and type

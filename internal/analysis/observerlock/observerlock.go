@@ -11,7 +11,12 @@
 // it tracks sync.Mutex/sync.RWMutex Lock/RLock and Unlock/RUnlock calls
 // in source order (a deferred unlock holds the lock to function end)
 // and flags any call through the core.Observer interface while the held
-// count is positive. Calls on concrete observer implementations (e.g.
+// count is positive. Seqlock write sections count as critical sections
+// too: beginWrite/endWrite method calls (the sharded index's write
+// bracket, DESIGN.md §12) are tracked exactly like Lock/Unlock — while
+// a write section is open, every concurrent reader of that shard is
+// spinning, so running observer code inside one stalls the whole read
+// side, not just other writers. Calls on concrete observer implementations (e.g.
 // *obsv.Collector in its own tests) are not flagged — the contract
 // binds the caching layer's interface dispatch sites.
 package observerlock
@@ -85,11 +90,11 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			}
 			name := sel.Sel.Name
 			switch {
-			case isMutexMethod(info, sel, "Lock") || isMutexMethod(info, sel, "RLock"):
+			case isMutexMethod(info, sel, "Lock") || isMutexMethod(info, sel, "RLock") || isSectionMethod(info, sel, "beginWrite"):
 				if !deferred[n] {
 					ops = append(ops, op{kind: opLock, pos: n.Pos()})
 				}
-			case isMutexMethod(info, sel, "Unlock") || isMutexMethod(info, sel, "RUnlock"):
+			case isMutexMethod(info, sel, "Unlock") || isMutexMethod(info, sel, "RUnlock") || isSectionMethod(info, sel, "endWrite"):
 				// A deferred unlock releases at return: it never ends
 				// the critical section for lexically later calls.
 				if !deferred[n] {
@@ -136,4 +141,15 @@ func isMutexMethod(info *types.Info, sel *ast.SelectorExpr, name string) bool {
 		return false
 	}
 	return typeutil.IsNamed(recv, "sync", "Mutex") || typeutil.IsNamed(recv, "sync", "RWMutex")
+}
+
+// isSectionMethod reports whether sel calls a seqlock write-section
+// method of the given name. Shard types are package-local, so the
+// bracket is matched by method name on any receiver — the same
+// convention seqlockcheck uses.
+func isSectionMethod(info *types.Info, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	return typeutil.MethodReceiver(info.Uses[sel.Sel]) != nil
 }

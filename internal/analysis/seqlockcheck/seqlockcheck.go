@@ -1,0 +1,216 @@
+// Package seqlockcheck enforces the write-section discipline of the
+// sharded, seqlock-published cuckoo index (DESIGN.md §12). The sharded
+// index has two kinds of state the type system cannot tell apart:
+//
+//   - published state (slots, version, counters), accessed through
+//     sync/atomic and already policed by the atomicfield analyzer, and
+//   - writer-side bookkeeping (the displacement-walk RNG and similar),
+//     which is plain memory that is only ever safe to touch while the
+//     shard's write section is open — beginWrite taken, endWrite not
+//     yet run — because the seqlock's odd version is what keeps every
+//     other goroutine out.
+//
+// Fields of the second kind are annotated with a "// clampi:seqlock"
+// field comment, and this analyzer checks, per function body and in
+// lexical order:
+//
+//   - Write-section rule: every access to an annotated field must sit
+//     between a beginWrite() call and the matching endWrite() call. A
+//     deferred endWrite holds the section open to the end of the
+//     function, mirroring the defer-aware lock tracking of
+//     observerlock. An access that is provably needed outside a write
+//     section (construction before the value is published, a test
+//     harness) carries a "//clampi:seqlock <reason>" line directive as
+//     an escape hatch.
+//   - Read-validation rule: a readBegin() version snapshot is worthless
+//     unless it is checked — each readBegin call must be followed by at
+//     least one readValid call in the same function, otherwise the
+//     bracketed reads may be torn and nothing would ever notice.
+//
+// Like observerlock, the analysis is lexical and function-local: it
+// proves the code pattern, not the dynamic schedule. That is exactly
+// the right strength for this invariant — the sanctioned shapes
+// (begin/defer-end, begin…end, readBegin…readValid) are all lexically
+// local, and anything cleverer deserves a human reviewer.
+package seqlockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"clampi/internal/analysis"
+	"clampi/internal/analysis/typeutil"
+)
+
+// Analyzer flags writer-only seqlock state touched outside a write
+// section and readBegin snapshots that are never validated.
+var Analyzer = &analysis.Analyzer{
+	Name: "seqlockcheck",
+	Doc:  "// clampi:seqlock fields accessed only inside beginWrite/endWrite sections; readBegin snapshots validated by readValid",
+	Run:  run,
+}
+
+// Marker is the field annotation; the same token doubles as the
+// escape-hatch line directive ("//clampi:seqlock <reason>").
+const Marker = "clampi:seqlock"
+
+// The section and bracket methods, matched by name on any receiver:
+// shard types are package-local, so an import-path check would tie the
+// analyzer to one package instead of the discipline.
+const (
+	beginMethod     = "beginWrite"
+	endMethod       = "endWrite"
+	readBeginMethod = "readBegin"
+	readValidMethod = "readValid"
+)
+
+func run(pass *analysis.Pass) error {
+	annotated := collectAnnotated(pass)
+	directives := analysis.DirectiveLines(pass.Fset, pass.Files, Marker)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkBody(pass, fn.Body, annotated, directives)
+			}
+		}
+	}
+	return nil
+}
+
+type opKind int
+
+const (
+	opBegin opKind = iota
+	opEnd
+	opAccess
+	opReadBegin
+	opReadValid
+)
+
+type op struct {
+	kind opKind
+	pos  token.Pos
+	name string
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, annotated map[types.Object]bool, directives map[string]map[int]bool) {
+	info := pass.TypesInfo
+	var ops []op
+	deferred := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isSectionMethod(info, sel, beginMethod) && !deferred[n]:
+				ops = append(ops, op{kind: opBegin, pos: n.Pos()})
+			case isSectionMethod(info, sel, endMethod):
+				// A deferred endWrite closes at return: it never ends the
+				// section for lexically later accesses.
+				if !deferred[n] {
+					ops = append(ops, op{kind: opEnd, pos: n.Pos()})
+				}
+			case isSectionMethod(info, sel, readBeginMethod):
+				ops = append(ops, op{kind: opReadBegin, pos: n.Pos()})
+			case isSectionMethod(info, sel, readValidMethod):
+				ops = append(ops, op{kind: opReadValid, pos: n.Pos()})
+			}
+		case *ast.SelectorExpr:
+			if obj := info.Uses[n.Sel]; obj != nil && annotated[obj] {
+				ops = append(ops, op{kind: opAccess, pos: n.Sel.Pos(), name: n.Sel.Name})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+
+	held := 0
+	var readBegins []token.Pos
+	lastReadValid := token.NoPos
+	for _, o := range ops {
+		switch o.kind {
+		case opBegin:
+			held++
+		case opEnd:
+			if held > 0 {
+				held--
+			}
+		case opAccess:
+			if held > 0 {
+				continue
+			}
+			p := pass.Fset.Position(o.pos)
+			if directives[p.Filename][p.Line] {
+				continue
+			}
+			pass.Reportf(o.pos, "field %s is marked %s: writer-only seqlock state — access it between beginWrite and endWrite, or carry a //%s <reason> directive", o.name, Marker, Marker)
+		case opReadBegin:
+			readBegins = append(readBegins, o.pos)
+		case opReadValid:
+			lastReadValid = o.pos
+		}
+	}
+	for _, pos := range readBegins {
+		if lastReadValid <= pos {
+			pass.Reportf(pos, "readBegin snapshot is never validated: follow it with a readValid check (a torn read would go unnoticed)")
+		}
+	}
+}
+
+// isSectionMethod reports whether sel calls a method of the given name
+// (section methods are matched by name; requiring a method receiver
+// keeps free functions that happen to share the name out of scope).
+func isSectionMethod(info *types.Info, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	return typeutil.MethodReceiver(info.Uses[sel.Sel]) != nil
+}
+
+// collectAnnotated maps the field objects of this package carrying the
+// marker in their doc or trailing comment.
+func collectAnnotated(pass *analysis.Pass) map[types.Object]bool {
+	annotated := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasMarker(field.Doc) && !hasMarker(field.Comment) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						annotated[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return annotated
+}
+
+func hasMarker(g *ast.CommentGroup) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if strings.Contains(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}

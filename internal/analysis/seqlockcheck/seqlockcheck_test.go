@@ -1,0 +1,20 @@
+package seqlockcheck_test
+
+import (
+	"testing"
+
+	"clampi/internal/analysis/analysistest"
+	"clampi/internal/analysis/seqlockcheck"
+)
+
+func TestSeqlockCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seqlockcheck.Analyzer, "seqlk")
+}
+
+// TestLiveTreeClean proves the sharded index and the concurrent cache
+// obey the write-section discipline: every // clampi:seqlock field
+// access sits inside a beginWrite/endWrite section and every readBegin
+// snapshot is validated.
+func TestLiveTreeClean(t *testing.T) {
+	analysistest.RunClean(t, "../../..", seqlockcheck.Analyzer, "./internal/cuckoo", "./internal/core")
+}

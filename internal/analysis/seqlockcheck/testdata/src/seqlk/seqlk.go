@@ -1,0 +1,95 @@
+// Corpus for seqlockcheck: write-section discipline for fields marked
+// // clampi:seqlock and readBegin/readValid bracketing.
+package seqlk
+
+import "sync"
+
+// shard models one seqlock-published segment: a writer mutex, a version
+// word, writer-only bookkeeping (annotated), and published state.
+type shard struct {
+	mu  sync.Mutex
+	seq uint64
+
+	rng int   // clampi:seqlock — walk randomness, writer-only
+	buf []int // clampi:seqlock — reusable walk scratch
+
+	n int // published state: not annotated, plain access stays legal
+}
+
+func (s *shard) beginWrite() { s.mu.Lock(); s.seq++ }
+func (s *shard) endWrite()   { s.seq++; s.mu.Unlock() }
+
+func (s *shard) readBegin() (uint64, bool) { v := s.seq; return v, v&1 == 0 }
+func (s *shard) readValid(v uint64) bool   { return s.seq == v }
+
+// insideSection is the sanctioned writer shape: begin, touch, end.
+func insideSection(s *shard) {
+	s.beginWrite()
+	s.rng++
+	s.buf = append(s.buf, s.rng)
+	s.endWrite()
+}
+
+// deferredEnd holds the write section open to function end.
+func deferredEnd(s *shard) int {
+	s.beginWrite()
+	defer s.endWrite()
+	s.rng += 3
+	return s.rng
+}
+
+// outsideSection touches writer bookkeeping with no section open.
+func outsideSection(s *shard) int {
+	return s.rng // want `field rng is marked clampi:seqlock`
+}
+
+// afterEnd: the section closed lexically above the access.
+func afterEnd(s *shard) {
+	s.beginWrite()
+	s.rng++
+	s.endWrite()
+	s.buf = nil // want `field buf is marked clampi:seqlock`
+}
+
+// beforeBegin: opening a section later does not sanction this line.
+func beforeBegin(s *shard) {
+	s.buf = s.buf[:0] // want `field buf is marked clampi:seqlock` `field buf is marked clampi:seqlock`
+	s.beginWrite()
+	s.rng++
+	s.endWrite()
+}
+
+// escapeHatch: construction-time initialization before the shard is
+// reachable by any reader, exempted by the line directive.
+func escapeHatch(seed int) *shard {
+	s := &shard{}
+	s.rng = seed //clampi:seqlock construction: not yet published
+	return s
+}
+
+// unvalidatedRead snapshots a version and never checks it.
+func unvalidatedRead(s *shard) int {
+	v, _ := s.readBegin() // want `readBegin snapshot is never validated`
+	_ = v
+	return s.n
+}
+
+// validatedRead is the sanctioned reader bracket.
+func validatedRead(s *shard) int {
+	for {
+		v, even := s.readBegin()
+		if !even {
+			continue
+		}
+		n := s.n
+		if s.readValid(v) {
+			return n
+		}
+	}
+}
+
+// unannotatedStaysLegal: only marked fields are constrained.
+func unannotatedStaysLegal(s *shard) int {
+	s.n++
+	return s.n
+}

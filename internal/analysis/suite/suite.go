@@ -9,6 +9,7 @@ import (
 	"clampi/internal/analysis/epochcheck"
 	"clampi/internal/analysis/observerlock"
 	"clampi/internal/analysis/sentinelerr"
+	"clampi/internal/analysis/seqlockcheck"
 	"clampi/internal/analysis/simclock"
 )
 
@@ -20,5 +21,6 @@ func All() []*analysis.Analyzer {
 		sentinelerr.Analyzer,
 		atomicfield.Analyzer,
 		observerlock.Analyzer,
+		seqlockcheck.Analyzer,
 	}
 }

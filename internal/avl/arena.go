@@ -1,0 +1,88 @@
+package avl
+
+// Arena is a chunk-allocating node arena for Tree. A Tree without an
+// arena recycles nodes through its private free list, allocating each
+// node individually from the Go heap on first use; a Tree with an arena
+// draws nodes from the arena's chunks instead.
+//
+// The point is per-shard isolation, not raw speed: the sharded storage
+// layer (internal/core's concurrent cache) gives every shard its own
+// Manager, and every Manager its own Arena, so concurrent misses on
+// different shards allocate tree nodes with zero cross-shard contention
+// — no shared free list, no shared heap hot spot, and chunked backing
+// memory that stays local to the shard that touched it.
+//
+// An Arena is single-owner like the Tree it serves: callers synchronize
+// access exactly as they synchronize the Tree (in the sharded cache,
+// the shard's fill lock).
+type Arena[V any] struct {
+	chunkSize int
+	chunk     []node[V] // current chunk; nodes are handed out from the front
+	next      int       // next unissued node in chunk
+	free      *node[V]  // recycled nodes, linked through right
+
+	allocated int // total nodes ever issued (diagnostics)
+	chunks    int // chunks created (diagnostics)
+}
+
+// DefaultChunk is the nodes-per-chunk default when NewArena is given a
+// non-positive size.
+const DefaultChunk = 128
+
+// NewArena creates an arena issuing nodes in chunks of chunkSize.
+func NewArena[V any](chunkSize int) *Arena[V] {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunk
+	}
+	return &Arena[V]{chunkSize: chunkSize}
+}
+
+// get returns a zeroed node initialized to (key, val, height 1).
+func (a *Arena[V]) get(key Key, val V) *node[V] {
+	if n := a.free; n != nil {
+		a.free = n.right
+		*n = node[V]{key: key, val: val, height: 1}
+		return n
+	}
+	if a.next == len(a.chunk) {
+		a.chunk = make([]node[V], a.chunkSize)
+		a.next = 0
+		a.chunks++
+	}
+	n := &a.chunk[a.next]
+	a.next++
+	a.allocated++
+	*n = node[V]{key: key, val: val, height: 1}
+	return n
+}
+
+// put recycles a detached node, dropping its value reference.
+func (a *Arena[V]) put(n *node[V]) {
+	var zero V
+	n.val = zero
+	n.left = nil
+	n.right = a.free
+	a.free = n
+}
+
+// Allocated returns the number of distinct nodes the arena has issued
+// (recycled nodes are not re-counted).
+func (a *Arena[V]) Allocated() int { return a.allocated }
+
+// Chunks returns the number of backing chunks created.
+func (a *Arena[V]) Chunks() int { return a.chunks }
+
+// SetArena routes the tree's node allocation through arena. It must be
+// called on an empty tree (the tree's private free list and the arena
+// must not mix recycled nodes); calling it with nil restores the
+// private free list.
+func (t *Tree[V]) SetArena(arena *Arena[V]) {
+	if t.root != nil || t.pool != nil {
+		panic("avl: SetArena on a non-empty tree")
+	}
+	t.arena = arena
+}
+
+// Arena returns the arena the tree allocates from (nil when using the
+// private free list).
+func (t *Tree[V]) Arena() *Arena[V] { return t.arena }

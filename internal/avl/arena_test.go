@@ -1,0 +1,100 @@
+package avl
+
+import "testing"
+
+// TestArenaTreeOps drives a tree through its arena allocator and checks
+// invariants plus node reuse accounting.
+func TestArenaTreeOps(t *testing.T) {
+	a := NewArena[int](8)
+	var tr Tree[int]
+	tr.SetArena(a)
+	if tr.Arena() != a {
+		t.Fatal("Arena() does not return the installed arena")
+	}
+
+	for i := 0; i < 100; i++ {
+		tr.Insert(Key{Size: i % 25, Off: i}, i)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if a.Allocated() != 100 {
+		t.Fatalf("Allocated = %d, want 100", a.Allocated())
+	}
+	if want := (100 + 7) / 8; a.Chunks() != want {
+		t.Fatalf("Chunks = %d, want %d", a.Chunks(), want)
+	}
+
+	// Delete half; the nodes go back to the arena free list.
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(Key{Size: i % 25, Off: i}) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-insert: recycled nodes are reused, no new issues.
+	before := a.Allocated()
+	for i := 0; i < 100; i += 2 {
+		tr.Insert(Key{Size: i % 25, Off: i}, i)
+	}
+	if a.Allocated() != before {
+		t.Fatalf("re-insert issued %d new nodes, want 0", a.Allocated()-before)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clear recycles everything; the next fill reuses it all.
+	tr.Clear()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", tr.Len())
+	}
+	before = a.Allocated()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Key{Size: i, Off: i}, i)
+	}
+	if a.Allocated() != before {
+		t.Fatalf("post-Clear fill issued %d new nodes, want 0", a.Allocated()-before)
+	}
+}
+
+// TestArenaIsolation proves two trees with separate arenas never share
+// recycled nodes: churn on one must not change the other's accounting.
+func TestArenaIsolation(t *testing.T) {
+	a1, a2 := NewArena[int](16), NewArena[int](16)
+	var t1, t2 Tree[int]
+	t1.SetArena(a1)
+	t2.SetArena(a2)
+	for i := 0; i < 50; i++ {
+		t1.Insert(Key{Size: i, Off: 0}, i)
+		t2.Insert(Key{Size: i, Off: 0}, i)
+	}
+	issued2 := a2.Allocated()
+	for i := 0; i < 50; i++ {
+		t1.Delete(Key{Size: i, Off: 0})
+		t1.Insert(Key{Size: i + 100, Off: 0}, i)
+	}
+	if a2.Allocated() != issued2 {
+		t.Fatal("churn on tree 1 changed tree 2's arena")
+	}
+	if a1.Allocated() != 50 {
+		t.Fatalf("tree 1 issued %d nodes, want 50 (full recycling)", a1.Allocated())
+	}
+}
+
+// TestSetArenaGuards proves SetArena refuses non-empty trees.
+func TestSetArenaGuards(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(Key{Size: 1, Off: 0}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetArena on a non-empty tree did not panic")
+		}
+	}()
+	tr.SetArena(NewArena[int](8))
+}

@@ -30,9 +30,10 @@ func (k Key) String() string { return fmt.Sprintf("(%d@%d)", k.Size, k.Off) }
 // Tree is an AVL tree mapping Keys to values of type V. The zero value is
 // an empty tree ready for use. Not safe for concurrent mutation.
 type Tree[V any] struct {
-	root *node[V]
-	size int
-	pool *node[V] // recycled nodes, linked through right
+	root  *node[V]
+	size  int
+	pool  *node[V]  // recycled nodes, linked through right (no arena)
+	arena *Arena[V] // chunked allocator when set (SetArena)
 }
 
 type node[V any] struct {
@@ -45,9 +46,13 @@ type node[V any] struct {
 // Len returns the number of entries.
 func (t *Tree[V]) Len() int { return t.size }
 
-// newNode takes a node off the pool (or allocates one). Pooling keeps
-// the storage manager's steady-state alloc/free cycle allocation-free.
+// newNode takes a node off the arena (when set) or the private pool.
+// Pooling keeps the storage manager's steady-state alloc/free cycle
+// allocation-free either way.
 func (t *Tree[V]) newNode(key Key, val V) *node[V] {
+	if t.arena != nil {
+		return t.arena.get(key, val)
+	}
 	n := t.pool
 	if n == nil {
 		return &node[V]{key: key, val: val, height: 1}
@@ -57,9 +62,13 @@ func (t *Tree[V]) newNode(key Key, val V) *node[V] {
 	return n
 }
 
-// recycle pushes a detached node onto the pool, dropping its value
-// reference.
+// recycle pushes a detached node onto the arena (when set) or the
+// private pool, dropping its value reference.
 func (t *Tree[V]) recycle(n *node[V]) {
+	if t.arena != nil {
+		t.arena.put(n)
+		return
+	}
 	var zero V
 	n.val = zero
 	n.left = nil

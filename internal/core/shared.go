@@ -1,0 +1,588 @@
+package core
+
+// Shared is the scale-out variant of Cache: one cache instance serving
+// many concurrent rank contexts (DESIGN.md §12).
+//
+// The per-rank Cache is deliberately single-owner — each simulated rank
+// drives its own instance, and FidelityMeasured mode serializes ranks
+// anyway. Shared exists for the opposite regime: thousands of
+// lightweight contexts (threads of one caching agent, or co-located
+// ranks sharing a node-level cache) hammering one index over a
+// read-only window. Its concurrency model:
+//
+//   - The index is a cuckoo.Sharded: lookups are lock-free (seqlock
+//     validated), mutations take the cuckoo shard's writer lock.
+//   - Storage is sharded 1:1 with the index: shard i of the index is
+//     backed by its own storage.Manager (with a private AVL arena, see
+//     avl.Arena), so concurrent fills on different shards never contend
+//     — not on the fill lock, not on allocation metadata, not on the
+//     allocator's tree nodes.
+//   - The hit path takes no lock at all: it registers in the shard's
+//     reader count, probes the index, copies the payload out, and
+//     leaves. Payload safety is by construction — the bytes of a
+//     reachable entry are immutable, and evicted entries' storage is
+//     only recycled after the shard's readers have quiesced (the
+//     grace-period analog of the per-rank cache's epoch-deferred entry
+//     recycling: dead entries park on a shard graveyard and are freed
+//     when the reader count has been observed at zero).
+//   - Fills, evictions and invalidation serialize per shard on the
+//     shard's fill mutex (lock order: fill mutex first, then the cuckoo
+//     writer lock — never the reverse).
+//
+// Semantic deviations from Cache, both legal under the paper's §II
+// weak-consistency contract: fills are synchronous (the payload is
+// copied into the cache at admission, not at epoch closure — Shared
+// serves read-only windows, so there is no epoch to defer to), and a
+// reader may serve a hit from an entry that a concurrent eviction has
+// just unpublished (the bytes are still the target's bytes).
+//
+// A Shared performs no virtual-clock charging of its own: each Context
+// accumulates the modeled cost of the work it drove (identical cost
+// constants to Cache), so per-context virtual time is meaningful even
+// though wall-clock execution is concurrent.
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"clampi/internal/cuckoo"
+	"clampi/internal/simtime"
+	"clampi/internal/storage"
+)
+
+// FetchFunc is the backend of a Shared cache: fetch the window bytes
+// [disp, disp+len(dst)) of target into dst. It is called outside all
+// cache locks, possibly from many contexts at once, and must be safe
+// for concurrent use (mpi Throughput-mode windows are: the data path
+// takes per-(target, stripe) read locks).
+type FetchFunc func(target, disp int, dst []byte) error
+
+// SharedParams configures a Shared cache. Zero values select defaults.
+type SharedParams struct {
+	// Shards is the number of index/storage segments (rounded up to a
+	// power of two).
+	Shards int
+	// SlotsPerShard is the cuckoo slot count of each index segment.
+	SlotsPerShard int
+	// BytesPerShard is each shard's storage capacity.
+	BytesPerShard int
+	// SampleSize is M, the slots sampled per capacity eviction (§III-D).
+	SampleSize int
+	// Scheme selects the victim-scoring function.
+	Scheme EvictionScheme
+	// Seed makes hashing, walk randomness and sampling deterministic.
+	Seed int64
+}
+
+// Defaults for SharedParams fields left zero.
+const (
+	DefaultShards        = 16
+	DefaultSlotsPerShard = 512
+	DefaultBytesPerShard = 256 << 10
+)
+
+func (p *SharedParams) setDefaults() {
+	if p.Shards <= 0 {
+		p.Shards = DefaultShards
+	}
+	if p.Shards&(p.Shards-1) != 0 {
+		p.Shards = 1 << bits.Len(uint(p.Shards))
+	}
+	if p.SlotsPerShard <= 0 {
+		p.SlotsPerShard = DefaultSlotsPerShard
+	}
+	if p.BytesPerShard <= 0 {
+		p.BytesPerShard = DefaultBytesPerShard
+	}
+	if p.SampleSize <= 0 {
+		p.SampleSize = DefaultSampleSize
+	}
+}
+
+// sentry is the entry record of a Shared cache. Reachable records are
+// immutable except for the recency stamp, which lock-free readers
+// update atomically; all other fields are written under the owning
+// shard's fill mutex before the record is published through the index.
+type sentry struct {
+	key     cuckoo.Key
+	region  *storage.Region
+	payload int          // valid bytes cached
+	last    atomic.Int64 // clampi:atomic — global get sequence of the last hit
+}
+
+// sshard is the mutable per-shard state of a Shared cache.
+type sshard struct {
+	// mu is the fill lock: fills, evictions and invalidation of this
+	// shard serialize on it. Lock order: mu before the cuckoo shard's
+	// writer lock, never the reverse.
+	mu sync.Mutex
+
+	// readers counts lock-free readers currently inside this shard's
+	// hit path. Storage of dead entries is recycled only when it has
+	// been observed at zero (grace-period reclamation).
+	readers atomic.Int64 // clampi:atomic
+
+	store *storage.Manager
+	rng   *rand.Rand // eviction sampling, guarded by mu
+
+	dead []*sentry // evicted records awaiting quiescent reclamation (mu)
+	free []*sentry // recycled records (mu)
+
+	// Gauges, exported lock-free through ShardStats.
+	used      atomic.Int64 // clampi:atomic — bytes held by live entries
+	fills     atomic.Int64 // clampi:atomic — admissions into this shard
+	evictions atomic.Int64 // clampi:atomic — capacity + conflict evictions
+
+	_ [64]byte // pad shards apart
+}
+
+// Shared is the concurrent cache. Create contexts with NewContext; all
+// methods on Shared itself are safe for concurrent use.
+type Shared struct {
+	idx    *cuckoo.Sharded[*sentry]
+	shards []sshard
+	fetch  FetchFunc
+	params SharedParams
+
+	gets     atomic.Int64 // clampi:atomic — global get sequence (recency domain)
+	sumSizes atomic.Int64 // clampi:atomic — for the average get size (ags)
+}
+
+// ErrNilFetch reports a Shared cache constructed without a backend.
+var ErrNilFetch = errors.New("core: nil fetch backend")
+
+// NewShared creates a concurrent cache over the given backend.
+func NewShared(fetch FetchFunc, params SharedParams) (*Shared, error) {
+	if fetch == nil {
+		return nil, ErrNilFetch
+	}
+	params.setDefaults()
+	c := &Shared{
+		idx:    cuckoo.NewSharded[*sentry](params.Shards, params.SlotsPerShard, params.Seed),
+		fetch:  fetch,
+		params: params,
+	}
+	c.shards = make([]sshard, c.idx.ShardCount())
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.store = storage.NewWithPolicy(params.BytesPerShard, storage.BestFit)
+		// Seed+1 stream per shard, matching Cache's sampling stream
+		// discipline (hash families already consumed Seed+shard).
+		sh.rng = rand.New(rand.NewSource(params.Seed + 1 + int64(i)))
+	}
+	return c, nil
+}
+
+// NumShards returns the shard count (power of two).
+func (c *Shared) NumShards() int { return c.idx.ShardCount() }
+
+// Len returns the number of cached entries across all shards.
+func (c *Shared) Len() int { return c.idx.Len() }
+
+// SeqlockRetries returns the total torn-read retries taken by lookups.
+func (c *Shared) SeqlockRetries() uint64 { return c.idx.Retries() }
+
+// avgGetSize returns the mean payload of all gets processed so far.
+func (c *Shared) avgGetSize() float64 {
+	n := c.gets.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.sumSizes.Load()) / float64(n)
+}
+
+// Context is one lightweight client of a Shared cache — cheap enough to
+// create thousands (a few hundred bytes each, no goroutine, no lock).
+// A Context is single-owner: one goroutine drives it. Different
+// contexts may run concurrently against the same Shared.
+type Context struct {
+	c     *Shared
+	id    int
+	stats Stats
+	vtime simtime.Duration
+}
+
+// NewContext creates a client context. id is caller-defined (a rank or
+// thread id), used only for labeling.
+func (c *Shared) NewContext(id int) *Context {
+	return &Context{c: c, id: id}
+}
+
+// ID returns the caller-assigned context id.
+func (x *Context) ID() int { return x.id }
+
+// Stats returns the context's counters (work this context drove).
+func (x *Context) Stats() Stats { return x.stats }
+
+// VirtualTime returns the modeled cost of all cache work this context
+// drove, using the same calibrated constants as the per-rank Cache.
+func (x *Context) VirtualTime() simtime.Duration { return x.vtime }
+
+// Get serves a byte-range get_c through the shared cache: lock-free hit
+// path, synchronous miss fill. dst's length is the request size; on
+// return dst holds the target bytes [disp, disp+len(dst)).
+func (x *Context) Get(dst []byte, target, disp int) error {
+	size := len(dst)
+	c := x.c
+	x.stats.Gets++
+	seq := c.gets.Add(1)
+	c.sumSizes.Add(int64(size))
+
+	key := cuckoo.Key{Target: target, Disp: disp}
+	si := c.idx.ShardOf(key)
+	sh := &c.shards[si]
+
+	// --- Hit path: no locks. The reader count is the only shared write
+	// besides the recency stamp; both are single atomic ops.
+	sh.readers.Add(1)
+	e, ok := c.idx.Lookup(key)
+	if ok {
+		e.last.Store(seq)
+		served := size
+		if e.payload < served {
+			served = e.payload
+		}
+		copy(dst[:served], sh.store.Bytes(e.region, served))
+		sh.readers.Add(-1)
+		x.stats.Hits++
+		x.stats.BytesFromCache += int64(served)
+		lookT, copyT := simtime.Duration(CostLookup), copyCost(served)
+		x.stats.LookupTime += lookT
+		x.stats.CopyTime += copyT
+		x.vtime += lookT + copyT
+		if served == size {
+			x.stats.FullHits++
+			return nil
+		}
+		// Partial hit: serve the cached prefix, fetch the suffix
+		// remotely. Shared does not extend entries in place (a
+		// reachable entry's bytes are immutable by contract).
+		x.stats.PartialHits++
+		if err := c.fetch(target, disp+served, dst[served:]); err != nil {
+			return err
+		}
+		x.stats.BytesFromNetwork += int64(size - served)
+		return nil
+	}
+	sh.readers.Add(-1)
+	x.stats.LookupTime += CostLookup
+	x.vtime += CostLookup
+
+	// --- Miss: fetch outside all locks, then try to admit.
+	if err := c.fetch(target, disp, dst); err != nil {
+		return err
+	}
+	x.stats.BytesFromNetwork += int64(size)
+	t := c.admit(x, key, si, dst)
+	switch t {
+	case AccessDirect:
+		x.stats.Direct++
+	case AccessConflicting:
+		x.stats.Conflicting++
+	case AccessCapacity:
+		x.stats.Capacity++
+	case AccessFailing:
+		x.stats.Failing++
+	}
+	return nil
+}
+
+// admit tries to cache one fetched payload, mirroring the per-rank
+// cache's weak-caching discipline: at most one capacity eviction, give
+// up (AccessFailing) if storage still cannot be allocated. Runs under
+// the shard fill lock.
+func (c *Shared) admit(x *Context, key cuckoo.Key, si int, payload []byte) AccessType {
+	size := len(payload)
+	sh := &c.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	if _, ok := c.idx.Lookup(key); ok {
+		// Another context admitted this key while our fetch was in
+		// flight; the data was delivered from the network, nothing to
+		// cache.
+		return AccessDirect
+	}
+	// Opportunistic reclamation: recycle the graveyard if the shard's
+	// readers happen to be quiescent right now.
+	c.reclaim(sh, false)
+
+	mgmt := simtime.Duration(CostAlloc)
+	region := sh.store.Alloc(size)
+	accessType := AccessDirect
+	if region == nil {
+		victim := c.selectShardVictim(x, sh, si)
+		if victim != nil {
+			c.evictShardEntry(x, sh, victim)
+			accessType = AccessCapacity
+			// The victim's storage is only usable after its readers
+			// are gone: wait for quiescence, then free the graveyard.
+			c.reclaim(sh, true)
+			region = sh.store.Alloc(size)
+			mgmt += CostAlloc
+		}
+		if region == nil {
+			// Weak caching: a single eviction did not make room.
+			x.recordMgmt(mgmt)
+			return AccessFailing
+		}
+	}
+
+	copy(sh.store.Bytes(region, size), payload)
+	copyT := copyCost(size)
+	x.stats.CopyTime += copyT
+	x.vtime += copyT
+
+	e := sh.newEntry(key, region, size)
+	e.last.Store(c.gets.Load())
+	out := c.idx.Insert(key, e)
+	mgmt += CostInsert
+	if !out.Placed {
+		// Conflict: every candidate slot of the homeless element is
+		// occupied (Shared has no PENDING entries, so all occupants
+		// are evictable). Displace the lowest-scoring one.
+		slot := c.selectShardConflictVictim(x, sh, si, out.CandidateSlots)
+		evictedKey, evicted, had := c.idx.ReplaceAt(si, slot, out.HomelessKey, out.HomelessVal)
+		mgmt += CostInsert + CostFree
+		if had {
+			_ = evictedKey
+			c.buryEntry(x, sh, evicted)
+		}
+		accessType = AccessConflicting
+	}
+	sh.used.Add(int64(region.Size()))
+	sh.fills.Add(1)
+	x.recordMgmt(mgmt)
+	return accessType
+}
+
+// recordMgmt attributes management cost to the context.
+func (x *Context) recordMgmt(d simtime.Duration) {
+	x.stats.MgmtTime += d
+	x.vtime += d
+}
+
+// newEntry takes a record off the shard's free list (or allocates one).
+// Caller holds sh.mu.
+func (sh *sshard) newEntry(key cuckoo.Key, region *storage.Region, size int) *sentry {
+	var e *sentry
+	if n := len(sh.free); n > 0 {
+		e = sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+	} else {
+		e = &sentry{}
+	}
+	e.key = key
+	e.region = region
+	e.payload = size
+	return e
+}
+
+// selectShardVictim runs the §III-D sampling procedure over one shard:
+// visit M slots from a random start (extending until a candidate is
+// seen), return the lowest-scoring entry. Caller holds sh.mu, so the
+// snapshot cannot race another evictor of this shard.
+func (c *Shared) selectShardVictim(x *Context, sh *sshard, si int) *sentry {
+	var (
+		victim   *sentry
+		visited  int
+		nonEmpty int
+	)
+	best := math.Inf(1)
+	start := sh.rng.Intn(c.idx.SlotsPerShard())
+	c.idx.ScanShard(si, start, func(_ int, _ cuckoo.Key, e *sentry, used bool) bool {
+		visited++
+		if used {
+			nonEmpty++
+			if s := c.shardScore(sh, e); s < best {
+				best = s
+				victim = e
+			}
+		}
+		return visited < c.params.SampleSize || nonEmpty == 0
+	})
+	d := simtime.Duration(visited)*CostPerScanSlot + simtime.Duration(nonEmpty)*CostPerScoredEntry
+	x.stats.EvictionScans++
+	x.stats.VisitedSlots += int64(visited)
+	x.stats.NonEmptyVisited += int64(nonEmpty)
+	x.stats.EvictTime += d
+	x.vtime += d
+	return victim
+}
+
+// selectShardConflictVictim picks the lowest-scoring occupant among the
+// homeless element's candidate slots. Caller holds sh.mu.
+func (c *Shared) selectShardConflictVictim(x *Context, sh *sshard, si int, candidates [cuckoo.NumHashes]int) int {
+	victimSlot := candidates[0]
+	best := math.Inf(1)
+	for _, s := range candidates {
+		_, e, used := c.idx.At(si, s)
+		if !used {
+			// An empty candidate cannot happen after a failed walk,
+			// but if it did, displacing nothing is the best outcome.
+			return s
+		}
+		if sc := c.shardScore(sh, e); sc < best {
+			best = sc
+			victimSlot = s
+		}
+	}
+	d := simtime.Duration(cuckoo.NumHashes) * CostPerScoredEntry
+	x.stats.EvictTime += d
+	x.vtime += d
+	return victimSlot
+}
+
+// shardScore is Cache.score over a shard-local entry: R_P × R_T for the
+// full scheme, single factors for the ablation schemes.
+func (c *Shared) shardScore(sh *sshard, e *sentry) float64 {
+	temporal := func() float64 {
+		n := c.gets.Load()
+		if n == 0 {
+			return 0
+		}
+		return float64(e.last.Load()) / float64(n)
+	}
+	positional := func() float64 {
+		ags := c.avgGetSize()
+		if ags <= 0 {
+			return 1
+		}
+		s := math.Abs(ags-float64(sh.store.AdjacentFree(e.region))) / ags
+		if s > 1 {
+			return 1
+		}
+		return s
+	}
+	switch c.params.Scheme {
+	case SchemeTemporal:
+		return temporal()
+	case SchemePositional:
+		return positional()
+	default:
+		return positional() * temporal()
+	}
+}
+
+// evictShardEntry unpublishes a capacity victim and parks it on the
+// graveyard. Caller holds sh.mu.
+func (c *Shared) evictShardEntry(x *Context, sh *sshard, e *sentry) {
+	c.idx.Delete(e.key)
+	d := simtime.Duration(CostLookup + CostFree)
+	x.stats.EvictTime += d
+	x.vtime += d
+	c.buryEntry(x, sh, e)
+}
+
+// buryEntry moves an unpublished entry to the graveyard: its storage is
+// freed only after the shard's readers quiesce (reclaim). Caller holds
+// sh.mu; the entry must already be out of the index.
+func (c *Shared) buryEntry(x *Context, sh *sshard, e *sentry) {
+	sh.used.Add(-int64(e.region.Size()))
+	sh.evictions.Add(1)
+	sh.dead = append(sh.dead, e)
+	x.stats.Evictions++
+}
+
+// reclaim frees the graveyard's storage and recycles its records. A
+// dead entry is unreachable through the index, but a reader that looked
+// it up before the eviction may still be copying from its region — so
+// storage is freed only once the reader count has been observed at
+// zero. With force, reclaim waits for quiescence (the eviction path
+// needs the space now); otherwise it returns if readers are present.
+// Caller holds sh.mu. The wait cannot deadlock: readers never take mu,
+// and no cuckoo write section is open here, so in-flight readers drain
+// in bounded time.
+func (c *Shared) reclaim(sh *sshard, force bool) {
+	if len(sh.dead) == 0 {
+		return
+	}
+	if force {
+		for sh.readers.Load() != 0 {
+			runtime.Gosched()
+		}
+	} else if sh.readers.Load() != 0 {
+		return
+	}
+	for i, e := range sh.dead {
+		sh.store.FreeRegion(e.region)
+		e.region = nil
+		e.payload = 0
+		sh.free = append(sh.free, e)
+		sh.dead[i] = nil
+	}
+	sh.dead = sh.dead[:0]
+}
+
+// Invalidate drops every cached entry, shard by shard. Concurrent gets
+// remain safe: in-flight readers finish against the pre-invalidation
+// storage (freed only after they quiesce), later gets miss and refill.
+func (c *Shared) Invalidate() {
+	for i := range c.shards {
+		c.InvalidateShard(i)
+	}
+}
+
+// InvalidateShard drops one shard's entries.
+func (c *Shared) InvalidateShard(si int) {
+	sh := &c.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.idx.ClearShard(si, func(_ cuckoo.Key, e *sentry) {
+		sh.dead = append(sh.dead, e)
+	})
+	// Wait out in-flight readers, then drop all storage wholesale: the
+	// graveyard's regions are reclaimed by the Reset, so records are
+	// recycled directly.
+	for sh.readers.Load() != 0 {
+		runtime.Gosched()
+	}
+	for i, e := range sh.dead {
+		e.region = nil
+		e.payload = 0
+		sh.free = append(sh.free, e)
+		sh.dead[i] = nil
+	}
+	sh.dead = sh.dead[:0]
+	sh.store.Reset()
+	sh.used.Store(0)
+}
+
+// ShardStats is a lock-free snapshot of one shard's gauges, exported to
+// the observability bridge (obsv.PublishSharedStats).
+type ShardStats struct {
+	Entries        int    // live entries in the shard's index segment
+	UsedBytes      int64  // storage held by live entries
+	CapacityBytes  int    // the shard's storage capacity
+	SeqlockRetries uint64 // torn-read retries taken by lookups
+	Fills          int64  // admissions
+	Evictions      int64  // capacity + conflict evictions
+}
+
+// Occupancy returns UsedBytes/CapacityBytes.
+func (s ShardStats) Occupancy() float64 {
+	if s.CapacityBytes == 0 {
+		return 0
+	}
+	return float64(s.UsedBytes) / float64(s.CapacityBytes)
+}
+
+// ShardStats snapshots one shard's gauges without taking its fill lock
+// (every field is either atomic or immutable after construction).
+func (c *Shared) ShardStats(si int) ShardStats {
+	sh := &c.shards[si]
+	return ShardStats{
+		Entries:        c.idx.LenShard(si),
+		UsedBytes:      sh.used.Load(),
+		CapacityBytes:  sh.store.Capacity(),
+		SeqlockRetries: c.idx.RetriesShard(si),
+		Fills:          sh.fills.Load(),
+		Evictions:      sh.evictions.Load(),
+	}
+}

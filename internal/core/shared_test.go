@@ -1,0 +1,478 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"clampi/internal/cuckoo"
+)
+
+// sharedPattern is the deterministic ground truth the shared-cache tests
+// fetch from: byte i of target t's region is a function of (t, i) only.
+func sharedPattern(target, off int) byte {
+	return byte(target*131 + off*31 + (off >> 8))
+}
+
+// patternFetch is a FetchFunc serving sharedPattern, counting calls.
+func patternFetch(calls *atomic.Int64) FetchFunc {
+	return func(target, disp int, dst []byte) error {
+		if calls != nil {
+			calls.Add(1)
+		}
+		for i := range dst {
+			dst[i] = sharedPattern(target, disp+i)
+		}
+		return nil
+	}
+}
+
+// checkPattern fails the test if dst does not hold the ground truth.
+func checkPattern(t *testing.T, dst []byte, target, disp int) {
+	t.Helper()
+	for i, b := range dst {
+		if b != sharedPattern(target, disp+i) {
+			t.Fatalf("byte %d of (target %d, disp %d) = %#x, want %#x",
+				i, target, disp, b, sharedPattern(target, disp+i))
+		}
+	}
+}
+
+// TestSharedBasic covers fill, full hit, partial hit and invalidation on
+// a single context.
+func TestSharedBasic(t *testing.T) {
+	var calls atomic.Int64
+	c, err := NewShared(patternFetch(&calls), SharedParams{Shards: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.NewContext(0)
+
+	dst := make([]byte, 256)
+	if err := x.Get(dst, 3, 1024); err != nil {
+		t.Fatal(err)
+	}
+	checkPattern(t, dst, 3, 1024)
+	if s := x.Stats(); s.Gets != 1 || s.Hits != 0 || s.Direct != 1 {
+		t.Fatalf("after miss: %+v", s)
+	}
+	fetches := calls.Load()
+
+	// Full hit: no fetch, bytes from cache.
+	if err := x.Get(dst, 3, 1024); err != nil {
+		t.Fatal(err)
+	}
+	checkPattern(t, dst, 3, 1024)
+	if calls.Load() != fetches {
+		t.Fatal("full hit issued a fetch")
+	}
+	if s := x.Stats(); s.FullHits != 1 {
+		t.Fatalf("after hit: %+v", s)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+
+	// Partial hit: cached 256, ask 512 — prefix from cache, suffix fetched.
+	big := make([]byte, 512)
+	if err := x.Get(big, 3, 1024); err != nil {
+		t.Fatal(err)
+	}
+	checkPattern(t, big, 3, 1024)
+	if s := x.Stats(); s.PartialHits != 1 {
+		t.Fatalf("after partial: %+v", s)
+	}
+	if calls.Load() != fetches+1 {
+		t.Fatal("partial hit did not fetch exactly the suffix message")
+	}
+
+	// Invalidate: next get misses and refetches.
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Invalidate = %d", c.Len())
+	}
+	fetches = calls.Load()
+	if err := x.Get(dst, 3, 1024); err != nil {
+		t.Fatal(err)
+	}
+	checkPattern(t, dst, 3, 1024)
+	if calls.Load() != fetches+1 {
+		t.Fatal("post-invalidation get did not refetch")
+	}
+}
+
+// TestSharedVirtualCost pins the modeled full-hit cost of the shared
+// cache to the per-rank cache's: CostLookup + copyCost(256) — the same
+// 108 vns the perfgate baseline asserts for BenchmarkOpHitFull.
+func TestSharedVirtualCost(t *testing.T) {
+	c, err := NewShared(patternFetch(nil), SharedParams{Shards: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.NewContext(0)
+	dst := make([]byte, 256)
+	if err := x.Get(dst, 1, 128); err != nil {
+		t.Fatal(err)
+	}
+	v0 := x.VirtualTime()
+	if err := x.Get(dst, 1, 128); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := x.VirtualTime()-v0, CostLookup+copyCost(256); got != want {
+		t.Fatalf("full-hit virtual cost = %v, want %v", got, want)
+	}
+}
+
+// TestSharedHitPathAllocs asserts the steady-state full-hit path of a
+// shared-cache context performs zero heap allocations.
+func TestSharedHitPathAllocs(t *testing.T) {
+	c, err := NewShared(patternFetch(nil), SharedParams{Shards: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.NewContext(0)
+	dst := make([]byte, 256)
+	if err := x.Get(dst, 1, 512); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := x.Get(dst, 1, 512); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("full hit allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSharedCapacityEviction forces the weak-caching discipline through
+// tiny shard storage: every access stays correct, evictions happen, and
+// no access evicts more than once (Capacity+Failing accounts for all
+// non-direct, non-conflict misses).
+func TestSharedCapacityEviction(t *testing.T) {
+	c, err := NewShared(patternFetch(nil), SharedParams{
+		Shards:        2,
+		BytesPerShard: 4 << 10,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.NewContext(0)
+	dst := make([]byte, 512)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 64; i++ {
+			disp := i * 512
+			if err := x.Get(dst, 1, disp); err != nil {
+				t.Fatal(err)
+			}
+			checkPattern(t, dst, 1, disp)
+		}
+	}
+	s := x.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("no evictions under 16x capacity pressure: %+v", s)
+	}
+	if s.Gets != 4*64 {
+		t.Fatalf("Gets = %d", s.Gets)
+	}
+	total := s.Hits + s.Direct + s.Conflicting + s.Capacity + s.Failing
+	if total != s.Gets {
+		t.Fatalf("classification leak: %d classified of %d gets", total, s.Gets)
+	}
+	// Gauge consistency after churn.
+	for i := 0; i < c.NumShards(); i++ {
+		ss := c.ShardStats(i)
+		if ss.UsedBytes < 0 || ss.UsedBytes > int64(ss.CapacityBytes) {
+			t.Fatalf("shard %d gauge out of range: %+v", i, ss)
+		}
+		if ss.Occupancy() < 0 || ss.Occupancy() > 1 {
+			t.Fatalf("shard %d occupancy %v", i, ss.Occupancy())
+		}
+	}
+}
+
+// TestSharedTornReadOracle deterministically forces the shared-cache hit
+// path through a seqlock retry and asserts no stale or torn bytes are
+// served: a writer holds the cuckoo shard's write section open while a
+// context looks up a cached key in that shard — the get must not return
+// until the section closes, and must return the ground-truth bytes.
+func TestSharedTornReadOracle(t *testing.T) {
+	c, err := NewShared(patternFetch(nil), SharedParams{Shards: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.NewContext(0)
+	dst := make([]byte, 128)
+	const target, disp = 2, 4096
+	if err := x.Get(dst, target, disp); err != nil {
+		t.Fatal(err)
+	}
+	si := c.idx.ShardOf(cuckoo.Key{Target: target, Disp: disp})
+	before := c.idx.RetriesShard(si)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		c.idx.HoldWriteSection(si, func() {
+			close(entered)
+			<-release
+		})
+	}()
+	<-entered
+
+	reader := c.NewContext(1)
+	got := make([]byte, 128)
+	go func() {
+		done <- reader.Get(got, target, disp)
+	}()
+	for c.idx.RetriesShard(si) == before {
+		runtime.Gosched()
+	}
+	select {
+	case <-done:
+		t.Fatal("Get returned while the write section was open")
+	default:
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	checkPattern(t, got, target, disp)
+	if c.SeqlockRetries() == 0 {
+		t.Fatal("retry counter did not advance")
+	}
+}
+
+// TestSharedStructuralNonBlockingReads is the single-core substitute for
+// a parallel-speedup measurement: with every index shard's writer mutex
+// AND every core shard's fill mutex held, cached gets still complete.
+// Any mutex acquisition on the hit path would deadlock here.
+func TestSharedStructuralNonBlockingReads(t *testing.T) {
+	c, err := NewShared(patternFetch(nil), SharedParams{Shards: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.NewContext(0)
+	dst := make([]byte, 64)
+	const keys = 32
+	for i := 0; i < keys; i++ {
+		if err := x.Get(dst, 1, i*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	c.idx.WithWritersLocked(func() {
+		var wg sync.WaitGroup
+		var completed atomic.Int64
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ctx := c.NewContext(100 + g)
+				buf := make([]byte, 64)
+				for i := 0; i < keys; i++ {
+					if err := ctx.Get(buf, 1, i*64); err != nil {
+						return
+					}
+					completed.Add(1)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if completed.Load() != 4*keys {
+			t.Errorf("completed %d gets under all locks, want %d", completed.Load(), 4*keys)
+		}
+	})
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// TestSharedStress1000Contexts hammers one Shared with 1024 rank
+// contexts — hits, misses, partial hits, capacity evictions and
+// concurrent shard invalidations — while every get's payload is checked
+// against the ground truth. The backend is read-only, so any stale,
+// torn or cross-wired byte is an immediate failure. Run with -race.
+func TestSharedStress1000Contexts(t *testing.T) {
+	const (
+		contexts   = 1024
+		goroutines = 8
+		getsPerCtx = 60
+		targets    = 16
+		span       = 1 << 16
+	)
+	c, err := NewShared(patternFetch(nil), SharedParams{
+		Shards:        8,
+		BytesPerShard: 64 << 10, // small: forces eviction churn
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines+1)
+	stop := make(chan struct{})
+
+	// One invalidator cycles shard invalidations under the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.InvalidateShard(i % c.NumShards())
+			runtime.Gosched()
+		}
+	}()
+
+	perG := contexts / goroutines
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine owns a block of contexts and round-robins
+			// them (contexts are single-owner; ownership moves with the
+			// goroutine, not the iteration).
+			ctxs := make([]*Context, perG)
+			for i := range ctxs {
+				ctxs[i] = c.NewContext(g*perG + i)
+			}
+			buf := make([]byte, 512)
+			for n := 0; n < perG*getsPerCtx; n++ {
+				x := ctxs[n%perG]
+				// Overlapping displacements and varying sizes produce
+				// full hits, partial hits and misses; the key space is
+				// shared across all goroutines for maximal contention.
+				target := (x.id + n) % targets
+				disp := ((x.id*37 + n*64) % span) &^ 63
+				size := 64 << (n % 4) // 64..512
+				if disp+size > span {
+					disp = span - size
+				}
+				dst := buf[:size]
+				if err := x.Get(dst, target, disp); err != nil {
+					errs <- fmt.Errorf("ctx %d: %w", x.id, err)
+					return
+				}
+				for i, b := range dst {
+					if b != sharedPattern(target, disp+i) {
+						errs <- fmt.Errorf("ctx %d: stale byte %d of (t%d,d%d)", x.id, i, target, disp)
+						return
+					}
+				}
+			}
+			// Aggregate sanity for the block.
+			var total Stats
+			for _, x := range ctxs {
+				total = total.Add(x.Stats())
+			}
+			if total.Gets != int64(perG*getsPerCtx) {
+				errs <- fmt.Errorf("goroutine %d: %d gets accounted, want %d", g, total.Gets, perG*getsPerCtx)
+				return
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The cache must end internally consistent.
+	live := 0
+	for i := 0; i < c.NumShards(); i++ {
+		ss := c.ShardStats(i)
+		live += ss.Entries
+		if ss.UsedBytes < 0 {
+			t.Fatalf("shard %d negative used bytes: %+v", i, ss)
+		}
+	}
+	if live != c.Len() {
+		t.Fatalf("shard entry gauges sum to %d, Len() = %d", live, c.Len())
+	}
+}
+
+// TestSharedSerialConcurrentAgreement proves result bit-identity: the
+// same access sequence driven serially through one context and
+// concurrently through many contexts must deliver identical bytes for
+// every get (the backend is read-only; caching can never change what a
+// get returns, only where it is served from).
+func TestSharedSerialConcurrentAgreement(t *testing.T) {
+	const n = 4096
+	type req struct{ target, disp, size int }
+	reqs := make([]req, n)
+	for i := range reqs {
+		reqs[i] = req{
+			target: i % 7,
+			disp:   ((i * 192) % (1 << 14)) &^ 63,
+			size:   64 + (i%4)*64,
+		}
+	}
+	sum := func(drive func(c *Shared) [8]uint64) [8]uint64 {
+		c, err := NewShared(patternFetch(nil), SharedParams{Shards: 4, BytesPerShard: 32 << 10, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drive(c)
+	}
+	serial := sum(func(c *Shared) [8]uint64 {
+		var out [8]uint64
+		x := c.NewContext(0)
+		buf := make([]byte, 512)
+		for i, r := range reqs {
+			dst := buf[:r.size]
+			if err := x.Get(dst, r.target, r.disp); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range dst {
+				out[i%8] += uint64(b)
+			}
+		}
+		return out
+	})
+	concurrent := sum(func(c *Shared) [8]uint64 {
+		var out [8]uint64
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				x := c.NewContext(g)
+				buf := make([]byte, 512)
+				var acc uint64
+				for i := g; i < n; i += 8 {
+					r := reqs[i]
+					dst := buf[:r.size]
+					if err := x.Get(dst, r.target, r.disp); err != nil {
+						t.Error(err)
+						return
+					}
+					for _, b := range dst {
+						acc += uint64(b)
+					}
+				}
+				out[g] = acc
+			}(g)
+		}
+		wg.Wait()
+		return out
+	})
+	// Lane g of the concurrent run handled exactly the requests i≡g
+	// (mod 8), which is lane i%8 of the serial accumulation.
+	if serial != concurrent {
+		t.Fatalf("serial %v != concurrent %v", serial, concurrent)
+	}
+}

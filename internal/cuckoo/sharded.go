@@ -1,0 +1,459 @@
+// Sharded is the scale-out variant of Table: the index is split into
+// independently locked power-of-two segments (shards), and lookups are
+// lock-free — a reader never takes a mutex, it validates a per-shard
+// seqlock version instead and retries on a torn read.
+//
+// Concurrency model (DESIGN.md §12):
+//
+//   - Every slot is an atomic.Pointer to an immutable box (key, value).
+//     A box is fully initialized before it is published into a slot, so
+//     a reader that loads a non-nil box may dereference it freely: the
+//     atomic store/load pair is the happens-before edge.
+//   - Structural mutations (insertion walks that displace boxes between
+//     slots, deletes, clears) run under the shard's writer mutex with
+//     the shard's seqlock version held odd. A reader that observes an
+//     odd version, or a version change across its probe sequence,
+//     retries: a displacement walk in progress can make a present key
+//     momentarily invisible (moved from a not-yet-probed slot into an
+//     already-probed one), and the retry converts that torn read into a
+//     consistent one instead of a false miss.
+//   - Value memory reclamation is the caller's problem — boxes are
+//     garbage collected, but the payload a value points at may be
+//     recycled only after a grace period (internal/core reuses the
+//     epoch-deferred entry recycling of the per-rank cache; see
+//     core/shared.go).
+//
+// Writer-side bookkeeping (the walk RNG) is guarded by the write
+// section and annotated // clampi:seqlock; the seqlockcheck analyzer
+// enforces that it is only touched between beginWrite and endWrite.
+package cuckoo
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// box is one published (key, value) pair. Boxes are immutable after
+// publication: a displacement walk moves box pointers between slots, it
+// never mutates a box in place.
+type box[V any] struct {
+	key Key
+	val V
+}
+
+// shard is one independently locked segment of a Sharded index.
+type shard[V any] struct {
+	mu    sync.Mutex    // writer lock: at most one mutator per shard
+	seq   atomic.Uint64 // clampi:atomic — seqlock version, odd while a write section is open
+	len   atomic.Int64  // clampi:atomic — published entries in this shard
+	retry atomic.Uint64 // clampi:atomic — lookups that retried on a torn read
+
+	slots []atomic.Pointer[box[V]]
+	a, b  [NumHashes]uint64 // universal hash family; immutable after construction
+
+	rng *rand.Rand // clampi:seqlock — walk randomness, writer-only
+
+	_ [64]byte // pad shards apart to keep writer state off readers' lines
+}
+
+// beginWrite opens the shard's write section: writer mutex held, seqlock
+// version odd. Readers observing the odd version back off and retry.
+func (s *shard[V]) beginWrite() {
+	s.mu.Lock()
+	s.seq.Add(1)
+}
+
+// endWrite closes the write section, making the version even again.
+func (s *shard[V]) endWrite() {
+	s.seq.Add(1)
+	s.mu.Unlock()
+}
+
+// readBegin returns an even version snapshot, spinning past in-progress
+// write sections. ok is false when the shard is mid-write and the caller
+// should yield before retrying.
+func (s *shard[V]) readBegin() (v uint64, ok bool) {
+	v = s.seq.Load()
+	return v, v&1 == 0
+}
+
+// readValid reports whether the snapshot v is still current — no write
+// section opened since readBegin returned it.
+func (s *shard[V]) readValid(v uint64) bool {
+	return s.seq.Load() == v
+}
+
+func (s *shard[V]) hash(i int, x uint64) int {
+	return int(((s.a[i]*x + s.b[i]) >> 32) % uint64(len(s.slots)))
+}
+
+// Sharded is a concurrently readable Cuckoo index: one writer per shard,
+// any number of lock-free readers. The value type V should be a pointer
+// (values are republished by immutable boxes on every move).
+type Sharded[V any] struct {
+	shards     []shard[V]
+	shardShift uint // shardOf uses the top bits of the mixed key
+	maxIter    int
+}
+
+// NewSharded creates an index with shardCount segments (rounded up to a
+// power of two, minimum 1) of slotsPerShard slots each (minimum 2*p).
+// seed makes hash families and walk randomness deterministic; each shard
+// draws an independent family.
+func NewSharded[V any](shardCount, slotsPerShard int, seed int64) *Sharded[V] {
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	if shardCount&(shardCount-1) != 0 {
+		shardCount = 1 << bits.Len(uint(shardCount))
+	}
+	if slotsPerShard < 2*NumHashes {
+		slotsPerShard = 2 * NumHashes
+	}
+	t := &Sharded[V]{
+		shards:     make([]shard[V], shardCount),
+		shardShift: 64 - uint(bits.TrailingZeros(uint(shardCount))),
+		maxIter:    DefaultMaxIterations,
+	}
+	if shardCount == 1 {
+		t.shardShift = 64 // mix(k)>>64 is invalid; special-cased in shardOf
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.slots = make([]atomic.Pointer[box[V]], slotsPerShard)
+		// Construction runs under the write section too: nothing can
+		// observe the shard yet, but the uniform shape lets seqlockcheck
+		// prove the walk RNG is never touched outside one.
+		s.beginWrite()
+		s.rng = rand.New(rand.NewSource(seed + int64(i)))
+		for j := 0; j < NumHashes; j++ {
+			s.a[j] = s.rng.Uint64() | 1
+			s.b[j] = s.rng.Uint64()
+		}
+		s.endWrite()
+	}
+	return t
+}
+
+// ShardCount returns the number of segments.
+func (t *Sharded[V]) ShardCount() int { return len(t.shards) }
+
+// SlotsPerShard returns the slot count of each segment.
+func (t *Sharded[V]) SlotsPerShard() int { return len(t.shards[0].slots) }
+
+// Cap returns the total slot count (the |I_w| of the sharded index).
+func (t *Sharded[V]) Cap() int { return len(t.shards) * len(t.shards[0].slots) }
+
+// ShardOf returns the segment index key k maps to. The shard selector
+// uses the top bits of the mixed key while the in-shard hash functions
+// consume the low half through the multiply-shift family, so shard and
+// slot choice stay decorrelated.
+func (t *Sharded[V]) ShardOf(k Key) int {
+	if len(t.shards) == 1 {
+		return 0
+	}
+	return int(mix(k) >> t.shardShift)
+}
+
+// Len returns the number of published entries across all shards.
+func (t *Sharded[V]) Len() int {
+	n := int64(0)
+	for i := range t.shards {
+		n += t.shards[i].len.Load()
+	}
+	return int(n)
+}
+
+// LenShard returns the number of published entries in one shard.
+func (t *Sharded[V]) LenShard(i int) int { return int(t.shards[i].len.Load()) }
+
+// Retries returns the total number of seqlock retries taken by lookups
+// since creation (torn reads converted into consistent ones).
+func (t *Sharded[V]) Retries() uint64 {
+	n := uint64(0)
+	for i := range t.shards {
+		n += t.shards[i].retry.Load()
+	}
+	return n
+}
+
+// RetriesShard returns one shard's seqlock-retry counter.
+func (t *Sharded[V]) RetriesShard(i int) uint64 { return t.shards[i].retry.Load() }
+
+// Lookup returns the value published for key. It is lock-free: the probe
+// sequence runs against atomically loaded slots and is validated against
+// the shard's seqlock version; on a torn read (version moved, or a write
+// section in progress) it retries.
+func (t *Sharded[V]) Lookup(k Key) (V, bool) {
+	x := mix(k)
+	s := &t.shards[t.ShardOf(k)]
+	for {
+		v1, even := s.readBegin()
+		if even {
+			for i := 0; i < NumHashes; i++ {
+				if b := s.slots[s.hash(i, x)].Load(); b != nil && b.key == k {
+					val := b.val
+					if s.readValid(v1) {
+						return val, true
+					}
+					goto torn
+				}
+			}
+			// A miss must be validated too: a displacement walk may have
+			// moved the key into a slot probed before the walk touched it.
+			if s.readValid(v1) {
+				var zero V
+				return zero, false
+			}
+		}
+	torn:
+		s.retry.Add(1)
+		runtime.Gosched()
+	}
+}
+
+// InsertOutcome reports the result of a Sharded insert.
+type InsertOutcome[V any] struct {
+	// Placed is true when every element found a slot (including the
+	// Updated case). When false the caller resolves the conflict via
+	// ReplaceAt on one of CandidateSlots, or drops the homeless element.
+	Placed bool
+	// Updated is true when key was already present and its value was
+	// republished in place (no structural change).
+	Updated bool
+	// Shard is the segment the key maps to; CandidateSlots are indices
+	// within that shard.
+	Shard int
+	// HomelessKey/HomelessVal identify the element left without a slot
+	// after a failed walk (not necessarily the inserted key).
+	HomelessKey Key
+	HomelessVal V
+	// CandidateSlots are the homeless element's hash positions, only
+	// meaningful when Placed is false.
+	CandidateSlots [NumHashes]int
+}
+
+// Insert publishes key/val using the random-walk scheme, under the
+// shard's write section. If the key is already present its box is
+// replaced in place (Updated). A failed walk reports the homeless
+// element and its candidate slots, exactly like Table.Insert.
+func (t *Sharded[V]) Insert(k Key, v V) InsertOutcome[V] {
+	si := t.ShardOf(k)
+	s := &t.shards[si]
+	out := InsertOutcome[V]{Shard: si}
+	x := mix(k)
+
+	s.beginWrite()
+	defer s.endWrite()
+
+	// In-place update: republish the box, no displacement needed.
+	for i := 0; i < NumHashes; i++ {
+		slot := s.hash(i, x)
+		if b := s.slots[slot].Load(); b != nil && b.key == k {
+			s.slots[slot].Store(&box[V]{key: k, val: v})
+			out.Placed = true
+			out.Updated = true
+			return out
+		}
+	}
+
+	cur := &box[V]{key: k, val: v}
+	avoid := -1
+	for iter := 0; iter < t.maxIter; iter++ {
+		i := s.rng.Intn(NumHashes)
+		if i == avoid {
+			i = (i + 1 + s.rng.Intn(NumHashes-1)) % NumHashes
+		}
+		slot := s.hash(i, mix(cur.key))
+		occ := s.slots[slot].Load()
+		s.slots[slot].Store(cur)
+		if occ == nil {
+			s.len.Add(1)
+			out.Placed = true
+			return out
+		}
+		// Walk on with the displaced box; remember which hash position
+		// it just vacated so the next step avoids re-placing it there.
+		displacedFrom := slot
+		cur = occ
+		avoid = -1
+		cx := mix(cur.key)
+		for j := 0; j < NumHashes; j++ {
+			if s.hash(j, cx) == displacedFrom {
+				avoid = j
+				break
+			}
+		}
+	}
+	out.HomelessKey = cur.key
+	out.HomelessVal = cur.val
+	cx := mix(cur.key)
+	for j := 0; j < NumHashes; j++ {
+		out.CandidateSlots[j] = s.hash(j, cx)
+	}
+	return out
+}
+
+// ReplaceAt evicts the occupant of (shardIdx, slotIdx) and publishes
+// key/val there. The slot must be one of key's candidate positions in
+// its own shard. It returns the evicted pair (ok false when the slot was
+// empty).
+func (t *Sharded[V]) ReplaceAt(shardIdx, slotIdx int, k Key, v V) (Key, V, bool) {
+	if shardIdx != t.ShardOf(k) {
+		panic(fmt.Sprintf("cuckoo: shard %d is not the home of %v", shardIdx, k))
+	}
+	s := &t.shards[shardIdx]
+	x := mix(k)
+	valid := false
+	for i := 0; i < NumHashes; i++ {
+		if s.hash(i, x) == slotIdx {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		panic(fmt.Sprintf("cuckoo: slot %d is not a candidate of %v", slotIdx, k))
+	}
+	s.beginWrite()
+	defer s.endWrite()
+	occ := s.slots[slotIdx].Load()
+	s.slots[slotIdx].Store(&box[V]{key: k, val: v})
+	if occ == nil {
+		s.len.Add(1)
+		var zero V
+		return Key{}, zero, false
+	}
+	return occ.key, occ.val, true
+}
+
+// Delete unpublishes key, returning its value.
+func (t *Sharded[V]) Delete(k Key) (V, bool) {
+	s := &t.shards[t.ShardOf(k)]
+	x := mix(k)
+	s.beginWrite()
+	defer s.endWrite()
+	for i := 0; i < NumHashes; i++ {
+		slot := s.hash(i, x)
+		if b := s.slots[slot].Load(); b != nil && b.key == k {
+			s.slots[slot].Store(nil)
+			s.len.Add(-1)
+			return b.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// At returns the current occupant of (shardIdx, slotIdx) via one atomic
+// load. Like any unvalidated read it is a snapshot: eviction scans use
+// it, and their victim choice is revalidated under the write lock.
+func (t *Sharded[V]) At(shardIdx, slotIdx int) (Key, V, bool) {
+	s := &t.shards[shardIdx]
+	if slotIdx < 0 || slotIdx >= len(s.slots) {
+		var zero V
+		return Key{}, zero, false
+	}
+	if b := s.slots[slotIdx].Load(); b != nil {
+		return b.key, b.val, true
+	}
+	var zero V
+	return Key{}, zero, false
+}
+
+// ScanShard visits the shard's slots circularly starting at start,
+// loading each atomically. The visitor returns false to stop. The scan
+// is a consistent-enough sample for victim selection (§III-D): it never
+// tears a box, but concurrent writers may publish or unpublish slots
+// while it runs.
+func (t *Sharded[V]) ScanShard(shardIdx, start int, visit func(slotIdx int, k Key, v V, used bool) bool) {
+	s := &t.shards[shardIdx]
+	n := len(s.slots)
+	start %= n
+	if start < 0 {
+		start += n
+	}
+	for i := 0; i < n; i++ {
+		slot := (start + i) % n
+		b := s.slots[slot].Load()
+		if b != nil {
+			if !visit(slot, b.key, b.val, true) {
+				return
+			}
+		} else {
+			var zero V
+			if !visit(slot, Key{}, zero, false) {
+				return
+			}
+		}
+	}
+}
+
+// ClearShard unpublishes every entry of one shard under its write
+// section, invoking drop (if non-nil) for each removed pair — the hook
+// the caller uses to queue value memory for deferred reclamation.
+func (t *Sharded[V]) ClearShard(shardIdx int, drop func(k Key, v V)) {
+	s := &t.shards[shardIdx]
+	s.beginWrite()
+	defer s.endWrite()
+	for i := range s.slots {
+		if b := s.slots[i].Load(); b != nil {
+			if drop != nil {
+				drop(b.key, b.val)
+			}
+			s.slots[i].Store(nil)
+		}
+	}
+	s.len.Store(0)
+}
+
+// Clear unpublishes every entry, shard by shard.
+func (t *Sharded[V]) Clear(drop func(k Key, v V)) {
+	for i := range t.shards {
+		t.ClearShard(i, drop)
+	}
+}
+
+// WithShardLocked runs fn while holding the shard's writer mutex with
+// the seqlock version even: readers keep proceeding, but no mutation can
+// start. Composite read-modify-write sequences (victim selection plus
+// eviction) run under it.
+func (t *Sharded[V]) WithShardLocked(shardIdx int, fn func()) {
+	s := &t.shards[shardIdx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+}
+
+// WithWritersLocked runs fn while holding every shard's writer mutex
+// (versions stay even). While fn runs, no insert, delete or clear can
+// proceed anywhere in the index — but lookups still can, which is the
+// structural proof that the read path never takes a mutex (used by the
+// scale tests and on single-core hosts where a parallel speedup cannot
+// be demonstrated).
+func (t *Sharded[V]) WithWritersLocked(fn func()) {
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range t.shards {
+			t.shards[i].mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// HoldWriteSection opens the shard's write section, calls fn, and closes
+// it — a fault-injection hook that deterministically forces concurrent
+// lookups onto the retry path (the version is odd for fn's whole
+// duration). Torn-read oracle tests at this layer and in internal/core
+// use it; production code has no reason to.
+func (t *Sharded[V]) HoldWriteSection(shardIdx int, fn func()) {
+	s := &t.shards[shardIdx]
+	s.beginWrite()
+	fn()
+	s.endWrite()
+}

@@ -68,13 +68,13 @@ func (w *Win) Accumulate(src []byte, dtype datatype.Datatype, count int, target,
 	if disp < 0 || disp+size > len(region) {
 		return ErrBounds
 	}
-	w.lockTarget(target)
+	w.lockRange(target, disp, size, true)
 	for i := 0; i < count; i++ {
 		s := src[i*elem : (i+1)*elem]
 		d := region[disp+i*elem : disp+(i+1)*elem]
 		applyOp(d, s, dtype, op)
 	}
-	w.unlockTarget(target)
+	w.unlockRange(target, disp, size, true)
 	w.enqueueOp(target, size)
 	return nil
 }

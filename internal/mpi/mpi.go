@@ -142,8 +142,8 @@ type World struct {
 	// goroutines per core a measured section could absorb a whole
 	// scheduler quantum of *another* rank's work. In Throughput mode
 	// the token is unused and ranks run genuinely concurrently; the
-	// data path is then protected by per-target shard locks instead
-	// (see winShared.shards).
+	// data path is then protected by per-(target, region-stripe)
+	// read-write locks instead (see winShared.stripes).
 	token sync.Mutex
 
 	ranks []*Rank
@@ -363,13 +363,21 @@ type winShared struct {
 	regions [][]byte
 	info    Info
 
-	// shards serializes cross-rank data movement per target region in
-	// Throughput mode (one mutex per target, replacing the global run
-	// token): concurrent accumulates to one target stay element-wise
-	// atomic, and a get never observes a torn concurrent put. In
+	// stripes orders cross-rank data movement in Throughput mode,
+	// replacing the global run token. Each target region is covered by
+	// up to dataStripes read-write locks over power-of-two byte ranges
+	// (stripeShift holds the per-target log2 stripe width): readers
+	// (Get/GetBatch/Checksum) of disjoint stripes — and of the *same*
+	// stripe — proceed concurrently, while writers (Put/Accumulate)
+	// take their covered stripes exclusively, so concurrent
+	// accumulates to one range stay element-wise atomic and a get
+	// never observes a torn concurrent put. A multi-stripe operation
+	// acquires its stripes in ascending index order, which makes the
+	// acquisition order total and the scheme deadlock-free. In
 	// FidelityMeasured mode the token already serializes ranks and the
-	// shards are not touched.
-	shards []sync.Mutex
+	// stripes are not touched.
+	stripes     [][]sync.RWMutex
+	stripeShift []uint
 
 	pscwOnce  sync.Once
 	pscwState *pscwState
@@ -425,13 +433,13 @@ func (r *Rank) WinCreate(region []byte, info Info) *Win {
 			id:      id,
 			regions: make([][]byte, len(gathered)),
 			info:    info,
-			shards:  make([]sync.Mutex, len(gathered)),
 		}
 		for i, g := range gathered {
 			if g != nil {
 				shared.regions[i] = g.([]byte)
 			}
 		}
+		shared.stripes, shared.stripeShift = makeStripes(shared.regions)
 		w.mu.Lock()
 		w.wins++
 		w.mu.Unlock()
@@ -468,20 +476,110 @@ var (
 	_ rma.Endpoint        = (*Rank)(nil)
 )
 
-// lockTarget serializes data movement on target's region in Throughput
-// mode. In FidelityMeasured mode the global run token already orders
-// ranks, so the shard is not touched.
-func (w *Win) lockTarget(target int) {
-	if !w.rank.world.serialized() {
-		w.shared.shards[target].Lock()
+// dataStripes is the maximum number of lock stripes covering one target
+// region in Throughput mode. Power of two; stripe widths are powers of
+// two so the covering stripes of a byte range are two shifts.
+const dataStripes = 8
+
+// minStripeShift is the log2 of the minimum stripe width (256 bytes):
+// regions at or below it get a single stripe, so small windows pay no
+// extra acquisitions.
+const minStripeShift = 8
+
+// makeStripes builds the per-target stripe locks: the smallest
+// power-of-two stripe width >= 256 bytes such that at most dataStripes
+// stripes cover the region. Empty regions get one stripe so bounds-valid
+// zero-byte operations still have a lock to name.
+func makeStripes(regions [][]byte) ([][]sync.RWMutex, []uint) {
+	stripes := make([][]sync.RWMutex, len(regions))
+	shifts := make([]uint, len(regions))
+	for i, reg := range regions {
+		shift := uint(minStripeShift)
+		for (len(reg)+(1<<shift)-1)>>shift > dataStripes {
+			shift++
+		}
+		n := (len(reg) + (1 << shift) - 1) >> shift
+		if n < 1 {
+			n = 1
+		}
+		stripes[i] = make([]sync.RWMutex, n)
+		shifts[i] = shift
+	}
+	return stripes, shifts
+}
+
+// rangeStripes returns the inclusive stripe index range covering bytes
+// [disp, disp+size) of target's region. Callers validate bounds first;
+// size 0 degenerates to the single stripe holding disp.
+func (w *Win) rangeStripes(target, disp, size int) (lo, hi int) {
+	shift := w.shared.stripeShift[target]
+	lo = disp >> shift
+	hi = lo
+	if size > 0 {
+		hi = (disp + size - 1) >> shift
+	}
+	if n := len(w.shared.stripes[target]); hi >= n {
+		hi = n - 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// lockRange acquires the stripes covering [disp, disp+size) of target's
+// region in Throughput mode — shared for readers (gets, checksums),
+// exclusive for writers (puts, accumulates). Stripes are taken in
+// ascending index order, so concurrent multi-stripe operations cannot
+// deadlock. In FidelityMeasured mode the global run token already
+// orders ranks, so the stripes are not touched.
+func (w *Win) lockRange(target, disp, size int, excl bool) {
+	if w.rank.world.serialized() {
+		return
+	}
+	lo, hi := w.rangeStripes(target, disp, size)
+	locks := w.shared.stripes[target]
+	for s := lo; s <= hi; s++ {
+		if excl {
+			locks[s].Lock()
+		} else {
+			locks[s].RLock()
+		}
 	}
 }
 
-// unlockTarget releases the target's data-path shard in Throughput mode.
-func (w *Win) unlockTarget(target int) {
-	if !w.rank.world.serialized() {
-		w.shared.shards[target].Unlock()
+// unlockRange releases the stripes taken by the matching lockRange.
+func (w *Win) unlockRange(target, disp, size int, excl bool) {
+	if w.rank.world.serialized() {
+		return
 	}
+	lo, hi := w.rangeStripes(target, disp, size)
+	locks := w.shared.stripes[target]
+	for s := hi; s >= lo; s-- {
+		if excl {
+			locks[s].Unlock()
+		} else {
+			locks[s].RUnlock()
+		}
+	}
+}
+
+// blockSpan returns the byte span [off, off+size) covering a flattened
+// block list (0, 0 when empty), for stripe locking of strided transfers.
+func blockSpan(blocks []datatype.Block) (off, size int) {
+	if len(blocks) == 0 {
+		return 0, 0
+	}
+	lo, hi := blocks[0].Offset, blocks[0].Offset+blocks[0].Size
+	for _, b := range blocks[1:] {
+		if b.Offset < lo {
+			lo = b.Offset
+		}
+		if e := b.Offset + b.Size; e > hi {
+			hi = e
+		}
+	}
+	return lo, hi - lo
 }
 
 // Epoch returns the number of epochs closed on this window by this origin
@@ -562,9 +660,9 @@ func (w *Win) Get(dst []byte, dtype datatype.Datatype, count int, target, disp i
 		if disp < 0 || disp+size > len(region) {
 			return ErrBounds
 		}
-		w.lockTarget(target)
+		w.lockRange(target, disp, size, false)
 		copy(dst[:size], region[disp:disp+size])
-		w.unlockTarget(target)
+		w.unlockRange(target, disp, size, false)
 		w.enqueueOp(target, size)
 		return nil
 	}
@@ -574,9 +672,10 @@ func (w *Win) Get(dst []byte, dtype datatype.Datatype, count int, target, disp i
 			return ErrBounds
 		}
 	}
-	w.lockTarget(target)
+	spanOff, spanSize := blockSpan(blocks)
+	w.lockRange(target, spanOff, spanSize, false)
 	datatype.CopyBlocks(dst, region, blocks)
-	w.unlockTarget(target)
+	w.unlockRange(target, spanOff, spanSize, false)
 
 	w.enqueueOp(target, size)
 	return nil
@@ -605,9 +704,9 @@ func (w *Win) GetBatch(ops []rma.GetOp) error {
 		if op.Disp < 0 || op.Disp+n > len(region) {
 			return ErrBounds
 		}
-		w.lockTarget(op.Target)
+		w.lockRange(op.Target, op.Disp, n, false)
 		copy(op.Dst, region[op.Disp:op.Disp+n])
-		w.unlockTarget(op.Target)
+		w.unlockRange(op.Target, op.Disp, n, false)
 		w.enqueueOp(op.Target, n)
 	}
 	return nil
@@ -615,8 +714,8 @@ func (w *Win) GetBatch(ops []rma.GetOp) error {
 
 // Checksum returns the ground-truth rma.ChecksumBytes of target's region
 // bytes [disp, disp+size) (rma.IntegrityWindow). It reads the
-// authoritative target-side bytes — under the data-path shard lock in
-// Throughput mode — so a fill verifier comparing against it detects any
+// authoritative target-side bytes — under the covering stripe read
+// locks in Throughput mode — so a fill verifier comparing against it detects any
 // origin-side payload damage. The attestation is a control-channel read:
 // it charges no network latency and requires no open epoch.
 func (w *Win) Checksum(target, disp, size int) (uint64, error) {
@@ -630,9 +729,9 @@ func (w *Win) Checksum(target, disp, size int) (uint64, error) {
 	if size < 0 || disp < 0 || disp+size > len(region) {
 		return 0, ErrBounds
 	}
-	w.lockTarget(target)
+	w.lockRange(target, disp, size, false)
 	h := rma.ChecksumBytes(region[disp : disp+size])
-	w.unlockTarget(target)
+	w.unlockRange(target, disp, size, false)
 	return h, nil
 }
 
@@ -659,9 +758,9 @@ func (w *Win) Put(src []byte, dtype datatype.Datatype, count int, target, disp i
 		if disp < 0 || disp+size > len(region) {
 			return ErrBounds
 		}
-		w.lockTarget(target)
+		w.lockRange(target, disp, size, true)
 		copy(region[disp:disp+size], src[:size])
-		w.unlockTarget(target)
+		w.unlockRange(target, disp, size, true)
 		w.enqueueOp(target, size)
 		return nil
 	}
@@ -671,9 +770,10 @@ func (w *Win) Put(src []byte, dtype datatype.Datatype, count int, target, disp i
 			return ErrBounds
 		}
 	}
-	w.lockTarget(target)
+	spanOff, spanSize := blockSpan(blocks)
+	w.lockRange(target, spanOff, spanSize, true)
 	datatype.ScatterBlocks(region, src, blocks)
-	w.unlockTarget(target)
+	w.unlockRange(target, spanOff, spanSize, true)
 
 	w.enqueueOp(target, size)
 	return nil

@@ -1,0 +1,164 @@
+package mpi
+
+import (
+	"testing"
+
+	"clampi/internal/datatype"
+)
+
+// TestMakeStripes pins down the stripe geometry: power-of-two widths of
+// at least 256 bytes, at most dataStripes stripes per region, full
+// coverage, and a single stripe for empty or tiny regions.
+func TestMakeStripes(t *testing.T) {
+	cases := []struct {
+		size      int
+		wantN     int
+		wantShift uint
+	}{
+		{0, 1, 8},
+		{1, 1, 8},
+		{256, 1, 8},
+		{257, 2, 8},
+		{2048, 8, 8},
+		{2049, 5, 9},     // width 512 covers 2049 bytes in 5 stripes
+		{1 << 20, 8, 17}, // 1 MiB: 8 stripes of 128 KiB
+	}
+	for _, c := range cases {
+		stripes, shifts := makeStripes([][]byte{make([]byte, c.size)})
+		if len(stripes[0]) != c.wantN || shifts[0] != c.wantShift {
+			t.Errorf("size %d: %d stripes shift %d, want %d stripes shift %d",
+				c.size, len(stripes[0]), shifts[0], c.wantN, c.wantShift)
+		}
+		if len(stripes[0]) > dataStripes {
+			t.Errorf("size %d: %d stripes exceeds cap %d", c.size, len(stripes[0]), dataStripes)
+		}
+		// Coverage: the last byte maps to an existing stripe.
+		if c.size > 0 {
+			if s := (c.size - 1) >> shifts[0]; s >= len(stripes[0]) {
+				t.Errorf("size %d: last byte in stripe %d of %d", c.size, s, len(stripes[0]))
+			}
+		}
+	}
+}
+
+// TestStripeGranularity proves Throughput-mode data-path locking is
+// per-(target, region-stripe), not per-target: with one stripe of the
+// target region held exclusively, a Get touching a *different* stripe
+// completes, and two Gets of the *same* stripe proceed concurrently
+// (read locks). A per-target mutex would deadlock this test.
+func TestStripeGranularity(t *testing.T) {
+	const p = 2
+	const regionSize = 1 << 13 // 8 KiB → 8 stripes of 1 KiB
+	err := Run(p, Config{Mode: Throughput}, func(r *Rank) error {
+		region := make([]byte, regionSize)
+		for i := range region {
+			region[i] = byte(i)
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		r.Barrier()
+		if r.ID() != 0 {
+			r.Barrier() // matches rank 0's closing barrier
+			return nil
+		}
+
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		shift := win.shared.stripeShift[1]
+		width := 1 << shift
+		if len(win.shared.stripes[1]) < 2 {
+			return errBadByte{rank: 0, target: 1, off: -1}
+		}
+
+		// Hold stripe 0 of target 1 exclusively; read from stripe 1.
+		win.shared.stripes[1][0].Lock()
+		buf := make([]byte, 64)
+		if err := win.Get(buf, datatype.Byte, 64, 1, width); err != nil {
+			return err
+		}
+		win.shared.stripes[1][0].Unlock()
+		for i := range buf {
+			if buf[i] != byte(width+i) {
+				return errBadByte{rank: 0, target: 1, off: i}
+			}
+		}
+
+		// Hold stripe 0 shared; a Get of the same stripe still completes.
+		win.shared.stripes[1][0].RLock()
+		if err := win.Get(buf, datatype.Byte, 64, 1, 0); err != nil {
+			return err
+		}
+		win.shared.stripes[1][0].RUnlock()
+		for i := range buf {
+			if buf[i] != byte(i) {
+				return errBadByte{rank: 0, target: 1, off: i}
+			}
+		}
+		if err := win.FlushAll(); err != nil {
+			return err
+		}
+		if err := win.UnlockAll(); err != nil {
+			return err
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStripeSpanningWrite proves a Put crossing stripe boundaries stays
+// atomic with respect to a spanning Get: readers see either the old or
+// the new bytes across the whole span, never a mix, because both sides
+// acquire every covered stripe (in ascending order) before touching data.
+func TestStripeSpanningWrite(t *testing.T) {
+	const p = 4
+	const regionSize = 1 << 12 // 4 KiB → 8 stripes of 512 B
+	const span = 1024          // crosses two stripe boundaries at disp 256
+	const disp = 256
+	err := Run(p, Config{Mode: Throughput}, func(r *Rank) error {
+		region := make([]byte, regionSize)
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		r.Barrier()
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		src := make([]byte, span)
+		buf := make([]byte, span)
+		for iter := 0; iter < 200; iter++ {
+			if r.ID()%2 == 0 {
+				fill := byte(r.ID()*100 + iter%100)
+				for i := range src {
+					src[i] = fill
+				}
+				if err := win.Put(src, datatype.Byte, span, 0, disp); err != nil {
+					return err
+				}
+			} else {
+				if err := win.Get(buf, datatype.Byte, span, 0, disp); err != nil {
+					return err
+				}
+				first := buf[0]
+				for i := range buf {
+					if buf[i] != first {
+						return errBadByte{rank: r.ID(), target: 0, off: i}
+					}
+				}
+			}
+			if err := win.FlushAll(); err != nil {
+				return err
+			}
+		}
+		if err := win.UnlockAll(); err != nil {
+			return err
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

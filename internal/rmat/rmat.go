@@ -6,6 +6,13 @@
 // quadrants of the adjacency matrix with probabilities (A, B, C, D); the
 // Graph500 parameters (0.57, 0.19, 0.19, 0.05) produce the heavy-tailed
 // degree distributions typical of real-world networks.
+//
+// The generator is streaming: Stream yields one edge per Next call in
+// O(1) memory, so a 10⁸-edge graph can be consumed — fed to a counting
+// pass, hashed into rank contexts, replayed — without an edge list ever
+// existing. Generate is the buffered adapter over the same stream and
+// returns the bit-identical sequence as a slice for callers that build
+// in-memory CSR graphs.
 package rmat
 
 import "math/rand"
@@ -24,23 +31,75 @@ type Edge struct {
 	U, V int32
 }
 
+// Stream generates the R-MAT edge sequence one edge at a time. It is
+// exactly the sequence Generate returns for the same parameters — the
+// two share one descent routine and consume the RNG identically — but
+// the stream holds only the generator state, never the edges: memory is
+// O(1) in the edge count. A Stream is single-goroutine; concurrent
+// consumers each create their own (same seed, same sequence).
+type Stream struct {
+	scale int
+	p     Params
+	seed  int64
+	rng   *rand.Rand
+	m     int // total edges
+	i     int // edges emitted so far
+}
+
+// NewStream prepares a stream of edgeFactor * 2^scale edges over
+// 2^scale vertices, with the same validation and determinism contract
+// as Generate.
+func NewStream(scale, edgeFactor int, p Params, seed int64) *Stream {
+	if scale < 0 || scale > 30 {
+		panic("rmat: scale out of range")
+	}
+	return &Stream{
+		scale: scale,
+		p:     p,
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		m:     edgeFactor * (1 << scale),
+	}
+}
+
+// Len returns the total number of edges the stream yields.
+func (s *Stream) Len() int { return s.m }
+
+// Emitted returns how many edges Next has yielded so far.
+func (s *Stream) Emitted() int { return s.i }
+
+// Next yields the next edge; ok is false once the stream is exhausted.
+func (s *Stream) Next() (e Edge, ok bool) {
+	if s.i >= s.m {
+		return Edge{}, false
+	}
+	s.i++
+	return genEdge(s.scale, s.p, s.rng), true
+}
+
+// Reset rewinds the stream to the first edge by re-seeding the RNG; the
+// replayed sequence is bit-identical to the first pass.
+func (s *Stream) Reset() {
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.i = 0
+}
+
 // Generate produces 2^scale vertices and edgeFactor * 2^scale R-MAT
 // edges (with duplicates and self-loops, as raw R-MAT emits them;
 // deduplication is the graph builder's job). Noise is added to the
 // quadrant probabilities at each level, as in the Graph500 reference
-// implementation, to avoid grid artifacts.
+// implementation, to avoid grid artifacts. It is the buffered adapter
+// over Stream: same parameters, bit-identical edges, materialized.
 func Generate(scale, edgeFactor int, p Params, seed int64) []Edge {
-	if scale < 0 || scale > 30 {
-		panic("rmat: scale out of range")
+	s := NewStream(scale, edgeFactor, p, seed)
+	edges := make([]Edge, 0, s.Len())
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return edges
+		}
+		edges = append(edges, e)
 	}
-	n := 1 << scale
-	m := edgeFactor * n
-	rng := rand.New(rand.NewSource(seed))
-	edges := make([]Edge, m)
-	for i := range edges {
-		edges[i] = genEdge(scale, p, rng)
-	}
-	return edges
 }
 
 func genEdge(scale int, p Params, rng *rand.Rand) Edge {

@@ -99,3 +99,64 @@ func TestDegreeHistogramIgnoresOutOfRange(t *testing.T) {
 		t.Fatalf("deg = %v", deg)
 	}
 }
+
+func TestStreamMatchesGenerate(t *testing.T) {
+	// The buffered adapter and the stream must be bit-identical: same
+	// seed, same descent, same RNG consumption order.
+	edges := Generate(9, 12, Graph500, 19)
+	s := NewStream(9, 12, Graph500, 19)
+	if s.Len() != len(edges) {
+		t.Fatalf("Len = %d, Generate produced %d", s.Len(), len(edges))
+	}
+	for i, want := range edges {
+		got, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d of %d", i, len(edges))
+		}
+		if got != want {
+			t.Fatalf("edge %d: stream %v, slice %v", i, got, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream yielded past Len")
+	}
+	if s.Emitted() != s.Len() {
+		t.Fatalf("Emitted = %d, want %d", s.Emitted(), s.Len())
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s := NewStream(6, 4, Graph500, 3)
+	var first []Edge
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		first = append(first, e)
+	}
+	s.Reset()
+	if s.Emitted() != 0 {
+		t.Fatalf("Emitted after Reset = %d", s.Emitted())
+	}
+	for i, want := range first {
+		got, ok := s.Next()
+		if !ok || got != want {
+			t.Fatalf("replay edge %d: %v %v, want %v", i, got, ok, want)
+		}
+	}
+}
+
+func TestStreamConstantMemory(t *testing.T) {
+	// The whole point of the stream: Next allocates nothing, so the
+	// edge count never enters the memory footprint.
+	s := NewStream(10, 16, Graph500, 5)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := s.Next(); !ok {
+			s.Reset()
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Next allocates %.1f allocs/op, want 0", allocs)
+	}
+}
