@@ -1,6 +1,8 @@
 package clampi
 
 import (
+	"time"
+
 	"clampi/internal/core"
 	"clampi/internal/datatype"
 	"clampi/internal/fault"
@@ -9,6 +11,7 @@ import (
 	"clampi/internal/obsv"
 	"clampi/internal/rma"
 	"clampi/internal/simtime"
+	"clampi/internal/wire"
 )
 
 // Sentinel errors returned by window operations, for errors.Is tests.
@@ -26,27 +29,39 @@ var (
 	ErrNoEpoch = rma.ErrNoEpoch
 )
 
-// Re-exported runtime types: the simulated MPI-3 environment.
+// Re-exported runtime types. The transport-agnostic vocabulary (Info,
+// Op, LockType, RMA, Endpoint) anchors on internal/rma — it means the
+// same thing over the simulated runtime and over a socket connection.
+// Rank, RunConfig and ExecMode belong to the simulated path (Run); the
+// wire path constructs windows with Dial instead.
 type (
-	// Rank is one simulated MPI process; see Run.
+	// Rank is one simulated MPI process; see Run (the simulated path).
 	Rank = mpi.Rank
-	// Win is a raw (non-caching) RMA window.
+	// Win is a raw (non-caching) simulated-MPI window.
+	//
+	// Deprecated: the concrete simulated window type is an
+	// implementation detail. Hold windows as RMA (the transport-agnostic
+	// interface) — Create/Allocate/Wrap and Dial all speak it — so code
+	// is indifferent to whether the bytes live in a simulated region or
+	// behind a clampi-serve daemon.
 	Win = mpi.Win
-	// Info carries window-creation hints (MPI_Info).
-	Info = mpi.Info
+	// Info carries window-creation hints (MPI_Info); both backends read
+	// the CLaMPI mode from its InfoKey entry.
+	Info = rma.Info
 	// RunConfig selects the simulated machine (network model, rank
-	// placement).
+	// placement) for Run.
 	RunConfig = mpi.Config
 	// NetModel is the interconnect latency model.
 	NetModel = netsim.Model
 	// Duration is a virtual duration (nanoseconds).
 	Duration = simtime.Duration
 	// Op is an accumulate reduction operator.
-	Op = mpi.Op
+	Op = rma.Op
 	// LockType selects shared or exclusive passive-target locks.
-	LockType = mpi.LockType
+	LockType = rma.LockType
 	// RMA is the transport-agnostic window interface every backend
-	// implements; *Win is the simulated-MPI implementation.
+	// implements: *Win is the simulated-MPI implementation, *wire.Window
+	// (returned inside Dial) the socket one.
 	RMA = rma.Window
 	// Endpoint is a rank's attachment to the transport.
 	Endpoint = rma.Endpoint
@@ -271,63 +286,87 @@ func InjectFaults(win RMA, sc FaultScenario, seed int64) *FaultyWindow {
 	return fault.Wrap(win, sc, seed)
 }
 
-// Option configures Wrap.
-type Option func(*Params)
+// config gathers everything the construction surface can set: the
+// caching parameters (shared by every backend) and, for the wire
+// transport, the dial settings. One option vocabulary serves Wrap,
+// Create, Allocate and Dial — the caching options mean exactly the same
+// thing over a simulated window and over a socket.
+type config struct {
+	params Params
+	dial   wire.DialConfig
+}
+
+func applyOptions(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Option configures window construction (Wrap/Create/Allocate/Dial).
+// Caching options apply on every backend; transport options (WithRank,
+// WithWorld, WithPoolSize, ...) configure the wire connection and are
+// ignored by the simulated constructors.
+type Option func(*config)
 
 // WithMode selects the operational mode.
-func WithMode(m Mode) Option { return func(p *Params) { p.Mode = m } }
+func WithMode(m Mode) Option { return func(c *config) { c.params.Mode = m } }
 
 // WithIndexSlots sets the initial index size |I_w| (hash-table slots).
-func WithIndexSlots(n int) Option { return func(p *Params) { p.IndexSlots = n } }
+func WithIndexSlots(n int) Option { return func(c *config) { c.params.IndexSlots = n } }
 
 // WithStorageBytes sets the initial cache buffer size |S_w|.
-func WithStorageBytes(n int) Option { return func(p *Params) { p.StorageBytes = n } }
+func WithStorageBytes(n int) Option { return func(c *config) { c.params.StorageBytes = n } }
 
 // WithScheme selects the eviction-scoring scheme.
-func WithScheme(s EvictionScheme) Option { return func(p *Params) { p.Scheme = s } }
+func WithScheme(s EvictionScheme) Option { return func(c *config) { c.params.Scheme = s } }
 
 // WithAdaptive enables runtime parameter tuning (paper §III-E1).
-func WithAdaptive() Option { return func(p *Params) { p.Adaptive = true } }
+func WithAdaptive() Option { return func(c *config) { c.params.Adaptive = true } }
 
 // WithSampleSize sets M, the eviction sample size (paper §III-D).
-func WithSampleSize(m int) Option { return func(p *Params) { p.SampleSize = m } }
+func WithSampleSize(m int) Option { return func(c *config) { c.params.SampleSize = m } }
 
 // WithSeed fixes the RNG seed of hashing and eviction sampling.
-func WithSeed(s int64) Option { return func(p *Params) { p.Seed = s } }
+func WithSeed(s int64) Option { return func(c *config) { c.params.Seed = s } }
 
 // WithObserver installs an observer receiving the window's structured
 // cache events (accesses, evictions, adjustments, epoch closures).
 // Install a *Collector to feed a metrics Registry and trace Ring; any
 // Observer implementation works. A nil observer disables emission.
-func WithObserver(o Observer) Option { return func(p *Params) { p.Observer = o } }
+func WithObserver(o Observer) Option { return func(c *config) { c.params.Observer = o } }
 
-// WithParams replaces the whole parameter set (advanced use); options
-// listed after it still apply on top.
-func WithParams(params Params) Option { return func(p *Params) { *p = params } }
+// WithParams replaces the whole caching parameter set (advanced use);
+// options listed after it still apply on top.
+func WithParams(params Params) Option { return func(c *config) { c.params = params } }
 
 // WithoutCoalescing disables the miss-coalescing pass of GetBatch: every
 // batched miss is issued as its own remote message, exactly like a
 // sequential Get loop. Mainly for A/B measurements and equivalence tests.
-func WithoutCoalescing() Option { return func(p *Params) { p.DisableCoalesce = true } }
+func WithoutCoalescing() Option { return func(c *config) { c.params.DisableCoalesce = true } }
 
 // WithRetry makes the caching layer retry transient remote-get failures
 // under the given policy (DESIGN.md §11). Backoffs advance the rank's
-// virtual clock, so retried runs stay deterministic.
+// virtual clock, so retried runs stay deterministic. Over the wire
+// transport, a positive pol.Deadline is additionally propagated to the
+// socket as a per-attempt I/O deadline (rma.DeadlineWindow), so a hung
+// read surfaces as ErrTimeout instead of blocking past the budget.
 func WithRetry(pol RetryPolicy) Option {
-	return func(p *Params) { cp := pol; p.Retry = &cp }
+	return func(c *config) { cp := pol; c.params.Retry = &cp }
 }
 
 // WithBreaker arms the per-target circuit breaker: after enough
 // consecutive transient failures towards one rank, further gets to it
 // fail fast for a cooldown, then half-open probes recover it.
 func WithBreaker(pol BreakerPolicy) Option {
-	return func(p *Params) { cp := pol; p.Breaker = &cp }
+	return func(c *config) { cp := pol; c.params.Breaker = &cp }
 }
 
 // WithFillVerification checksums every dense remote fill against the
 // backend's integrity attestation: silently corrupted payloads are
 // rejected (and retried under WithRetry) instead of delivered or cached.
-func WithFillVerification() Option { return func(p *Params) { p.VerifyFills = true } }
+func WithFillVerification() Option { return func(c *config) { c.params.VerifyFills = true } }
 
 // WithStaleWhenOpen defers the Transparent mode's epoch-closure
 // invalidation while any target's circuit breaker is open, serving stale
@@ -335,7 +374,52 @@ func WithFillVerification() Option { return func(p *Params) { p.VerifyFills = tr
 // under the paper's §II weak-consistency contract. Requires WithBreaker;
 // the deferred invalidation runs at the first closure with all breakers
 // closed.
-func WithStaleWhenOpen() Option { return func(p *Params) { p.ServeStale = true } }
+func WithStaleWhenOpen() Option { return func(c *config) { c.params.ServeStale = true } }
+
+// Transport options (Dial only).
+
+// WithTransport selects the socket family for Dial: "tcp" (default) or
+// "unix".
+func WithTransport(network string) Option {
+	return func(c *config) { c.dial.Network = network }
+}
+
+// WithWindowName selects which of the daemon's windows to attach to;
+// unset selects the daemon's default (first) window.
+func WithWindowName(name string) Option {
+	return func(c *config) { c.dial.Window = name }
+}
+
+// WithRank requests a specific rank identity from the daemon; unset (or
+// RankAuto) lets the daemon assign the next free one.
+func WithRank(rank int) Option {
+	return func(c *config) { c.dial.Rank = rank }
+}
+
+// WithWorld declares how many client processes participate in the
+// window's world — the population Fence rendezvouses. All clients (or
+// the daemon's config) must agree.
+func WithWorld(n int) Option {
+	return func(c *config) { c.dial.World = n }
+}
+
+// WithPoolSize caps the idle socket connections kept for reuse.
+func WithPoolSize(n int) Option {
+	return func(c *config) { c.dial.PoolSize = n }
+}
+
+// WithDialTimeout bounds connection establishment and the handshake.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *config) { c.dial.DialTimeout = d }
+}
+
+// WithFrameTap installs a hook observing (and possibly mutating) every
+// raw inbound wire frame before checksum verification — the chaos hook:
+// a tap that flips a bit produces genuine on-the-wire corruption, which
+// the frame checksum rejects and WithRetry heals.
+func WithFrameTap(tap func(frame []byte)) Option {
+	return func(c *config) { c.dial.FrameTap = tap }
+}
 
 // Window is a caching-enabled RMA window: the public handle combining a
 // raw window with its CLaMPI layer. All RMA and synchronization calls of
@@ -346,22 +430,70 @@ type Window struct {
 }
 
 // Wrap attaches a caching layer to an existing window — any rma.Window
-// implementation, of which *Win is the first. The window's InfoKey
-// entry, if present, overrides the mode selected by options.
+// implementation, simulated or wire. The window's InfoKey entry, if
+// present, overrides the mode selected by options.
 func Wrap(win RMA, opts ...Option) (*Window, error) {
-	var p Params
-	for _, o := range opts {
-		o(&p)
-	}
-	c, err := core.New(win, p)
+	cfg := applyOptions(opts)
+	c, err := core.New(win, cfg.params)
 	if err != nil {
 		return nil, err
 	}
 	return &Window{win: win, cache: c}, nil
 }
 
-// Create is a convenience constructor: collectively creates a window
-// exposing region and wraps it. Equivalent to r.WinCreate + Wrap.
+// Dial connects to a clampi-serve daemon at addr (host:port for tcp, a
+// socket path with WithTransport("unix")) and returns a caching window
+// over the connection — the same Window type, same options, same
+// semantics as the simulated constructors; only the transport differs.
+// The daemon hosts the region bytes; this process caches them.
+//
+//	w, err := clampi.Dial("127.0.0.1:9021",
+//	        clampi.WithMode(clampi.AlwaysCache),
+//	        clampi.WithRetry(clampi.DefaultRetryPolicy()))
+//
+// Free releases the connections.
+func Dial(addr string, opts ...Option) (*Window, error) {
+	cfg := applyOptions(opts)
+	cfg.dial.Addr = addr
+	win, err := wire.Open(cfg.dial, nil)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(win, cfg.params)
+	if err != nil {
+		win.Free()
+		return nil, err
+	}
+	return &Window{win: win, cache: c}, nil
+}
+
+// Serve starts a clampi-serve daemon in-process: it binds
+// cfg.Network/cfg.Addr and exposes cfg.Windows to wire clients until
+// Shutdown. cmd/clampi-serve is a flag-parsing shell around this call.
+func Serve(cfg ServeConfig) (*Server, error) { return wire.Serve(cfg) }
+
+// Wire-transport server types (see internal/wire and cmd/clampi-serve).
+type (
+	// ServeConfig configures Serve: listen address, exposed windows,
+	// world size, metrics registry.
+	ServeConfig = wire.ServeConfig
+	// Server is a running daemon; stop it with Shutdown.
+	Server = wire.Server
+	// WindowSpec is one window a Server exposes: a name and its regions.
+	WindowSpec = wire.WindowSpec
+)
+
+// MakeRegions builds n zero-filled regions of size bytes each — the
+// symmetric-window shape for ServeConfig.Windows.
+var MakeRegions = wire.MakeRegions
+
+// RankAuto (as WithRank's argument) requests daemon-assigned rank
+// identity.
+const RankAuto = wire.RankAuto
+
+// Create is a convenience constructor for the simulated path:
+// collectively creates a window exposing region and wraps it.
+// Equivalent to r.WinCreate + Wrap.
 func Create(r *Rank, region []byte, info Info, opts ...Option) (*Window, error) {
 	return Wrap(r.WinCreate(region, info), opts...)
 }

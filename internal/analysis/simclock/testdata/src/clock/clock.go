@@ -39,3 +39,15 @@ func wallClockBackoff(attempt int) {
 func deadlineByWallClock(start time.Time) bool {
 	return time.Since(start) > time.Second // want `wall-clock time\.Since breaks virtual-time determinism`
 }
+
+// hatchIsPerLine: a //clampi:walltime annotation suppresses exactly the
+// line it sits on — it never blesses the surrounding function. The wire
+// transport leans on this: its wall-measured RPC timing is annotated
+// call by call, and any unannotated sample added next to it still trips
+// the analyzer.
+func hatchIsPerLine() time.Duration {
+	start := time.Now()             //clampi:walltime wire RPC latency is charged to the virtual clock from wall measurements
+	t := time.NewTimer(time.Second) //clampi:walltime socket deadline watchdog
+	defer t.Stop()
+	return time.Since(start) // want `wall-clock time\.Since breaks virtual-time determinism`
+}

@@ -316,6 +316,7 @@ type Cache struct {
 	brk         *breaker            // per-target circuit breakers, nil if disabled
 	verify      bool                // fill verification enabled
 	iw          rma.IntegrityWindow // backend attestation, nil if unsupported
+	dw          rma.DeadlineWindow  // per-op deadline propagation, nil if unsupported
 	staleDefer  bool                // transparent invalidation deferred (stale serving)
 }
 
@@ -370,6 +371,12 @@ func New(win rma.Window, params Params) (*Cache, error) {
 		if params.VerifyFills {
 			c.verify = true
 			c.iw, _ = win.(rma.IntegrityWindow)
+		}
+		if c.retry.Deadline > 0 {
+			// Transports whose ops occupy real wall time (sockets) accept
+			// the per-attempt deadline directly, so a hung read fails with
+			// ErrTimeout instead of outliving the virtual-time budget.
+			c.dw, _ = win.(rma.DeadlineWindow)
 		}
 	}
 	win.AddEpochListener(c.onEpochClose)

@@ -45,9 +45,36 @@ func (c *Cache) netGet(dst []byte, dtype datatype.Datatype, count, target, disp 
 	if !c.resilient {
 		return c.win.Get(dst, dtype, count, target, disp)
 	}
+	if c.dw == nil {
+		return c.retryGet(dst, dtype, count, target, disp)
+	}
+	// Deadline-aware transport: clear the per-op bound on the way out so
+	// a later non-resilient caller of the same window is not clipped by
+	// this operation's leftover budget.
+	err := c.retryGet(dst, dtype, count, target, disp)
+	c.dw.SetOpDeadline(0)
+	return err
+}
+
+// retryGet is netGet's retry loop, split out so the deadline-clearing
+// epilogue above covers every exit path.
+func (c *Cache) retryGet(dst []byte, dtype datatype.Datatype, count, target, disp int) error {
 	start := c.clock.Now()
 	attempt := 1
 	for {
+		if c.dw != nil && c.retry.Deadline > 0 {
+			// Hand the transport the budget still unspent, so a socket op
+			// that hangs fails with ErrTimeout inside the attempt instead
+			// of blowing through the virtual-time deadline check below.
+			// The transport maps the virtual duration onto a wall-clock
+			// socket deadline (rma.DeadlineWindow); on the simulated
+			// backend c.dw is nil and the check below is the only gate.
+			remaining := c.retry.Deadline - (c.clock.Now() - start)
+			if remaining <= 0 {
+				return fmt.Errorf("%w: retry deadline exhausted", rma.ErrTimeout)
+			}
+			c.dw.SetOpDeadline(remaining)
+		}
 		err := c.tryGet(dst, dtype, count, target, disp)
 		if err == nil {
 			return nil

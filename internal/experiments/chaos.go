@@ -182,7 +182,7 @@ func chaosLCC(p int, sc *fault.Scenario, seed int64) (chaosOutcome, error) {
 		if err := win.LockAll(); err != nil {
 			return err
 		}
-		res, err := lcc.Run(r, d, gt, lcc.Config{})
+		res, err := lcc.Run(r.Clock(), d, gt, lcc.Config{})
 		if err != nil {
 			return err
 		}

@@ -41,7 +41,7 @@ func lccRun(g *graph.CSR, p int, maxVerts int, mk func(win rma.Window) (getter.G
 		if recs != nil {
 			cfg.Recorder = recs[r.ID()]
 		}
-		res, err := lcc.Run(r, d, gt, cfg)
+		res, err := lcc.Run(r.Clock(), d, gt, cfg)
 		if err != nil {
 			return err
 		}

@@ -46,7 +46,7 @@ func lccPerRank(t *testing.T, g *graph.CSR, mode mpi.ExecMode, cached bool) []lc
 		if err := win.LockAll(); err != nil {
 			return err
 		}
-		res, err := lcc.Run(r, d, gt, lcc.Config{MaxVertices: 64})
+		res, err := lcc.Run(r.Clock(), d, gt, lcc.Config{MaxVertices: 64})
 		if err != nil {
 			return err
 		}

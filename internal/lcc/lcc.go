@@ -16,7 +16,6 @@ package lcc
 import (
 	"clampi/internal/getter"
 	"clampi/internal/graph"
-	"clampi/internal/mpi"
 	"clampi/internal/simtime"
 	"clampi/internal/trace"
 )
@@ -58,13 +57,15 @@ func (r Result) TimePerVertex() simtime.Duration {
 }
 
 // Run computes the LCC of the vertices owned by this rank, fetching
-// remote adjacency lists through gt. The caller must have opened a
+// remote adjacency lists through gt and accounting on clock (the
+// origin's clock, from rma.Endpoint.Clock()). The kernel is transport-
+// agnostic: it runs identically over the simulated runtime and over a
+// wire connection to clampi-serve. The caller must have opened a
 // passive access epoch (LockAll) on the window behind gt.
-func Run(r *mpi.Rank, d *graph.Dist, gt getter.Getter, cfg Config) (Result, error) {
+func Run(clock *simtime.Clock, d *graph.Dist, gt getter.Getter, cfg Config) (Result, error) {
 	if cfg.ComputePerElem <= 0 {
 		cfg.ComputePerElem = DefaultComputeCost
 	}
-	clock := r.Clock()
 	start := clock.Now()
 	var res Result
 

@@ -69,7 +69,7 @@ func runDistributedCfg(t *testing.T, g *graph.CSR, p int, mk func(win rma.Window
 		if err := win.LockAll(); err != nil {
 			return err
 		}
-		res, err := Run(r, d, gt, cfgOf(r.ID()))
+		res, err := Run(r.Clock(), d, gt, cfgOf(r.ID()))
 		if err != nil {
 			return err
 		}

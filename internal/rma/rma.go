@@ -231,6 +231,28 @@ type GetOp struct {
 	Disp   int
 }
 
+// DeadlineWindow is the optional deadline extension of Window: backends
+// whose operations occupy real wall time (socket transports) implement
+// it so callers can bound one operation's duration. The duration is
+// virtual (simtime) like every other timing value above the transport;
+// the backend maps it onto its own wall clock (1 virtual ns = 1 wall ns
+// at the default clock scale) — the one sanctioned place where the
+// RetryPolicy.Deadline budget becomes a socket deadline. Operations that
+// exceed it fail with ErrTimeout, which the retry policies already
+// classify as transient.
+//
+// Layers probe for it with a type assertion, exactly like BatchWindow:
+// on backends whose ops consume no wall time (the simulated runtime) the
+// interface is absent and the virtual-time deadline check in the retry
+// loop remains the only enforcement.
+type DeadlineWindow interface {
+	Window
+	// SetOpDeadline bounds every subsequent operation on this window to
+	// d of (virtual) time; zero or negative clears the bound. It applies
+	// per operation, not cumulatively.
+	SetOpDeadline(d simtime.Duration)
+}
+
 // BatchWindow is the optional vectorized extension of Window: backends
 // that can validate and dispatch many contiguous gets in one call
 // implement it, and the caching layer issues its coalesced miss ranges

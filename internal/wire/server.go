@@ -1,0 +1,799 @@
+package wire
+
+// The server half of the transport: cmd/clampi-serve embeds a Server to
+// expose one or more window regions to many concurrent client
+// processes. Each accepted connection gets its own goroutine; cross-
+// client data movement is ordered by per-(window, region-stripe)
+// read-write locks mirroring the internal/mpi stripe scheme, so
+// concurrent readers of disjoint — or identical — stripes proceed in
+// parallel while writers take their covered stripes exclusively and a
+// get never observes a torn put.
+//
+// The server is deliberately epoch-free: MPI epochs are origin-side
+// state, so the client half (window.go) tracks them and the server only
+// orders the physical byte movement — exactly the split foMPI makes
+// between its origin bookkeeping and the passive RDMA target.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clampi/internal/obsv"
+	"clampi/internal/rma"
+	"clampi/internal/simtime"
+)
+
+// WindowSpec describes one window the server exposes: a name clients
+// select in their handshake and the initial contents of its regions
+// (one region per target rank; sizes are taken from the slices).
+type WindowSpec struct {
+	Name    string
+	Regions [][]byte
+}
+
+// MakeRegions builds n zero-filled regions of size bytes each — the
+// common symmetric-window shape (MPI_Win_allocate with equal sizes).
+func MakeRegions(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	return out
+}
+
+// ServeConfig configures a Server.
+type ServeConfig struct {
+	// Network is "tcp" or "unix"; Addr is the listen address
+	// (host:port or socket path).
+	Network, Addr string
+	// Windows are the exposed windows. At least one is required; the
+	// first one is the default when a client's handshake names none.
+	Windows []WindowSpec
+	// World, when positive, pins the number of barrier participants per
+	// window. Zero lets the first client's handshake declare it.
+	World int
+	// MaxPayload bounds frame payloads; zero selects DefaultMaxPayload.
+	MaxPayload int
+	// Registry, when non-nil, receives the daemon's metrics: open
+	// connections, frames and bytes in/out, and per-op wall-clock
+	// latency histograms.
+	Registry *obsv.Registry
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// targetLock is the cross-client passive-target lock state of one
+// (window, target) pair — the server half of MPI_Win_lock semantics.
+type targetLock struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	exclusive bool
+	shared    int
+}
+
+func (tl *targetLock) init() { tl.cond = sync.NewCond(&tl.mu) }
+
+// acquire blocks the calling connection goroutine until the lock of the
+// given type is granted. Blocking here is the intended semantics: the
+// client issued a Lock and stalls until the server grants it; other
+// connections keep progressing on their own goroutines.
+func (tl *targetLock) acquire(excl bool) {
+	tl.mu.Lock()
+	for tl.exclusive || (excl && tl.shared > 0) {
+		tl.cond.Wait()
+	}
+	if excl {
+		tl.exclusive = true
+	} else {
+		tl.shared++
+	}
+	tl.mu.Unlock()
+}
+
+func (tl *targetLock) release(excl bool) {
+	tl.mu.Lock()
+	if excl {
+		tl.exclusive = false
+	} else if tl.shared > 0 {
+		tl.shared--
+	}
+	tl.mu.Unlock()
+	tl.cond.Broadcast()
+}
+
+// barrier is the rendezvous of one window's world (OpBarrier, the wire
+// transport's Fence). Arrivals block until `world` clients arrive or the
+// server starts draining.
+type barrier struct {
+	mu    sync.Mutex
+	world int
+	n     int
+	ch    chan struct{} // closed to release the current generation
+	down  bool          // server draining: release everyone with an error
+}
+
+func (b *barrier) arrive() error {
+	b.mu.Lock()
+	if b.down {
+		b.mu.Unlock()
+		return ErrShutdown
+	}
+	if b.world <= 1 {
+		b.mu.Unlock()
+		return nil
+	}
+	if b.ch == nil {
+		b.ch = make(chan struct{})
+	}
+	b.n++
+	if b.n == b.world {
+		close(b.ch)
+		b.n = 0
+		b.ch = nil
+		b.mu.Unlock()
+		return nil
+	}
+	ch := b.ch
+	b.mu.Unlock()
+	<-ch
+	b.mu.Lock()
+	down := b.down
+	b.mu.Unlock()
+	if down {
+		return ErrShutdown
+	}
+	return nil
+}
+
+// abort releases every waiter with ErrShutdown and fails future arrivals.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.down = true
+	if b.ch != nil {
+		close(b.ch)
+		b.ch = nil
+		b.n = 0
+	}
+	b.mu.Unlock()
+}
+
+// serverWindow is the server-side state of one exposed window.
+type serverWindow struct {
+	name    string
+	regions [][]byte
+	stripes [][]sync.RWMutex
+	shift   []uint
+	locks   []targetLock
+	bar     barrier
+
+	mu       sync.Mutex
+	world    int // 0 until pinned by config or the first handshake
+	nextRank int32
+}
+
+// setWorld pins or validates the window's world size.
+func (w *serverWindow) setWorld(world int32) error {
+	if world <= 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.world == 0 {
+		w.world = int(world)
+		w.bar.mu.Lock()
+		w.bar.world = int(world)
+		w.bar.mu.Unlock()
+		return nil
+	}
+	if w.world != int(world) {
+		return fmt.Errorf("%w: client declared world %d, window pinned to %d", ErrBadWorld, world, w.world)
+	}
+	return nil
+}
+
+// grantRank validates a requested rank or assigns the next free one.
+// A rank is the client's identity inside the window's world, so an
+// explicit request must name a member; auto-assignment cycles through
+// the world, which keeps short-lived diagnostic clients working without
+// ever minting an out-of-world identity.
+func (w *serverWindow) grantRank(req int32) (int32, error) {
+	if req >= int32(len(w.regions)) {
+		return 0, fmt.Errorf("%w: rank %d outside world of %d", ErrBadWorld, req, len(w.regions))
+	}
+	if req >= 0 {
+		return req, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r := w.nextRank
+	w.nextRank = (w.nextRank + 1) % int32(len(w.regions))
+	return r, nil
+}
+
+// Server exposes windows to wire clients. Create with Serve; stop with
+// Shutdown.
+type Server struct {
+	cfg      ServeConfig
+	ln       net.Listener
+	windows  map[string]*serverWindow
+	def      *serverWindow
+	draining atomic.Bool
+
+	connWG   sync.WaitGroup
+	acceptWG sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// Metrics (nil-safe: all remain nil when cfg.Registry is nil).
+	mConns    *obsv.Gauge
+	mFramesIn *obsv.Counter
+	mFramesOu *obsv.Counter
+	mBytesIn  *obsv.Counter
+	mBytesOut *obsv.Counter
+
+	acceptErr atomic.Pointer[error]
+}
+
+// Errors of server construction.
+var (
+	ErrNoWindows = errors.New("wire: server needs at least one window")
+)
+
+// Serve starts listening on cfg.Network/cfg.Addr and accepting clients
+// in a background goroutine. It returns as soon as the listener is
+// bound, so callers can read the effective address (Addr) — handy with
+// ":0" TCP listeners in tests.
+func Serve(cfg ServeConfig) (*Server, error) {
+	if len(cfg.Windows) == 0 {
+		return nil, ErrNoWindows
+	}
+	if cfg.Network == "" {
+		cfg.Network = "tcp"
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = DefaultMaxPayload
+	}
+	s := &Server{
+		cfg:     cfg,
+		windows: make(map[string]*serverWindow, len(cfg.Windows)),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for i, spec := range cfg.Windows {
+		if _, dup := s.windows[spec.Name]; dup {
+			return nil, fmt.Errorf("wire: duplicate window name %q", spec.Name)
+		}
+		sw := &serverWindow{name: spec.Name, regions: spec.Regions}
+		sw.stripes, sw.shift = makeStripes(spec.Regions)
+		sw.locks = make([]targetLock, len(spec.Regions))
+		for t := range sw.locks {
+			sw.locks[t].init()
+		}
+		if cfg.World > 0 {
+			sw.world = cfg.World
+			sw.bar.world = cfg.World
+		}
+		s.windows[spec.Name] = sw
+		if i == 0 {
+			s.def = sw
+		}
+	}
+	if reg := cfg.Registry; reg != nil {
+		s.mConns = reg.Gauge("wire_server_open_connections")
+		s.mFramesIn = reg.Counter("wire_server_frames_total", obsv.L("dir", "in"))
+		s.mFramesOu = reg.Counter("wire_server_frames_total", obsv.L("dir", "out"))
+		s.mBytesIn = reg.Counter("wire_server_bytes_total", obsv.L("dir", "in"))
+		s.mBytesOut = reg.Counter("wire_server_bytes_total", obsv.L("dir", "out"))
+	}
+	ln, err := net.Listen(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s %s: %w", cfg.Network, cfg.Addr, err)
+	}
+	s.ln = ln
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's effective address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !s.draining.Load() {
+				e := err
+				s.acceptErr.Store(&e)
+				s.logf("wire: accept: %v", err)
+			}
+			return
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		if s.mConns != nil {
+			s.mConns.Set(int64(s.openConns()))
+		}
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) openConns() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
+// Shutdown gracefully drains the server: the listener closes, blocked
+// barriers release with ErrShutdown, in-flight requests complete, and
+// connections still open after the drain window are force-closed. It is
+// the SIGTERM path of cmd/clampi-serve.
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.draining.Store(true)
+	err := s.ln.Close()
+	for _, w := range s.windows {
+		w.bar.abort()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(drain) //clampi:walltime daemon drain window is genuinely wall-clock
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+	}
+	s.acceptWG.Wait()
+	return err
+}
+
+// conn is the per-connection server state.
+type serverConn struct {
+	s    *Server
+	conn net.Conn
+	fr   *frameReader
+	wbuf []byte
+
+	win  *serverWindow
+	rank int32
+	held map[int32]bool // target -> exclusive? (locks to release on death)
+}
+
+// serveConn runs one connection to completion.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	c := &serverConn{s: s, conn: conn, fr: newFrameReader(conn, s.cfg.MaxPayload), held: make(map[int32]bool)}
+	defer func() {
+		// Release whatever passive-target locks the client died holding,
+		// so one crashed client never wedges the fleet.
+		if c.win != nil {
+			for t, excl := range c.held {
+				c.win.locks[t].release(excl)
+			}
+		}
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		if s.mConns != nil {
+			s.mConns.Set(int64(s.openConns()))
+		}
+	}()
+	for {
+		f, err := c.fr.next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !s.draining.Load() {
+				s.logf("wire: conn %v: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if s.mFramesIn != nil {
+			s.mFramesIn.Inc()
+			s.mBytesIn.Add(int64(headerSize + len(f.Payload) + checksumSize))
+		}
+		stop := c.handle(f)
+		if stop {
+			return
+		}
+		if s.draining.Load() {
+			return
+		}
+	}
+}
+
+// handle dispatches one request frame and writes the response. The
+// return value reports whether the connection should close.
+func (c *serverConn) handle(f Frame) (stop bool) {
+	var start time.Time
+	reg := c.s.cfg.Registry
+	if reg != nil {
+		start = time.Now() //clampi:walltime daemon per-op latency histograms are wall-clock by design (DESIGN.md §13)
+	}
+	op := f.Op
+	var err error
+	switch op {
+	case OpHello:
+		err = c.hello(f)
+	case OpGet:
+		err = c.get(f)
+	case OpGetBatch:
+		err = c.getBatch(f)
+	case OpPut:
+		err = c.put(f)
+	case OpAccumulate:
+		err = c.accumulate(f)
+	case OpChecksum:
+		err = c.checksum(f)
+	case OpFlush:
+		// A synchronous transport has nothing left to order: every
+		// earlier op on this connection already completed. Ack so the
+		// client can account one round trip for the completion call.
+		err = c.ack(f.Seq)
+	case OpLock:
+		err = c.lock(f, true)
+	case OpUnlock:
+		err = c.lock(f, false)
+	case OpBarrier:
+		err = c.barrier(f)
+	case OpDetach:
+		_ = c.ack(f.Seq)
+		return true
+	default:
+		err = c.fail(f.Seq, fmt.Errorf("%w: unexpected op %s", ErrProto, OpName(op)))
+	}
+	if reg != nil {
+		reg.Histogram("wire_server_op_wall_ns", obsv.L("op", OpName(op))).
+			Observe(simtime.FromReal(time.Since(start))) //clampi:walltime daemon per-op latency histograms are wall-clock by design
+		reg.Counter("wire_server_requests_total", obsv.L("op", OpName(op))).Inc()
+	}
+	if err != nil {
+		c.s.logf("wire: conn %v: %s: %v", c.conn.RemoteAddr(), OpName(op), err)
+		return true
+	}
+	return false
+}
+
+// respond writes one response frame.
+func (c *serverConn) respond(op byte, seq uint64, payload []byte) error {
+	c.wbuf = AppendFrame(c.wbuf[:0], op, seq, payload)
+	if c.s.mFramesOu != nil {
+		c.s.mFramesOu.Inc()
+		c.s.mBytesOut.Add(int64(len(c.wbuf)))
+	}
+	_, err := c.conn.Write(c.wbuf)
+	return err
+}
+
+func (c *serverConn) ack(seq uint64) error { return c.respond(OpAck, seq, nil) }
+
+// fail answers a request with a classified OpError frame. Only a broken
+// connection is returned as an error (closing the connection); the
+// request-level failure travels to the client instead.
+func (c *serverConn) fail(seq uint64, reqErr error) error {
+	return c.respond(OpError, seq, appendError(nil, errorToCode(reqErr), reqErr.Error()))
+}
+
+// needWindow guards data ops against pre-handshake use.
+func (c *serverConn) needWindow(seq uint64) (*serverWindow, error) {
+	if c.win == nil {
+		return nil, c.fail(seq, fmt.Errorf("%w: data op before handshake", ErrProto))
+	}
+	return c.win, nil
+}
+
+func (c *serverConn) hello(f Frame) error {
+	h, err := decodeHello(f.Payload)
+	if err != nil {
+		return c.fail(f.Seq, err)
+	}
+	w := c.s.def
+	if h.Window != "" {
+		var ok bool
+		if w, ok = c.s.windows[h.Window]; !ok {
+			return c.fail(f.Seq, fmt.Errorf("%w: %q", ErrBadWindow, h.Window))
+		}
+	}
+	if err := w.setWorld(h.World); err != nil {
+		return c.fail(f.Seq, err)
+	}
+	rank, err := w.grantRank(h.Rank)
+	if err != nil {
+		return c.fail(f.Seq, err)
+	}
+	c.win = w
+	c.rank = rank
+	sizes := make([]int64, len(w.regions))
+	for i, r := range w.regions {
+		sizes[i] = int64(len(r))
+	}
+	return c.respond(OpWelcome, f.Seq, appendWelcome(nil, welcomePayload{Rank: c.rank, Regions: sizes}))
+}
+
+// checkRange validates a (target, disp, size) triple against the window.
+func checkRange(w *serverWindow, r rangeReq) error {
+	if r.Target < 0 || int(r.Target) >= len(w.regions) {
+		return fmt.Errorf("%w: target %d of %d regions", rma.ErrRankRange, r.Target, len(w.regions))
+	}
+	region := w.regions[r.Target]
+	if r.Size < 0 || r.Disp < 0 || r.Disp+r.Size > int64(len(region)) {
+		return fmt.Errorf("%w: [%d,%d) of %dB region", rma.ErrBounds, r.Disp, r.Disp+r.Size, len(region))
+	}
+	return nil
+}
+
+// lockStripes takes the stripe locks covering one validated range,
+// shared for readers and exclusive for writers, in ascending index
+// order (the same deadlock-free total order as internal/mpi).
+func (w *serverWindow) lockStripes(target int32, disp, size int64, excl bool) (lo, hi int) {
+	lo, hi = rangeStripes(w.shift[target], len(w.stripes[target]), int(disp), int(size))
+	for i := lo; i <= hi; i++ {
+		if excl {
+			w.stripes[target][i].Lock()
+		} else {
+			w.stripes[target][i].RLock()
+		}
+	}
+	return lo, hi
+}
+
+func (w *serverWindow) unlockStripes(target int32, lo, hi int, excl bool) {
+	for i := hi; i >= lo; i-- {
+		if excl {
+			w.stripes[target][i].Unlock()
+		} else {
+			w.stripes[target][i].RUnlock()
+		}
+	}
+}
+
+func (c *serverConn) get(f Frame) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	r, derr := decodeRange(f.Payload)
+	if derr != nil {
+		return c.fail(f.Seq, derr)
+	}
+	if verr := checkRange(w, r); verr != nil {
+		return c.fail(f.Seq, verr)
+	}
+	region := w.regions[r.Target]
+	c.wbuf = c.wbuf[:0]
+	// Build the data frame under the stripe read locks so the checksum
+	// and payload are a consistent snapshot even against concurrent puts.
+	lo, hi := w.lockStripes(r.Target, r.Disp, r.Size, false)
+	c.wbuf = AppendFrame(c.wbuf, OpData, f.Seq, region[r.Disp:r.Disp+r.Size])
+	w.unlockStripes(r.Target, lo, hi, false)
+	if c.s.mFramesOu != nil {
+		c.s.mFramesOu.Inc()
+		c.s.mBytesOut.Add(int64(len(c.wbuf)))
+	}
+	_, err = c.conn.Write(c.wbuf)
+	return err
+}
+
+func (c *serverConn) getBatch(f Frame) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	ops, derr := decodeBatch(f.Payload)
+	if derr != nil {
+		return c.fail(f.Seq, derr)
+	}
+	total := 0
+	for i := range ops {
+		if verr := checkRange(w, ops[i]); verr != nil {
+			return c.fail(f.Seq, verr)
+		}
+		total += int(ops[i].Size)
+		if total > c.s.cfg.MaxPayload {
+			return c.fail(f.Seq, fmt.Errorf("%w: batch response %dB", ErrFrameTooBig, total))
+		}
+	}
+	// One response frame for the whole batch: this is where k coalesced
+	// client ops become 2 syscalls instead of 2k.
+	payload := make([]byte, 0, total)
+	for i := range ops {
+		r := &ops[i]
+		region := w.regions[r.Target]
+		lo, hi := w.lockStripes(r.Target, r.Disp, r.Size, false)
+		payload = append(payload, region[r.Disp:r.Disp+r.Size]...)
+		w.unlockStripes(r.Target, lo, hi, false)
+	}
+	return c.respond(OpData, f.Seq, payload)
+}
+
+func (c *serverConn) put(f Frame) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	p, derr := decodePut(f.Payload)
+	if derr != nil {
+		return c.fail(f.Seq, derr)
+	}
+	r := rangeReq{Target: p.Target, Disp: p.Disp, Size: int64(len(p.Data))}
+	if verr := checkRange(w, r); verr != nil {
+		return c.fail(f.Seq, verr)
+	}
+	lo, hi := w.lockStripes(r.Target, r.Disp, r.Size, true)
+	copy(w.regions[r.Target][r.Disp:], p.Data)
+	w.unlockStripes(r.Target, lo, hi, true)
+	return c.ack(f.Seq)
+}
+
+func (c *serverConn) accumulate(f Frame) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	a, derr := decodeAcc(f.Payload)
+	if derr != nil {
+		return c.fail(f.Seq, derr)
+	}
+	elem := 0
+	switch a.Kind {
+	case accInt32:
+		elem = 4
+	case accInt64, accFloat64:
+		elem = 8
+	default:
+		return c.fail(f.Seq, fmt.Errorf("%w: element kind %d", ErrBadAccumulate, a.Kind))
+	}
+	if len(a.Data)%elem != 0 {
+		return c.fail(f.Seq, fmt.Errorf("%w: %dB payload for %dB elements", ErrBadAccumulate, len(a.Data), elem))
+	}
+	r := rangeReq{Target: a.Target, Disp: a.Disp, Size: int64(len(a.Data))}
+	if verr := checkRange(w, r); verr != nil {
+		return c.fail(f.Seq, verr)
+	}
+	region := w.regions[a.Target]
+	lo, hi := w.lockStripes(r.Target, r.Disp, r.Size, true)
+	applyAcc(region[r.Disp:r.Disp+r.Size], a.Data, a.Kind, rma.Op(a.Op))
+	w.unlockStripes(r.Target, lo, hi, true)
+	return c.ack(f.Seq)
+}
+
+func (c *serverConn) checksum(f Frame) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	r, derr := decodeRange(f.Payload)
+	if derr != nil {
+		return c.fail(f.Seq, derr)
+	}
+	if verr := checkRange(w, r); verr != nil {
+		return c.fail(f.Seq, verr)
+	}
+	region := w.regions[r.Target]
+	lo, hi := w.lockStripes(r.Target, r.Disp, r.Size, false)
+	sum := rma.ChecksumBytes(region[r.Disp : r.Disp+r.Size])
+	w.unlockStripes(r.Target, lo, hi, false)
+	var payload [8]byte
+	putU64(payload[:], sum)
+	return c.respond(OpData, f.Seq, payload[:])
+}
+
+func (c *serverConn) lock(f Frame, acquire bool) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	l, derr := decodeLock(f.Payload)
+	if derr != nil {
+		return c.fail(f.Seq, derr)
+	}
+	if l.Target < 0 || int(l.Target) >= len(w.regions) {
+		return c.fail(f.Seq, fmt.Errorf("%w: target %d of %d regions", rma.ErrRankRange, l.Target, len(w.regions)))
+	}
+	excl := rma.LockType(l.Type) == rma.LockExclusive
+	if acquire {
+		w.locks[l.Target].acquire(excl)
+		c.held[l.Target] = excl
+	} else {
+		if heldExcl, ok := c.held[l.Target]; ok {
+			w.locks[l.Target].release(heldExcl)
+			delete(c.held, l.Target)
+		}
+	}
+	return c.ack(f.Seq)
+}
+
+func (c *serverConn) barrier(f Frame) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	if berr := w.bar.arrive(); berr != nil {
+		return c.fail(f.Seq, berr)
+	}
+	return c.ack(f.Seq)
+}
+
+// applyAcc element-wise combines src into dst (both packed little-endian
+// arrays of the given kind) under op. OpReplace never reaches here: the
+// client degenerates it to Put, exactly like internal/mpi.
+func applyAcc(dst, src []byte, kind byte, op rma.Op) {
+	switch kind {
+	case accInt32:
+		for i := 0; i+4 <= len(src); i += 4 {
+			a := int64(int32(leU32(dst[i:])))
+			b := int64(int32(leU32(src[i:])))
+			putU32(dst[i:], uint32(int32(combineInt(a, b, op))))
+		}
+	case accInt64:
+		for i := 0; i+8 <= len(src); i += 8 {
+			a := int64(leU64(dst[i:]))
+			b := int64(leU64(src[i:]))
+			putU64(dst[i:], uint64(combineInt(a, b, op)))
+		}
+	case accFloat64:
+		for i := 0; i+8 <= len(src); i += 8 {
+			a := math.Float64frombits(leU64(dst[i:]))
+			b := math.Float64frombits(leU64(src[i:]))
+			putU64(dst[i:], math.Float64bits(combineFloat(a, b, op)))
+		}
+	}
+}
+
+func combineInt(a, b int64, op rma.Op) int64 {
+	switch op {
+	case rma.OpSum:
+		return a + b
+	case rma.OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case rma.OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	return b
+}
+
+func combineFloat(a, b float64, op rma.Op) float64 {
+	switch op {
+	case rma.OpSum:
+		return a + b
+	case rma.OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case rma.OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package wire
+
+// Striped region locks for the daemon, mirroring the internal/mpi
+// Throughput-mode scheme: each target region is covered by up to
+// dataStripes read-write locks over power-of-two byte ranges. Readers of
+// disjoint — and of the same — stripes proceed concurrently; writers
+// take their covered stripes exclusively; multi-stripe operations
+// acquire ascending, making the order total and the scheme
+// deadlock-free. Keeping the exact same geometry as internal/mpi means
+// one mental model (and one documented constant pair) covers both the
+// simulated and the socket backend.
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// dataStripes is the maximum number of lock stripes per region;
+// minStripeShift is the log2 of the minimum stripe width (256 bytes).
+// Both match internal/mpi.
+const (
+	dataStripes    = 8
+	minStripeShift = 8
+)
+
+// makeStripes builds per-region stripe locks: the smallest power-of-two
+// stripe width >= 256 bytes such that at most dataStripes stripes cover
+// the region. Empty regions get one stripe so bounds-valid zero-byte
+// operations still have a lock to name.
+func makeStripes(regions [][]byte) ([][]sync.RWMutex, []uint) {
+	stripes := make([][]sync.RWMutex, len(regions))
+	shifts := make([]uint, len(regions))
+	for i, reg := range regions {
+		shift := uint(minStripeShift)
+		for (len(reg)+(1<<shift)-1)>>shift > dataStripes {
+			shift++
+		}
+		n := (len(reg) + (1 << shift) - 1) >> shift
+		if n < 1 {
+			n = 1
+		}
+		stripes[i] = make([]sync.RWMutex, n)
+		shifts[i] = shift
+	}
+	return stripes, shifts
+}
+
+// rangeStripes returns the inclusive stripe index range covering bytes
+// [disp, disp+size) under the given shift; callers validate bounds
+// first. Size 0 degenerates to the single stripe holding disp.
+func rangeStripes(shift uint, nStripes, disp, size int) (lo, hi int) {
+	lo = disp >> shift
+	hi = lo
+	if size > 0 {
+		hi = (disp + size - 1) >> shift
+	}
+	if hi >= nStripes {
+		hi = nStripes - 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Little-endian scalar helpers shared by the codec and the accumulate
+// arithmetic.
+func leU32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
+func leU64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

@@ -1,0 +1,590 @@
+package wire
+
+// Window implements the rma.Window contract over a socket client, so the
+// caching layer (core), the getter shims, the batcher and the fault
+// injector compose over a real transport unchanged. The origin-side
+// state machine — epoch discipline, validation order, error sentinels —
+// mirrors internal/mpi.Win exactly; what changes is only where the bytes
+// live (the daemon's memory) and what an operation costs (a real round
+// trip, charged to the virtual clock at its measured wall duration).
+//
+// Because every op is a synchronous RPC, the weak-consistency contract
+// is satisfied trivially: a Get's dst is filled before the call returns,
+// strictly earlier than the "after the next completion call" point the
+// contract promises. Completion calls still matter — they are the epoch
+// closure events the cache invalidates on — so Flush/Unlock/Fence close
+// the local epoch (running listeners, then incrementing) just like the
+// simulated backend, with Flush additionally spending one round trip so
+// a completion call has transport cost here too.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"clampi/internal/datatype"
+	"clampi/internal/rma"
+	"clampi/internal/simtime"
+)
+
+// Endpoint is the rank's attachment to the wire transport: the granted
+// rank identity, the world size (the window's region count), and the
+// virtual clock the round trips are charged to.
+type Endpoint struct {
+	id    int
+	size  int
+	clock *simtime.Clock
+}
+
+// ID returns the rank id the server granted.
+func (e *Endpoint) ID() int { return e.id }
+
+// Size returns the number of ranks (regions) in the world.
+func (e *Endpoint) Size() int { return e.size }
+
+// Clock returns the rank's virtual clock. Wire ops advance it by their
+// measured wall duration, so virtual time tracks wall time 1:1 on this
+// backend.
+func (e *Endpoint) Clock() *simtime.Clock { return e.clock }
+
+// Window is one client process's handle on a daemon-hosted window.
+// Like every rma.Window, it must be used from one goroutine (origin
+// state is private per MPI semantics); the Client underneath may be
+// shared across windows and goroutines.
+type Window struct {
+	cl   *Client
+	ep   *Endpoint
+	info rma.Info
+	owns bool // Free also closes the client (package-level Open path)
+
+	freed     bool
+	epoch     int64
+	listeners []rma.EpochListener
+
+	lockedTargets map[int]rma.LockType
+	lockedAll     bool
+	fenceOpen     bool
+
+	// opDeadline bounds each subsequent op (rma.DeadlineWindow); zero
+	// means unbounded.
+	opDeadline simtime.Duration
+
+	eb []byte // request encode scratch
+}
+
+// Static interface conformance, matching the simulated backend plus the
+// deadline extension only a wall-clock transport can honour.
+var (
+	_ rma.Window          = (*Window)(nil)
+	_ rma.BatchWindow     = (*Window)(nil)
+	_ rma.IntegrityWindow = (*Window)(nil)
+	_ rma.DeadlineWindow  = (*Window)(nil)
+	_ rma.Endpoint        = (*Endpoint)(nil)
+)
+
+// NewWindow attaches a Window to the client's server-side window. info
+// carries the CLaMPI hints exactly as on the simulated backend.
+func (cl *Client) NewWindow(info rma.Info) *Window {
+	return &Window{
+		cl:   cl,
+		ep:   &Endpoint{id: cl.rank, size: cl.World(), clock: simtime.NewClock()},
+		info: info,
+	}
+}
+
+// Open dials a daemon and returns a Window owning the connection pool:
+// Free closes it. It is the one-call path the clampi.Dial surface uses.
+func Open(cfg DialConfig, info rma.Info) (*Window, error) {
+	cl, err := Dial(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := cl.NewWindow(info)
+	w.owns = true
+	return w, nil
+}
+
+// Client returns the underlying connection pool (for sharing across
+// windows or inspecting the handshake results).
+func (w *Window) Client() *Client { return w.cl }
+
+// Endpoint returns the owning rank's transport endpoint.
+func (w *Window) Endpoint() rma.Endpoint { return w.ep }
+
+// Info returns the window's creation hints.
+func (w *Window) Info() rma.Info { return w.info }
+
+// Local returns nil: a wire client exposes no region of its own — all
+// window memory lives in the daemon. (The caching layer never touches
+// Local; applications that host data do so by Putting it to the server
+// or by pre-filling regions in ServeConfig.)
+func (w *Window) Local() []byte { return nil }
+
+// RegionSize returns the size of target's exposed region, known since
+// the handshake — no round trip.
+func (w *Window) RegionSize(target int) (int, error) {
+	if target < 0 || target >= len(w.cl.regions) {
+		return 0, rma.ErrRankRange
+	}
+	return int(w.cl.regions[target]), nil
+}
+
+// Epoch returns the number of epochs this origin closed on this window.
+func (w *Window) Epoch() int64 { return w.epoch }
+
+// AddEpochListener registers f to run at every epoch closure by this
+// origin on this window.
+func (w *Window) AddEpochListener(f rma.EpochListener) {
+	if f != nil {
+		w.listeners = append(w.listeners, f)
+	}
+}
+
+// SetOpDeadline bounds every subsequent operation to d of virtual time,
+// mapped 1:1 onto a wall-clock socket deadline (rma.DeadlineWindow).
+func (w *Window) SetOpDeadline(d simtime.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w.opDeadline = d
+}
+
+// rpc performs one exchange and charges its measured wall duration to
+// the virtual clock — the sanctioned bridge that makes virtual-time
+// budgets (RetryPolicy.Deadline, stats) meaningful on a real transport.
+func (w *Window) rpc(op byte, payload []byte, deadline simtime.Duration, onData func(data []byte) error) error {
+	start := time.Now() //clampi:walltime wire RPCs charge their measured wall duration to the virtual clock (DESIGN.md §13)
+	err := w.cl.RPC(op, payload, deadline.Real(), onData)
+	w.ep.clock.ChargeDuration(time.Since(start)) //clampi:walltime see above: wall->virtual charge is this backend's clock model
+	return err
+}
+
+// inEpoch reports whether RMA calls are currently legal (mirror of
+// internal/mpi).
+func (w *Window) inEpoch() bool {
+	return len(w.lockedTargets) > 0 || w.lockedAll || w.fenceOpen
+}
+
+// closeEpoch runs the listeners, then increments the counter — the
+// contract internal/core keys its invalidation on.
+func (w *Window) closeEpoch() {
+	e := w.epoch
+	for _, f := range w.listeners {
+		f(e)
+	}
+	w.epoch++
+}
+
+// getRange fetches one contiguous validated range into dst.
+func (w *Window) getRange(dst []byte, target, disp int) error {
+	w.eb = appendRange(w.eb[:0], rangeReq{Target: int32(target), Disp: int64(disp), Size: int64(len(dst))})
+	return w.rpc(OpGet, w.eb, w.opDeadline, func(data []byte) error {
+		if len(data) != len(dst) {
+			return fmt.Errorf("%w: get returned %dB (want %d)", ErrProto, len(data), len(dst))
+		}
+		copy(dst, data)
+		return nil
+	})
+}
+
+// Get reads count elements of dtype from target's region at byte
+// displacement disp into dst (packed). Validation mirrors internal/mpi
+// bit for bit: freed, epoch, rank range, short buffer, bounds — so the
+// two backends are indistinguishable to error-handling tests.
+func (w *Window) Get(dst []byte, dtype datatype.Datatype, count int, target, disp int) error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if !w.inEpoch() {
+		return rma.ErrNoEpoch
+	}
+	if target < 0 || target >= len(w.cl.regions) {
+		return rma.ErrRankRange
+	}
+	size := datatype.TransferSize(dtype, count)
+	if len(dst) < size {
+		return rma.ErrShortBuf
+	}
+	region := int(w.cl.regions[target])
+	if size > 0 && dtype.Size() == dtype.Extent() {
+		if disp < 0 || disp+size > region {
+			return rma.ErrBounds
+		}
+		return w.getRange(dst[:size], target, disp)
+	}
+	blocks := datatype.FlattenTransfer(dtype, count, disp)
+	for _, b := range blocks {
+		if b.Offset < 0 || b.Offset+b.Size > region {
+			return rma.ErrBounds
+		}
+	}
+	n := 0
+	for _, b := range blocks {
+		if err := w.getRange(dst[n:n+b.Size], target, b.Offset); err != nil {
+			return err
+		}
+		n += b.Size
+	}
+	return nil
+}
+
+// Put writes count elements of dtype from src (packed) into target's
+// region at byte displacement disp.
+func (w *Window) Put(src []byte, dtype datatype.Datatype, count int, target, disp int) error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if !w.inEpoch() {
+		return rma.ErrNoEpoch
+	}
+	if target < 0 || target >= len(w.cl.regions) {
+		return rma.ErrRankRange
+	}
+	size := datatype.TransferSize(dtype, count)
+	if len(src) < size {
+		return rma.ErrShortBuf
+	}
+	region := int(w.cl.regions[target])
+	if size > 0 && dtype.Size() == dtype.Extent() {
+		if disp < 0 || disp+size > region {
+			return rma.ErrBounds
+		}
+		return w.putRange(src[:size], target, disp)
+	}
+	blocks := datatype.FlattenTransfer(dtype, count, disp)
+	for _, b := range blocks {
+		if b.Offset < 0 || b.Offset+b.Size > region {
+			return rma.ErrBounds
+		}
+	}
+	n := 0
+	for _, b := range blocks {
+		if err := w.putRange(src[n:n+b.Size], target, b.Offset); err != nil {
+			return err
+		}
+		n += b.Size
+	}
+	return nil
+}
+
+func (w *Window) putRange(src []byte, target, disp int) error {
+	w.eb = appendPut(w.eb[:0], putReq{Target: int32(target), Disp: int64(disp), Data: src})
+	return w.rpc(OpPut, w.eb, w.opDeadline, nil)
+}
+
+// doneRequest is the Request of a synchronous transport: the operation
+// completed before the issuing call returned.
+type doneRequest struct{ waited bool }
+
+func (r *doneRequest) Wait() error {
+	if r.waited {
+		return rma.ErrDoneRequest
+	}
+	r.waited = true
+	return nil
+}
+
+func (r *doneRequest) Test() bool { return true }
+
+// Rget is Get returning a completable request; on this transport the
+// request is already complete when Rget returns.
+func (w *Window) Rget(dst []byte, dtype datatype.Datatype, count int, target, disp int) (rma.Request, error) {
+	if err := w.Get(dst, dtype, count, target, disp); err != nil {
+		return nil, err
+	}
+	return &doneRequest{}, nil
+}
+
+// Rput is Put returning a completable request (already complete).
+func (w *Window) Rput(src []byte, dtype datatype.Datatype, count int, target, disp int) (rma.Request, error) {
+	if err := w.Put(src, dtype, count, target, disp); err != nil {
+		return nil, err
+	}
+	return &doneRequest{}, nil
+}
+
+// Accumulate combines src into target's region with op, element-wise
+// atomically with respect to concurrent clients (the server applies the
+// reduction under exclusive stripe locks). The supported datatypes and
+// validation mirror internal/mpi.
+func (w *Window) Accumulate(src []byte, dtype datatype.Datatype, count int, target, disp int, op rma.Op) error {
+	if op == rma.OpReplace {
+		return w.Put(src, dtype, count, target, disp)
+	}
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if !w.inEpoch() {
+		return rma.ErrNoEpoch
+	}
+	if target < 0 || target >= len(w.cl.regions) {
+		return rma.ErrRankRange
+	}
+	size := datatype.TransferSize(dtype, count)
+	if len(src) < size {
+		return rma.ErrShortBuf
+	}
+	var kind byte
+	switch dtype {
+	case datatype.Int32:
+		kind = accInt32
+	case datatype.Int64:
+		kind = accInt64
+	case datatype.Double:
+		kind = accFloat64
+	default:
+		return ErrBadAccumulate
+	}
+	if disp < 0 || disp+size > int(w.cl.regions[target]) {
+		return rma.ErrBounds
+	}
+	w.eb = appendAcc(w.eb[:0], accReq{Target: int32(target), Disp: int64(disp), Op: byte(op), Kind: kind, Data: src[:size]})
+	return w.rpc(OpAccumulate, w.eb, w.opDeadline, nil)
+}
+
+// GetBatch issues every op in one (or, above the frame payload limit, a
+// few) round trips — the configuration where the miss coalescing of the
+// caching layer saves real syscalls, not just simulated latency
+// (rma.BatchWindow). Validation of all ops happens client-side up front,
+// mirroring internal/mpi; a transport failure mid-batch is reported as a
+// *rma.BatchError carrying the index of the first op of the failed
+// chunk, so callers can account the delivered prefix.
+func (w *Window) GetBatch(ops []rma.GetOp) error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if !w.inEpoch() {
+		return rma.ErrNoEpoch
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.Target < 0 || op.Target >= len(w.cl.regions) {
+			return rma.ErrRankRange
+		}
+		if op.Disp < 0 || op.Disp+len(op.Dst) > int(w.cl.regions[op.Target]) {
+			return rma.ErrBounds
+		}
+	}
+	// Chunk so neither the request nor the response frame exceeds the
+	// payload limit. The response is the binding constraint in practice
+	// (the data dwarfs the 20-byte descriptors).
+	limit := w.cl.cfg.MaxPayload
+	for start := 0; start < len(ops); {
+		end := start
+		reqBytes, respBytes := 4, 0
+		for end < len(ops) {
+			r := reqBytes + rangeReqSize
+			p := respBytes + len(ops[end].Dst)
+			if end > start && (r > limit || p > limit) {
+				break
+			}
+			reqBytes, respBytes = r, p
+			end++
+		}
+		if err := w.getBatchChunk(ops[start:end], respBytes); err != nil {
+			return &rma.BatchError{Op: start, Err: err}
+		}
+		start = end
+	}
+	return nil
+}
+
+// getBatchChunk issues one OpGetBatch round trip and scatters the
+// concatenated response into the ops' dst buffers.
+func (w *Window) getBatchChunk(ops []rma.GetOp, want int) error {
+	w.eb = appendBatch(w.eb[:0], ops)
+	return w.rpc(OpGetBatch, w.eb, w.opDeadline, func(data []byte) error {
+		if len(data) != want {
+			return fmt.Errorf("%w: batch returned %dB (want %d)", ErrProto, len(data), want)
+		}
+		n := 0
+		for i := range ops {
+			n += copy(ops[i].Dst, data[n:n+len(ops[i].Dst)])
+		}
+		return nil
+	})
+}
+
+// Checksum returns the server-computed rma.ChecksumBytes of target's
+// region bytes [disp, disp+size) (rma.IntegrityWindow) — the attestation
+// the fill verifier compares delivered payloads against. Like the
+// simulated backend it requires no open epoch: it is a control-channel
+// read. The attestation round trip is itself frame-checksummed, so a
+// damaged attestation is retried rather than mistaken for a corrupt
+// fill.
+func (w *Window) Checksum(target, disp, size int) (uint64, error) {
+	if w.freed {
+		return 0, rma.ErrFreed
+	}
+	if target < 0 || target >= len(w.cl.regions) {
+		return 0, rma.ErrRankRange
+	}
+	if disp < 0 || size < 0 || disp+size > int(w.cl.regions[target]) {
+		return 0, rma.ErrBounds
+	}
+	var sum uint64
+	w.eb = appendRange(w.eb[:0], rangeReq{Target: int32(target), Disp: int64(disp), Size: int64(size)})
+	err := w.rpc(OpChecksum, w.eb, w.opDeadline, func(data []byte) error {
+		if len(data) != 8 {
+			return fmt.Errorf("%w: checksum returned %dB", ErrProto, len(data))
+		}
+		sum = leU64(data)
+		return nil
+	})
+	return sum, err
+}
+
+// Lock opens a passive-target access epoch towards target with a shared
+// lock; LockWithType selects the lock type. The acquisition is a real
+// server round trip: cross-process mutual exclusion, not simulation.
+func (w *Window) Lock(target int) error { return w.LockWithType(rma.LockShared, target) }
+
+// LockWithType opens a passive-target epoch with an explicit lock type.
+func (w *Window) LockWithType(typ rma.LockType, target int) error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if target < 0 || target >= len(w.cl.regions) {
+		return rma.ErrRankRange
+	}
+	if _, held := w.lockedTargets[target]; held {
+		return ErrAlreadyLocked
+	}
+	w.eb = appendLock(w.eb[:0], lockReq{Target: int32(target), Type: byte(typ)})
+	// No op deadline on lock acquisition: blocking on a contended
+	// exclusive lock is the intended semantics, not a fault.
+	if err := w.rpc(OpLock, w.eb, 0, nil); err != nil {
+		return err
+	}
+	if w.lockedTargets == nil {
+		w.lockedTargets = make(map[int]rma.LockType)
+	}
+	w.lockedTargets[target] = typ
+	return nil
+}
+
+// LockAll opens a passive-target epoch towards all ranks. Like the
+// simulated backend it takes no per-target server locks — lock-all
+// epochs are the shared-read mode the caching workloads use, and
+// readers never exclude each other.
+func (w *Window) LockAll() error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	w.lockedAll = true
+	return nil
+}
+
+// Unlock completes operations towards target and ends the epoch,
+// releasing the server-side lock.
+func (w *Window) Unlock(target int) error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	typ, held := w.lockedTargets[target]
+	if !held {
+		return rma.ErrNoEpoch
+	}
+	w.eb = appendLock(w.eb[:0], lockReq{Target: int32(target), Type: byte(typ)})
+	if err := w.rpc(OpUnlock, w.eb, w.opDeadline, nil); err != nil {
+		return err
+	}
+	w.closeEpoch()
+	delete(w.lockedTargets, target)
+	return nil
+}
+
+// UnlockAll ends a lock-all epoch.
+func (w *Window) UnlockAll() error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if !w.lockedAll {
+		return rma.ErrNoEpoch
+	}
+	w.closeEpoch()
+	w.lockedAll = false
+	return nil
+}
+
+// Flush completes outstanding operations towards target without
+// releasing the lock; it is an epoch-closure event. On a synchronous
+// transport nothing is pending, but the call still spends one round trip
+// (OpFlush) so completion calls have transport cost here as everywhere.
+func (w *Window) Flush(target int) error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if !w.inEpoch() {
+		return rma.ErrNoEpoch
+	}
+	if target < 0 || target >= len(w.cl.regions) {
+		return rma.ErrRankRange
+	}
+	if err := w.rpc(OpFlush, nil, w.opDeadline, nil); err != nil {
+		return err
+	}
+	w.closeEpoch()
+	return nil
+}
+
+// FlushAll completes all outstanding operations and closes the epoch.
+func (w *Window) FlushAll() error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if !w.inEpoch() {
+		return rma.ErrNoEpoch
+	}
+	if err := w.rpc(OpFlush, nil, w.opDeadline, nil); err != nil {
+		return err
+	}
+	w.closeEpoch()
+	return nil
+}
+
+// Fence is the active-target collective synchronization: it closes a
+// fence-delimited epoch (if open) and rendezvouses with every other
+// member of the window's world at the server before opening the next.
+// The world size must have been declared (DialConfig.World or
+// ServeConfig.World), else the barrier completes immediately.
+func (w *Window) Fence() error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	if w.fenceOpen {
+		w.closeEpoch()
+	}
+	// No op deadline: waiting for stragglers is the point of a barrier.
+	if err := w.rpc(OpBarrier, nil, 0, nil); err != nil {
+		return err
+	}
+	w.fenceOpen = true
+	return nil
+}
+
+// Post/Start/Complete/Wait (generalized active-target synchronization)
+// are not carried by the socket transport: PSCW needs origin/target
+// group bookkeeping this protocol does not model. The paper's workloads
+// use passive-target and fence epochs only.
+func (w *Window) Post(origins []int) error  { return fmt.Errorf("%w: Post", ErrUnsupported) }
+func (w *Window) Start(targets []int) error { return fmt.Errorf("%w: Start", ErrUnsupported) }
+func (w *Window) Complete() error           { return fmt.Errorf("%w: Complete", ErrUnsupported) }
+func (w *Window) Wait() error               { return fmt.Errorf("%w: Wait", ErrUnsupported) }
+
+// Free releases the window. When the window owns its client (the Open
+// path) the connection pool closes with it.
+func (w *Window) Free() error {
+	if w.freed {
+		return rma.ErrFreed
+	}
+	w.freed = true
+	if w.owns {
+		return w.cl.Close()
+	}
+	return nil
+}
+
+// ErrAlreadyLocked reports a second Lock on a target this origin already
+// holds locked (mirror of the simulated backend's sentinel).
+var ErrAlreadyLocked = errors.New("wire: target already locked by this origin")
