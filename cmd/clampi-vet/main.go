@@ -8,24 +8,56 @@
 //	atomicfield   // clampi:atomic fields use sync/atomic only
 //	observerlock  core.Observer is never notified under a mutex
 //	seqlockcheck  // clampi:seqlock fields stay inside write sections
+//	lockorder     the DESIGN.md §12/§13 lock hierarchy holds across calls
+//	wireproto     the wire op/error tables stay in lockstep (DESIGN.md §13)
 //
 // Usage:
 //
-//	go run ./cmd/clampi-vet [-only name,name] [-list] [packages]
+//	go run ./cmd/clampi-vet [-only name,name] [-list] [-json] [packages]
 //
-// Packages default to ./... . Exit status: 0 clean, 1 diagnostics
-// found, 2 usage or load failure.
+// Packages default to ./... . With -json each diagnostic is one JSON
+// object per line ({"analyzer","position","message"}) for CI to render
+// as annotations. Exit status: 0 clean, 1 diagnostics found, 2 usage or
+// load failure — identical in both output modes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
 	"strings"
 
 	"clampi/internal/analysis"
 	"clampi/internal/analysis/suite"
 )
+
+// jsonDiag is the -json line format: stable field names for CI tooling.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	Position string `json:"position"`
+	Message  string `json:"message"`
+}
+
+// printDiags renders the diagnostics: the human "pos: analyzer: msg"
+// lines by default, or one JSON object per line with -json. The output
+// mode never changes what is reported, only how.
+func printDiags(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic, jsonOut bool) {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		if jsonOut {
+			_ = enc.Encode(jsonDiag{
+				Analyzer: d.Analyzer,
+				Position: fset.Position(d.Pos).String(),
+				Message:  d.Message,
+			})
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -35,8 +67,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("clampi-vet", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic line")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: clampi-vet [-only name,name] [-list] [packages]")
+		fmt.Fprintln(fs.Output(), "usage: clampi-vet [-only name,name] [-list] [-json] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -83,9 +116,7 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "clampi-vet:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", loader.Fset().Position(d.Pos), d.Analyzer, d.Message)
-	}
+	printDiags(os.Stdout, loader.Fset(), diags, *jsonOut)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "clampi-vet: %d invariant violation(s)\n", len(diags))
 		return 1

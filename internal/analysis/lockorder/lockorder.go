@@ -1,0 +1,158 @@
+// Package lockorder enforces the DESIGN.md §12/§13 lock hierarchy
+// interprocedurally, on top of the internal/analysis/interproc
+// summaries:
+//
+//  1. A shard fill mutex (clampi:lockrank fill) is the top of the
+//     hierarchy: while one is held, no second fill mutex may be
+//     acquired — directly or through any callee.
+//  2. The cuckoo writer mutex (clampi:lockrank cuckoo) sits below the
+//     fill mutex: fill→cuckoo is the sanctioned order; acquiring a
+//     fill mutex while a cuckoo writer lock (seqlock write section) is
+//     held is an inversion.
+//  3. Data-path stripes (clampi:lockrank stripe) form a total order by
+//     index: holding one stripe while acquiring another is legal only
+//     when both indices are compile-time constants in ascending order
+//     (the lockRange loop pattern is fine — it releases before the
+//     next range); a stripe acquisition inside a descending loop is an
+//     inversion by construction.
+//  4. No blocking operation — a wire round-trip (RPC/rpc), an
+//     rma.Window data op through the interface, or an Observer
+//     callback — may run while a fill mutex or cuckoo write section is
+//     held, directly or through any callee (the seqlock would spin
+//     every reader for the duration of a network round-trip).
+//
+// A finding is suppressed by a //clampi:lockorder <reason> comment on
+// its line; the reason is mandatory by convention and reviewed, not
+// parsed.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+
+	"clampi/internal/analysis"
+	"clampi/internal/analysis/interproc"
+)
+
+// Marker is the escape directive: a //clampi:lockorder <reason>
+// comment on the offending line acknowledges and suppresses a finding.
+const Marker = "clampi:lockorder"
+
+// Analyzer enforces the lock hierarchy; see the package comment.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce the DESIGN.md §12/§13 lock hierarchy (fill → cuckoo, single fill, ascending stripes, no blocking op under a shard lock) across function calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	eng := interproc.For(pass)
+	directives := analysis.DirectiveLines(pass.Fset, pass.Files, Marker)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, eng, directives, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc folds the function's event trace over a held-lock multiset
+// and reports every hierarchy violation at the event that completes it.
+func checkFunc(pass *analysis.Pass, eng *interproc.Engine, directives map[string]map[int]bool, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		p := pass.Fset.Position(pos)
+		if directives[p.Filename][p.Line] {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	held := make(map[interproc.LockClass]int)
+	// Stripe ascending-order state: the highest constant index among
+	// the currently held stripes, and whether every held stripe has a
+	// constant index (only then can ascent be proven).
+	stripeTop := int64(-1)
+	stripeConst := true
+	for _, ev := range eng.Trace(pass.TypesInfo, fd) {
+		if ev.Deferred {
+			// Runs at function exit; order violations there would be
+			// against an empty held set (releases only, in practice).
+			continue
+		}
+		switch ev.Kind {
+		case interproc.EvAcquire:
+			switch ev.Class {
+			case interproc.LockFill:
+				if held[interproc.LockFill] > 0 {
+					report(ev.Pos, "acquiring a second fill mutex while one is already held; the hierarchy allows at most one (DESIGN.md §12)")
+				} else if held[interproc.LockCuckoo] > 0 {
+					report(ev.Pos, "acquiring a fill mutex while a cuckoo write section is held inverts the fill→cuckoo lock order (DESIGN.md §12)")
+				}
+			case interproc.LockStripe:
+				if ev.Descending {
+					report(ev.Pos, "stripe lock acquired in a descending loop; stripes must be acquired in ascending index order (DESIGN.md §13)")
+				} else if held[interproc.LockStripe] > 0 && !ev.Ascending &&
+					!(stripeConst && ev.HasIndex && ev.Index > stripeTop) {
+					// An acquisition inside a provably ascending loop is
+					// the sanctioned lockRange shape; anything else needs
+					// constant, strictly increasing indices.
+					report(ev.Pos, "acquiring a stripe lock while another stripe is held without provably ascending indices (DESIGN.md §13)")
+				}
+				if ev.HasIndex {
+					if ev.Index > stripeTop {
+						stripeTop = ev.Index
+					}
+				} else {
+					stripeConst = false
+				}
+			}
+			held[ev.Class]++
+		case interproc.EvRelease:
+			if held[ev.Class] > 0 {
+				held[ev.Class]--
+			}
+			if ev.Class == interproc.LockStripe && held[interproc.LockStripe] == 0 {
+				stripeTop, stripeConst = -1, true
+			}
+		case interproc.EvCall:
+			s := eng.Summary(ev.Callee)
+			if s.AcquiresDuring(interproc.LockFill) {
+				if held[interproc.LockFill] > 0 {
+					report(ev.Pos, "call to %s may acquire a fill mutex while one is already held; the hierarchy allows at most one (DESIGN.md §12)", ev.Callee)
+				} else if held[interproc.LockCuckoo] > 0 {
+					report(ev.Pos, "call to %s may acquire a fill mutex under a cuckoo write section, inverting the fill→cuckoo lock order (DESIGN.md §12)", ev.Callee)
+				}
+			}
+			if s.AcquiresDuring(interproc.LockStripe) && held[interproc.LockStripe] > 0 {
+				report(ev.Pos, "call to %s may acquire a stripe lock while a stripe is held without provably ascending indices (DESIGN.md §13)", ev.Callee)
+			}
+			if s.Blocking && (held[interproc.LockFill] > 0 || held[interproc.LockCuckoo] > 0) {
+				report(ev.Pos, "call to %s may block (%s) while a shard lock is held (DESIGN.md §12)", ev.Callee, s.BlockingWhy)
+			}
+			// The callee's net effect lands on our held set: a Lock
+			// helper leaves its class held, an Unlock helper clears it.
+			for c, n := range s.NetAcquire {
+				held[c] += n
+				if c == interproc.LockStripe && held[c] > 0 {
+					stripeConst = false
+				}
+			}
+			for c, n := range s.NetRelease {
+				held[c] -= n
+				if held[c] < 0 {
+					held[c] = 0
+				}
+				if c == interproc.LockStripe && held[c] == 0 {
+					stripeTop, stripeConst = -1, true
+				}
+			}
+		case interproc.EvBlock:
+			if held[interproc.LockFill] > 0 || held[interproc.LockCuckoo] > 0 {
+				report(ev.Pos, "%s while a shard lock is held; blocking operations are forbidden under a fill mutex or cuckoo write section (DESIGN.md §12)", ev.Why)
+			}
+		}
+	}
+}

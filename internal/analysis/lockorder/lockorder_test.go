@@ -1,0 +1,24 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"clampi/internal/analysis/analysistest"
+	"clampi/internal/analysis/lockorder"
+)
+
+// TestLockOrder drives the corpus: every sanctioned shape is clean and
+// every hierarchy violation — direct, interprocedural, and blocking —
+// is reported on the expected line.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "lockord")
+}
+
+// TestLockOrderLiveTree proves the four lock-bearing packages respect
+// the hierarchy: loaded together, so summaries propagate across their
+// package boundaries, the analyzer reports nothing (the two structural
+// stripe tests in internal/mpi carry reviewed escape directives).
+func TestLockOrderLiveTree(t *testing.T) {
+	analysistest.RunClean(t, "../../..", lockorder.Analyzer,
+		"./internal/core", "./internal/cuckoo", "./internal/mpi", "./internal/wire")
+}

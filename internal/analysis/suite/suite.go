@@ -7,10 +7,12 @@ import (
 	"clampi/internal/analysis"
 	"clampi/internal/analysis/atomicfield"
 	"clampi/internal/analysis/epochcheck"
+	"clampi/internal/analysis/lockorder"
 	"clampi/internal/analysis/observerlock"
 	"clampi/internal/analysis/sentinelerr"
 	"clampi/internal/analysis/seqlockcheck"
 	"clampi/internal/analysis/simclock"
+	"clampi/internal/analysis/wireproto"
 )
 
 // All returns the full analyzer suite in reporting order.
@@ -22,5 +24,7 @@ func All() []*analysis.Analyzer {
 		atomicfield.Analyzer,
 		observerlock.Analyzer,
 		seqlockcheck.Analyzer,
+		lockorder.Analyzer,
+		wireproto.Analyzer,
 	}
 }

@@ -1,0 +1,125 @@
+// Package wirebad is the wireproto violation corpus: each constant or
+// table entry breaks exactly one obligation — a request op with no
+// server dispatch arm (the deleted-arm acceptance case), an op missing
+// from opNames, an op that is never encoded, a response no client
+// dispatches, error codes and sentinels that do not round-trip, and
+// size constants that cannot fit a conforming frame.
+package wirebad
+
+import "errors"
+
+// Op codes.
+const (
+	OpPing   byte = 0x01
+	OpQuery  byte = 0x02 // want "request op OpQuery has no dispatch arm in the server's handle switch"
+	OpGhost  byte = 0x03 // want "op OpGhost has no opNames entry"
+	OpNoSend byte = 0x04 // want "op OpNoSend is never encoded"
+
+	OpPong byte = 0x81
+	OpMiss byte = 0x82 // want "response op OpMiss is never dispatched by a client response switch"
+)
+
+var opNames = map[byte]string{
+	OpPing: "ping", OpQuery: "query", OpNoSend: "nosend",
+	OpPong: "pong", OpMiss: "miss",
+}
+
+// Error codes.
+const (
+	CodeZero uint16 = 0
+	CodeA    uint16 = 1
+	CodeB    uint16 = 2 // want "error code CodeB has no codeToError case"
+	CodeC    uint16 = 3 // want "error code CodeC is never produced by errorToCode"
+)
+
+// Sentinels.
+var (
+	ErrOne   = errors.New("one")
+	ErrTwo   = errors.New("two")
+	ErrThree = errors.New("three")
+)
+
+// Sizes: the binding payload cap is the smallest declared limit.
+const (
+	MaxPayload     = 1 << 20
+	oversizedSize  = 1 << 30 // want "oversizedSize .* exceeds the payload cap"
+	WildMaxPayload = 1 << 33 // want "WildMaxPayload .* exceeds the frame header's uint32 payload length field"
+)
+
+func AppendFrame(buf []byte, op byte, payload []byte) []byte {
+	return append(append(buf, op), payload...)
+}
+
+type conn struct{ wb []byte }
+
+func (c *conn) rpc(op byte, payload []byte) error {
+	c.wb = AppendFrame(c.wb[:0], op, payload)
+	return nil
+}
+
+func respond(op byte, payload []byte) []byte {
+	return AppendFrame(nil, op, payload)
+}
+
+// client encodes OpPing, OpQuery and OpGhost — but never OpNoSend.
+func (c *conn) client() error {
+	if err := c.rpc(OpPing, nil); err != nil {
+		return err
+	}
+	if err := c.rpc(OpQuery, nil); err != nil {
+		return err
+	}
+	_ = AppendFrame(nil, OpGhost, nil)
+	return nil
+}
+
+// handle dispatches OpPing, OpGhost and OpNoSend; the OpQuery arm has
+// been (deliberately) deleted.
+func handle(op byte, payload []byte) []byte {
+	switch op {
+	case OpPing:
+		return respond(OpPong, nil)
+	case OpGhost:
+		return respond(OpMiss, nil)
+	case OpNoSend:
+		return nil
+	default:
+		return nil
+	}
+}
+
+// dispatch knows OpPong only; OpMiss has no arm anywhere client-side.
+func dispatch(op byte) error {
+	switch op {
+	case OpPong:
+		return nil
+	default:
+		return errors.New("unexpected response")
+	}
+}
+
+// errorToCode produces CodeA and CodeB from non-default arms and
+// CodeZero from the catch-all; CodeC is never produced.
+func errorToCode(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrOne):
+		return CodeA
+	case errors.Is(err, ErrTwo): // want "sentinel ErrTwo is classified by errorToCode but never reconstructed by codeToError"
+		return CodeB
+	default:
+		return CodeZero
+	}
+}
+
+// codeToError reconstructs CodeA→ErrOne and CodeC→ErrThree; CodeB and
+// the catch-all CodeZero degrade to a plain error.
+func codeToError(code uint16, msg string) error {
+	switch code {
+	case CodeA:
+		return ErrOne
+	case CodeC:
+		return ErrThree // want "sentinel ErrThree is reconstructed by codeToError but never classified by errorToCode"
+	default:
+		return errors.New(msg)
+	}
+}

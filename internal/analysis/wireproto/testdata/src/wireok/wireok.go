@@ -1,0 +1,109 @@
+// Package wireok is the wireproto clean corpus: a miniature protocol
+// whose tables are fully consistent — every op is named, encoded and
+// dispatched on the right side; every error code and sentinel
+// round-trips; every size constant fits the payload cap.
+package wireok
+
+import "errors"
+
+// Op codes: requests have the high bit clear, responses set.
+const (
+	OpPing byte = 0x01
+	OpRead byte = 0x02
+
+	OpPong byte = 0x81
+	OpData byte = 0x82
+)
+
+var opNames = map[byte]string{
+	OpPing: "ping", OpRead: "read",
+	OpPong: "pong", OpData: "data",
+}
+
+// Error codes.
+const (
+	CodeInternal uint16 = 0 // catch-all: produced by errorToCode's default only
+	CodeBounds   uint16 = 1
+)
+
+// Sentinels.
+var (
+	ErrBounds = errors.New("wireok: out of bounds")
+)
+
+// Sizes.
+const (
+	headerSize        = 12
+	DefaultMaxPayload = 1 << 20
+)
+
+// AppendFrame is the encoder of this miniature protocol.
+func AppendFrame(buf []byte, op byte, payload []byte) []byte {
+	return append(append(buf, op), payload...)
+}
+
+type conn struct{ wb []byte }
+
+// rpc encodes a request; the ops it is handed count as encoded.
+func (c *conn) rpc(op byte, payload []byte) error {
+	c.wb = AppendFrame(c.wb[:0], op, payload)
+	return nil
+}
+
+// respond encodes a response on the server side.
+func respond(op byte, payload []byte) []byte {
+	return AppendFrame(nil, op, payload)
+}
+
+// client exercises every request op.
+func (c *conn) client() error {
+	if err := c.rpc(OpPing, nil); err != nil {
+		return err
+	}
+	return c.rpc(OpRead, nil)
+}
+
+// handle is the server dispatch switch: one arm per request op.
+func handle(op byte, payload []byte) []byte {
+	switch op {
+	case OpPing:
+		return respond(OpPong, nil)
+	case OpRead:
+		return respond(OpData, payload)
+	default:
+		return nil
+	}
+}
+
+// dispatch is the client response switch: one arm per response op.
+func dispatch(op byte, payload []byte) error {
+	switch op {
+	case OpPong:
+		return nil
+	case OpData:
+		_ = payload
+		return nil
+	default:
+		return errors.New("unexpected response")
+	}
+}
+
+// errorToCode classifies failures; the default arm is the catch-all.
+func errorToCode(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrBounds):
+		return CodeBounds
+	default:
+		return CodeInternal
+	}
+}
+
+// codeToError reconstructs the sentinel; unknown codes degrade.
+func codeToError(code uint16, msg string) error {
+	switch code {
+	case CodeBounds:
+		return ErrBounds
+	default:
+		return errors.New(msg)
+	}
+}

@@ -1,0 +1,22 @@
+package wireproto_test
+
+import (
+	"testing"
+
+	"clampi/internal/analysis/analysistest"
+	"clampi/internal/analysis/wireproto"
+)
+
+// TestWireProto drives both corpora: wireok's tables are fully
+// consistent (zero diagnostics); wirebad breaks one obligation per
+// constant — including the deleted-dispatch-arm and reordered-table
+// acceptance cases — and every break is reported on its line.
+func TestWireProto(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), wireproto.Analyzer, "wireok", "wirebad")
+}
+
+// TestWireProtoLiveTree proves internal/wire's real tables — 15 ops,
+// 9 codes, the sentinel maps and the size constants — are in lockstep.
+func TestWireProtoLiveTree(t *testing.T) {
+	analysistest.RunClean(t, "../../..", wireproto.Analyzer, "./internal/wire")
+}

@@ -120,7 +120,7 @@ type sshard struct {
 	// mu is the fill lock: fills, evictions and invalidation of this
 	// shard serialize on it. Lock order: mu before the cuckoo shard's
 	// writer lock, never the reverse.
-	mu sync.Mutex
+	mu sync.Mutex // clampi:lockrank fill
 
 	// readers counts lock-free readers currently inside this shard's
 	// hit path. Storage of dead entries is recycled only when it has

@@ -47,7 +47,7 @@ type box[V any] struct {
 
 // shard is one independently locked segment of a Sharded index.
 type shard[V any] struct {
-	mu    sync.Mutex    // writer lock: at most one mutator per shard
+	mu    sync.Mutex    // clampi:lockrank cuckoo — writer lock: at most one mutator per shard
 	seq   atomic.Uint64 // clampi:atomic — seqlock version, odd while a write section is open
 	len   atomic.Int64  // clampi:atomic — published entries in this shard
 	retry atomic.Uint64 // clampi:atomic — lookups that retried on a torn read

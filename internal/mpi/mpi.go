@@ -376,7 +376,7 @@ type winShared struct {
 	// acquisition order total and the scheme deadlock-free. In
 	// FidelityMeasured mode the token already serializes ranks and the
 	// stripes are not touched.
-	stripes     [][]sync.RWMutex
+	stripes     [][]sync.RWMutex // clampi:lockrank stripe
 	stripeShift []uint
 
 	pscwOnce  sync.Once

@@ -74,7 +74,7 @@ func TestStripeGranularity(t *testing.T) {
 		// Hold stripe 0 of target 1 exclusively; read from stripe 1.
 		win.shared.stripes[1][0].Lock()
 		buf := make([]byte, 64)
-		if err := win.Get(buf, datatype.Byte, 64, 1, width); err != nil {
+		if err := win.Get(buf, datatype.Byte, 64, 1, width); err != nil { //clampi:lockorder structural proof: the Get targets stripe 1 while the test pins stripe 0, showing stripes are independent
 			return err
 		}
 		win.shared.stripes[1][0].Unlock()
@@ -86,7 +86,7 @@ func TestStripeGranularity(t *testing.T) {
 
 		// Hold stripe 0 shared; a Get of the same stripe still completes.
 		win.shared.stripes[1][0].RLock()
-		if err := win.Get(buf, datatype.Byte, 64, 1, 0); err != nil {
+		if err := win.Get(buf, datatype.Byte, 64, 1, 0); err != nil { //clampi:lockorder structural proof: the held RLock is shared, so the Get's RLock of the same stripe cannot deadlock
 			return err
 		}
 		win.shared.stripes[1][0].RUnlock()

@@ -167,7 +167,7 @@ func (b *barrier) abort() {
 type serverWindow struct {
 	name    string
 	regions [][]byte
-	stripes [][]sync.RWMutex
+	stripes [][]sync.RWMutex // clampi:lockrank stripe
 	shift   []uint
 	locks   []targetLock
 	bar     barrier
