@@ -3,6 +3,7 @@ package clampi
 import (
 	"time"
 
+	"clampi/internal/blockcache"
 	"clampi/internal/core"
 	"clampi/internal/datatype"
 	"clampi/internal/fault"
@@ -142,7 +143,19 @@ type (
 	EvictionScheme = core.EvictionScheme
 	// Params is the full low-level parameter set (advanced use).
 	Params = core.Params
+	// DistanceStats aggregates per-distance-class cache activity
+	// (locality-aware windows only; see Window.DistanceStats).
+	DistanceStats = core.DistanceStats
+	// L2 is the node-shared second-level block cache (see WithL2).
+	L2 = blockcache.L2
+	// L2Stats is a snapshot of one L2 tier's counters.
+	L2Stats = blockcache.L2Stats
 )
+
+// NewL2 constructs a node-shared L2 tier holding memoryBytes of
+// blockSize-granular blocks (blockSize <= 0 selects the default). Share
+// one instance among the caching windows of a node's ranks via WithL2.
+var NewL2 = blockcache.NewL2
 
 // Operational modes (paper §III-A).
 const (
@@ -375,6 +388,36 @@ func WithFillVerification() Option { return func(c *config) { c.params.VerifyFil
 // the deferred invalidation runs at the first closure with all breakers
 // closed.
 func WithStaleWhenOpen() Option { return func(c *config) { c.params.ServeStale = true } }
+
+// WithLocalityAwareness makes the caching layer cost-aware (DESIGN.md
+// §15) on backends that report per-target distance (the simulated
+// runtime's placement model, the wire transport's measured RTT): cheap
+// same-socket fills bypass admission, the eviction victim score is
+// weighted by refill cost, and retry backoffs and breaker cooldowns
+// scale with the target's distance class. Ignored on backends without
+// locality information.
+func WithLocalityAwareness() Option {
+	return func(c *config) { c.params.LocalityAware = true }
+}
+
+// WithCheapFillThreshold overrides the admission-bypass cost bound of
+// WithLocalityAwareness: same-socket misses whose modeled fill cost is
+// below d are served direct without caching (Stats.CheapSkips). Zero
+// selects the default.
+func WithCheapFillThreshold(d Duration) Option {
+	return func(c *config) { c.params.CheapFillThreshold = d }
+}
+
+// WithL2 attaches a node-shared second-level block cache (DESIGN.md
+// §15): far-target L1 misses probe it before crossing the network, and
+// their block-aligned fills are published back at epoch closure so
+// sibling ranks that share the same L2 value are served from node
+// memory (Stats.L2Hits, Stats.SiblingForwards). Construct one L2 per
+// node with NewL2 and pass it to every rank of that node. Active in
+// AlwaysCache mode only; requires a locality-reporting backend.
+func WithL2(l2 *L2) Option {
+	return func(c *config) { c.params.L2 = l2 }
+}
 
 // Transport options (Dial only).
 
@@ -625,6 +668,12 @@ func (w *Window) Invalidate() { w.cache.Invalidate() }
 
 // Stats returns a snapshot of the caching counters.
 func (w *Window) Stats() Stats { return w.cache.Stats() }
+
+// DistanceStats returns the per-distance-class breakdown of this
+// window's cache activity — empty unless the backend reports locality
+// (see WithLocalityAwareness). Index with rma-style distance classes 0
+// (same process) through 4 (other group).
+func (w *Window) DistanceStats() []DistanceStats { return w.cache.DistanceStats() }
 
 // LastAccess returns the classification of the most recent Get.
 func (w *Window) LastAccess() Access { return w.cache.LastAccess() }

@@ -1,11 +1,14 @@
 // Command clampi-lcc regenerates the Local Clustering Coefficient figures
 // of the paper (§IV-C): the transfer-size distribution (Fig. 3),
 // parameter selection (Fig. 15), access statistics (Fig. 16) and weak
-// scaling with its statistics (Figs. 17-18).
+// scaling with its statistics (Figs. 17-18), plus the locality-tier
+// comparison (-fig locality): cost-aware caching with a node-shared L2
+// versus the locality-blind baseline under skewed rank placement
+// (DESIGN.md §15).
 //
 // Usage:
 //
-//	clampi-lcc [-fig all|3|15|16|17] [-paper] [-scale 12] [-ef 8] [-p 4]
+//	clampi-lcc [-fig all|3|15|16|17|locality] [-paper] [-scale 12] [-ef 8] [-p 4]
 //
 // -paper selects the paper's parameters (Fig. 3: 2^16 vertices, 2^20
 // edges, P=32; Figs 15-16: 2^20 vertices, 2^24 edges, P=32; Figs 17-18:
@@ -23,12 +26,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 3, 15, 16 or 17 (17 includes 18)")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 3, 15, 16, 17 (includes 18) or locality")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	scale := flag.Int("scale", 12, "R-MAT scale (vertices = 2^scale) for Figs 15-16")
 	ef := flag.Int("ef", 8, "R-MAT edge factor")
 	p := flag.Int("p", 4, "processing elements P")
 	maxVerts := flag.Int("maxverts", 256, "max vertices per rank (0 = all)")
+	ranksPerNode := flag.Int("rpn", 2, "ranks per node for the locality figure's skewed placement (must be < p for any inter-node traffic)")
 	mode := flag.String("mode", "fidelity", "execution mode: fidelity (serialized, calibration-grade timing) or throughput (concurrent ranks)")
 	metricsOut := flag.String("metrics", "", "write merged cache metrics to this file (.json selects JSON, anything else Prometheus text format)")
 	traceOut := flag.String("trace", "", "write the cache-event trace to this file as JSON lines")
@@ -95,6 +99,26 @@ func main() {
 			return err
 		}
 		fmt.Print(tbl)
+		return nil
+	})
+	run("locality", func() error {
+		s, e, pp, mv := *scale, *ef, *p, *maxVerts
+		if *paper {
+			s, e, pp, mv = 16, 16, 32, 0
+		}
+		rpn := *ranksPerNode
+		if rpn < 1 {
+			rpn = 1
+		}
+		blind, aware, tbl, err := experiments.LCCLocalityCompare(s, e, pp, rpn, mv, 1<<12, 1<<18)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		fmt.Printf("locality tiers: comm %d -> %d virtual ns (%.1f%%); %d L2 hits, %d L2 fills, %d sibling forwards, %d cheap skips\n",
+			blind.CommVirtualNs, aware.CommVirtualNs,
+			100*float64(aware.CommVirtualNs)/float64(blind.CommVirtualNs),
+			aware.L2Hits, aware.L2Fills, aware.SiblingForwards, aware.CheapSkips)
 		return nil
 	})
 	run("17", func() error {

@@ -20,6 +20,7 @@ import (
 
 	"clampi/internal/experiments"
 	"clampi/internal/mpi"
+	"clampi/internal/rma"
 )
 
 func main() {
@@ -124,6 +125,12 @@ func main() {
 		}
 		fmt.Printf("BENCH_micro.json: %d ops, hit rate %.3f, %.1f virtual ns/op, %.0f wall ns/op, %.2f allocs/op, coalesce ratio %.1f\n",
 			res.Ops, res.HitRate, res.VirtualNsPerOp, res.WallNsPerOp, res.AllocsPerOp, res.BatchCoalesceRatio)
+		for _, class := range rma.DistanceClassNames {
+			if d, ok := res.ByDistance[class]; ok {
+				fmt.Printf("  by_distance %-12s %3d gets  %3d hits  %3d misses  %7.1f virtual ns/op\n",
+					class, d.Gets, d.Hits, d.Misses, d.VirtualNsPerOp)
+			}
+		}
 	}
 
 	if err := experiments.WriteObservability(*metricsOut, *traceOut); err != nil {

@@ -72,6 +72,8 @@ func main() {
 	concWall := time.Since(start) //clampi:walltime progress reporting only
 	fmt.Printf("concurrent pass: %v wall, %v virtual, %.1f%% hits (%d gets, %d seqlock retries)\n",
 		concWall.Round(time.Millisecond), concVtime, hitRate(concStats), concStats.Gets, conc.retries)
+	fmt.Printf("locality counters: %d L2 hits, %d L2 fills, %d sibling forwards, %d cheap skips\n",
+		concStats.L2Hits, concStats.L2Fills, concStats.SiblingForwards, concStats.CheapSkips)
 
 	if *metricsOut != "" {
 		reg := obsv.NewRegistry()

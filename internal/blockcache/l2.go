@@ -1,0 +1,238 @@
+package blockcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// L2 is the node-shared second level of the locality-aware cache stack
+// (DESIGN.md §15). Where Cache above is the paper's single-owner
+// "native" baseline, L2 is a concurrent tier that sits *behind*
+// internal/core: every sibling rank on a node shares one L2 instance,
+// so a block fetched from a far (other-node / other-group) target by
+// one rank serves its node-mates from local memory — sibling-rank fill
+// forwarding — instead of re-crossing the network.
+//
+// Concurrency follows the DESIGN.md §12 discipline:
+//
+//   - Reads are lock-free. Each slot publishes an *immutable* block box
+//     through an atomic pointer; a per-slot version counter brackets
+//     the read (seqlock shape) purely to detect concurrent overwrites —
+//     the box itself can never tear, so a reader that exhausts its
+//     retries still holds a self-consistent block.
+//   - Fills serialize on striped publish mutexes ranked `fill`. At most
+//     one stripe is held at a time (one block per acquisition), only
+//     memory copies happen under it, and no other lock nests inside —
+//     so the lockorder analyzer's single-fill and no-blocking-op rules
+//     hold by construction.
+type L2 struct {
+	blockSize int
+	nblocks   int
+	slots     []l2slot
+	stripes   []l2stripe
+
+	lookups    atomic.Int64 // clampi:atomic — L2 probes (per get, not per block)
+	hits       atomic.Int64 // clampi:atomic — probes fully served from L2
+	misses     atomic.Int64 // clampi:atomic — probes with at least one absent block
+	fills      atomic.Int64 // clampi:atomic — blocks published
+	forwards   atomic.Int64 // clampi:atomic — hits served from a sibling's fill
+	overwrites atomic.Int64 // clampi:atomic — publishes that displaced another block
+	retries    atomic.Int64 // clampi:atomic — seqlock read brackets invalidated by a concurrent publish
+}
+
+// l2slot is one direct-mapped cache slot: an atomically published box
+// plus its overwrite version.
+type l2slot struct {
+	seq atomic.Uint64           // clampi:atomic — bumped twice around every box swap (odd while swapping)
+	box atomic.Pointer[l2block] // clampi:atomic — current immutable block, nil when empty
+	_   [64 - 8 - 8]byte        // keep neighbouring slots off one cache line
+}
+
+// l2block is the immutable unit of publication: once a pointer to it is
+// stored in a slot, nothing ever writes to it again. data holds a full
+// block, or less when the block is cut short by the region end.
+type l2block struct {
+	target int
+	block  int
+	filler int // rank that paid the network fill — forwarding provenance
+	data   []byte
+}
+
+// l2stripe is one publish lock. Stripes exist only to let unrelated
+// slots fill in parallel; a single publish never holds two.
+type l2stripe struct {
+	mu sync.Mutex // clampi:lockrank fill — L2 publish lock: memcpy-only critical section, never nested
+	_  [64]byte
+}
+
+// l2stripes is the number of publish locks; power of two for masking.
+const l2stripes = 64
+
+// L2Stats is a point-in-time snapshot of the shared tier's counters.
+type L2Stats struct {
+	Lookups    int64
+	Hits       int64
+	Misses     int64
+	Fills      int64
+	Forwards   int64
+	Overwrites int64
+	Retries    int64
+}
+
+// NewL2 builds a node-shared block tier of memoryBytes bytes with the
+// given block granularity (DefaultBlockSize when blockSize <= 0).
+// memoryBytes is rounded down to a whole number of blocks. The instance
+// is safe for concurrent use by all sibling ranks of a node.
+func NewL2(memoryBytes, blockSize int) (*L2, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	n := memoryBytes / blockSize
+	if n <= 0 {
+		return nil, ErrBadConfig
+	}
+	return &L2{
+		blockSize: blockSize,
+		nblocks:   n,
+		slots:     make([]l2slot, n),
+		stripes:   make([]l2stripe, l2stripes),
+	}, nil
+}
+
+// BlockSize returns the block granularity.
+func (l *L2) BlockSize() int { return l.blockSize }
+
+// Blocks returns the number of cache slots.
+func (l *L2) Blocks() int { return l.nblocks }
+
+// slotOf maps (target, block) to its direct-mapped slot, reusing the
+// Fibonacci-hash spread of the native baseline.
+func (l *L2) slotOf(target, block int) int {
+	return (block + target*2654435761) % l.nblocks
+}
+
+// Lookup probes the tier for the range [disp, disp+len(dst)) of
+// target's region and, when every covering block is resident, copies
+// the bytes into dst. reader is the probing rank; forwarded reports
+// whether any served block was filled by a different rank (a sibling
+// forward). On a miss dst may hold a partial prefix — callers overwrite
+// it on the network path. Allocation-free; safe for concurrent use.
+func (l *L2) Lookup(reader, target, disp int, dst []byte) (hit, forwarded bool) {
+	l.lookups.Add(1)
+	size := len(dst)
+	for off := 0; off < size; {
+		block := (disp + off) / l.blockSize
+		blockStart := block * l.blockSize
+		lo := disp + off - blockStart
+		n := l.blockSize - lo
+		if n > size-off {
+			n = size - off
+		}
+		s := &l.slots[l.slotOf(target, block)]
+		served := false
+		for attempt := 0; attempt < 3 && !served; attempt++ {
+			v1 := s.seq.Load()
+			b := s.box.Load()
+			if b == nil || b.target != target || b.block != block || lo+n > len(b.data) {
+				break
+			}
+			copy(dst[off:off+n], b.data[lo:lo+n])
+			if s.seq.Load() == v1 {
+				served = true
+				break
+			}
+			// The box is immutable, so the copy is self-consistent
+			// even though the slot moved on; retry for freshness, and
+			// past the retry budget accept the (valid) stale block.
+			l.retries.Add(1)
+			served = attempt == 2
+		}
+		if !served {
+			l.misses.Add(1)
+			return false, false
+		}
+		if b := s.box.Load(); b != nil && b.filler != reader {
+			forwarded = true
+		}
+		off += n
+	}
+	l.hits.Add(1)
+	if forwarded {
+		l.forwards.Add(1)
+	}
+	return true, forwarded
+}
+
+// Publish stores the block-aligned range [disp, disp+len(src)) of
+// target's region into the tier on behalf of rank filler, and returns
+// the number of blocks actually published. disp must be a multiple of
+// BlockSize; the final block may be short (region end). Blocks already
+// resident (a sibling raced us to the same fill) are kept — first
+// publisher wins, so forwarding provenance stays with the rank that
+// paid the network trip. Safe for concurrent use.
+func (l *L2) Publish(filler, target, disp int, src []byte) int {
+	if disp%l.blockSize != 0 {
+		return 0
+	}
+	published := 0
+	for off := 0; off < len(src); off += l.blockSize {
+		block := (disp + off) / l.blockSize
+		end := off + l.blockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		slot := l.slotOf(target, block)
+		st := &l.stripes[slot%l2stripes]
+		st.mu.Lock()
+		s := &l.slots[slot]
+		old := s.box.Load()
+		if old != nil && old.target == target && old.block == block && len(old.data) >= end-off {
+			st.mu.Unlock()
+			continue
+		}
+		if old != nil {
+			l.overwrites.Add(1)
+		}
+		nb := &l2block{
+			target: target,
+			block:  block,
+			filler: filler,
+			data:   append([]byte(nil), src[off:end]...),
+		}
+		s.seq.Add(1) // odd: swap in progress
+		s.box.Store(nb)
+		s.seq.Add(1) // even: published
+		st.mu.Unlock()
+		published++
+	}
+	l.fills.Add(int64(published))
+	return published
+}
+
+// Reset drops every cached block (tests and explicit node-wide
+// invalidation; per-rank epoch invalidation never clears the shared
+// tier — see DESIGN.md §15 on why L2 serves read-only windows).
+func (l *L2) Reset() {
+	for i := range l.slots {
+		s := &l.slots[i]
+		st := &l.stripes[i%l2stripes]
+		st.mu.Lock()
+		s.seq.Add(1)
+		s.box.Store(nil)
+		s.seq.Add(1)
+		st.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the tier's counters.
+func (l *L2) Stats() L2Stats {
+	return L2Stats{
+		Lookups:    l.lookups.Load(),
+		Hits:       l.hits.Load(),
+		Misses:     l.misses.Load(),
+		Fills:      l.fills.Load(),
+		Forwards:   l.forwards.Load(),
+		Overwrites: l.overwrites.Load(),
+		Retries:    l.retries.Load(),
+	}
+}

@@ -1,0 +1,163 @@
+package blockcache
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func l2pattern(target, i int) byte { return byte(i*7 + target*31 + 3) }
+
+func l2region(target, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = l2pattern(target, i)
+	}
+	return b
+}
+
+func TestL2PublishLookup(t *testing.T) {
+	l2, err := NewL2(64<<10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := l2region(3, 4096)
+	if n := l2.Publish(0, 3, 0, region); n != 16 {
+		t.Fatalf("published %d blocks, want 16", n)
+	}
+	// Unaligned span across two blocks, same rank that filled.
+	dst := make([]byte, 300)
+	hit, fwd := l2.Lookup(0, 3, 100, dst)
+	if !hit || fwd {
+		t.Fatalf("Lookup = (%v, %v), want hit without forward", hit, fwd)
+	}
+	if !bytes.Equal(dst, region[100:400]) {
+		t.Fatalf("payload mismatch")
+	}
+	// Same span read by a sibling rank: a forward.
+	hit, fwd = l2.Lookup(1, 3, 100, dst)
+	if !hit || !fwd {
+		t.Fatalf("sibling Lookup = (%v, %v), want forwarded hit", hit, fwd)
+	}
+	// A range not published misses.
+	if hit, _ = l2.Lookup(0, 4, 0, dst); hit {
+		t.Fatalf("unexpected hit on foreign target")
+	}
+	st := l2.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Fills != 16 || st.Forwards != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestL2ShortTailBlock(t *testing.T) {
+	l2, err := NewL2(8<<10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region ends mid-block: the tail publish is short.
+	region := l2region(1, 300)
+	if n := l2.Publish(2, 1, 0, region); n != 2 {
+		t.Fatalf("published %d blocks, want 2", n)
+	}
+	dst := make([]byte, 40)
+	hit, fwd := l2.Lookup(0, 1, 260, dst)
+	if !hit || !fwd {
+		t.Fatalf("Lookup = (%v, %v), want forwarded hit", hit, fwd)
+	}
+	if !bytes.Equal(dst, region[260:300]) {
+		t.Fatalf("payload mismatch on short block")
+	}
+	// Bytes past the short tail are not resident.
+	if hit, _ = l2.Lookup(0, 1, 260, make([]byte, 60)); hit {
+		t.Fatalf("hit past region end")
+	}
+}
+
+func TestL2FirstPublisherWins(t *testing.T) {
+	l2, err := NewL2(8<<10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := l2region(0, 256)
+	l2.Publish(5, 0, 0, region)
+	l2.Publish(6, 0, 0, region) // racing duplicate fill: kept, not replaced
+	dst := make([]byte, 256)
+	if _, fwd := l2.Lookup(5, 0, 0, dst); fwd {
+		t.Fatalf("provenance lost: first publisher was rank 5")
+	}
+	if st := l2.Stats(); st.Fills != 1 {
+		t.Fatalf("duplicate publish counted as fill: %+v", st)
+	}
+}
+
+func TestL2UnalignedPublishRejected(t *testing.T) {
+	l2, err := NewL2(8<<10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := l2.Publish(0, 0, 100, make([]byte, 256)); n != 0 {
+		t.Fatalf("unaligned publish accepted: %d", n)
+	}
+}
+
+func TestL2Reset(t *testing.T) {
+	l2, err := NewL2(8<<10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Publish(0, 0, 0, l2region(0, 256))
+	l2.Reset()
+	if hit, _ := l2.Lookup(0, 0, 0, make([]byte, 16)); hit {
+		t.Fatalf("hit after Reset")
+	}
+}
+
+// TestL2ConcurrentSiblings hammers one L2 from several goroutines
+// standing in for sibling ranks — the -race configuration of the
+// seqlock-read / fill-mutex-write discipline.
+func TestL2ConcurrentSiblings(t *testing.T) {
+	l2, err := NewL2(32<<10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		ranks   = 4
+		rounds  = 400
+		targets = 3
+		span    = 8 << 10
+	)
+	regions := make([][]byte, targets)
+	for tgt := range regions {
+		regions[tgt] = l2region(tgt, span)
+	}
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			dst := make([]byte, 300)
+			for i := 0; i < rounds; i++ {
+				tgt := (rank + i) % targets
+				disp := (i * 37 * 256) % (span - len(dst))
+				if hit, _ := l2.Lookup(rank, tgt, disp, dst); hit {
+					if !bytes.Equal(dst, regions[tgt][disp:disp+len(dst)]) {
+						t.Errorf("rank %d: torn read at target %d disp %d", rank, tgt, disp)
+						return
+					}
+					continue
+				}
+				lo := disp - disp%256
+				hi := lo + ((len(dst)+disp-lo+255)/256)*256
+				if hi > span {
+					hi = span
+				}
+				l2.Publish(rank, tgt, lo, regions[tgt][lo:hi])
+			}
+		}(rank)
+	}
+	wg.Wait()
+	st := l2.Stats()
+	if st.Hits == 0 || st.Fills == 0 {
+		t.Fatalf("expected traffic in both directions: %+v", st)
+	}
+}

@@ -122,8 +122,10 @@ func (b *breaker) onSuccess(target int) {
 
 // onFailure records a transient failure towards target and returns true
 // when it transitions the breaker to open (including a failed half-open
-// probe reopening it).
-func (b *breaker) onFailure(target int, now simtime.Duration) bool {
+// probe reopening it). cooldown is the fail-fast window to apply — the
+// policy's Cooldown, distance-scaled by the caller in cost-aware mode
+// (Cache.breakerCooldown).
+func (b *breaker) onFailure(target int, now, cooldown simtime.Duration) bool {
 	t := &b.targets[target]
 	switch t.state {
 	case breakerClosed:
@@ -132,12 +134,12 @@ func (b *breaker) onFailure(target int, now simtime.Duration) bool {
 			return false
 		}
 		t.state = breakerOpen
-		t.openUntil = now + b.pol.Cooldown
+		t.openUntil = now + cooldown
 		b.open++
 		return true
 	case breakerHalfOpen:
 		t.state = breakerOpen
-		t.openUntil = now + b.pol.Cooldown
+		t.openUntil = now + cooldown
 		return true
 	}
 	return false

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"clampi/internal/blockcache"
 	"clampi/internal/cuckoo"
 	"clampi/internal/datatype"
 	"clampi/internal/rma"
@@ -156,6 +157,31 @@ type Params struct {
 	// (DESIGN.md §11). The deferred invalidation runs at the first
 	// closure after all breakers close. Requires Breaker.
 	ServeStale bool
+
+	// LocalityAware makes the cache cost-aware (DESIGN.md §15): cheap
+	// same-socket fills bypass admission, eviction victim scores are
+	// weighted by per-target refill cost, and retry backoff / breaker
+	// cooldowns scale with distance. Requires the window to implement
+	// rma.LocalityWindow; silently inert otherwise.
+	LocalityAware bool
+	// CheapFillThreshold is the fill-cost ceiling under which a
+	// same-process/same-socket miss is served direct without admission
+	// (counted in Stats.CheapSkips). Zero selects
+	// DefaultCheapFillThreshold; meaningful only with LocalityAware.
+	CheapFillThreshold simtime.Duration
+	// L2, when non-nil, attaches the node-shared second-level block
+	// cache: L1 misses on far targets probe it before crossing the
+	// network, and their fills are published back at epoch closure so
+	// sibling ranks are served from node memory (DESIGN.md §15). L2 is
+	// consulted only in AlwaysCache mode (read-only windows): the
+	// transparent mode's per-epoch freshness guarantee cannot be kept by
+	// a tier shared across ranks whose epochs differ.
+	L2 *blockcache.L2
+	// L2MinClass is the nearest distance class whose misses go through
+	// L2 (rma.Distance* scale); closer targets use the exact-range
+	// path — block overfetch only pays off when the trip is expensive.
+	// Zero selects DefaultL2MinClass (other-node).
+	L2MinClass int
 }
 
 // Defaults for Params fields left zero.
@@ -318,6 +344,15 @@ type Cache struct {
 	iw          rma.IntegrityWindow // backend attestation, nil if unsupported
 	dw          rma.DeadlineWindow  // per-op deadline propagation, nil if unsupported
 	staleDefer  bool                // transparent invalidation deferred (stale serving)
+
+	// Locality state (locality.go); lw is nil unless Params.LocalityAware
+	// or Params.L2 is set and the backend implements rma.LocalityWindow.
+	lw        rma.LocalityWindow // locality oracle, nil when disabled
+	cheap     simtime.Duration   // admission-bypass fill-cost ceiling
+	distStats []DistanceStats    // per-class activity, indexed by class
+	l2        *blockcache.L2     // node-shared second level, nil when detached
+	l2min     int                // nearest class routed through L2
+	l2pend    []l2Fill           // staged fills published to L2 at epoch closure
 }
 
 // Errors.
@@ -379,6 +414,7 @@ func New(win rma.Window, params Params) (*Cache, error) {
 			c.dw, _ = win.(rma.DeadlineWindow)
 		}
 	}
+	c.initLocality()
 	win.AddEpochListener(c.onEpochClose)
 	return c, nil
 }
@@ -507,6 +543,7 @@ func (c *Cache) serveHit(e *entry, dst []byte, dtype datatype.Datatype, count, t
 	full := size <= e.payload
 	if full {
 		c.stats.FullHits++
+		c.noteDistHit(target)
 	} else {
 		c.stats.PartialHits++
 		c.last.Partial = true
@@ -607,6 +644,9 @@ func (c *Cache) remoteGet(dst []byte, dtype datatype.Datatype, count, target, di
 // cache the incoming data (§III-B2). The remote get is issued first so
 // its network time overlaps the cache-management work.
 func (c *Cache) serveMiss(key cuckoo.Key, dst []byte, dtype datatype.Datatype, count, target, disp, size int) error {
+	if c.l2Routed(dtype, size, target) {
+		return c.serveMissL2(key, dst, target, disp, size)
+	}
 	if err := c.remoteGet(dst, dtype, count, target, disp); err != nil {
 		return err
 	}
@@ -623,6 +663,15 @@ func (c *Cache) serveMiss(key cuckoo.Key, dst []byte, dtype datatype.Datatype, c
 // still cannot be allocated the access fails and nothing is cached.
 // src must stay intact until the epoch closes.
 func (c *Cache) insertPending(key cuckoo.Key, src []byte, size int) AccessType {
+	if c.cheapSkip(key.Target, size) {
+		// Cost-aware admission bypass (DESIGN.md §15): the target is a
+		// memcpy away, so caching would spend storage and eviction
+		// pressure to save less than the management cost. Delivered
+		// without storing; classified direct (no eviction happened) and
+		// tallied separately.
+		c.stats.CheapSkips++
+		return AccessDirect
+	}
 	if c.brk != nil && !c.brk.closed(key.Target) {
 		// Degraded target: the fill itself succeeded (possibly via a
 		// half-open probe), but the target is not yet re-certified
@@ -881,6 +930,11 @@ func (c *Cache) onEpochClose(epoch int64) {
 	})
 	c.last.Copy += copyT
 	c.stats.CopyTime += copyT
+	if c.l2 != nil {
+		// Staged block fills just became valid with the rest of the
+		// epoch's data; publish before the arena holding them is reset.
+		c.publishL2()
+	}
 	c.pending = c.pending[:0]
 	c.recycleDead()
 	c.arena = c.arena[:0]
@@ -963,6 +1017,7 @@ func (c *Cache) invalidate() {
 		c.idx.Clear()
 		c.store.Reset()
 	})
+	c.dropL2Pending()
 	c.pending = c.pending[:0]
 	c.recycleDead()
 	c.arena = c.arena[:0]

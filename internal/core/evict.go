@@ -36,16 +36,26 @@ func (c *Cache) positionalScore(e *entry) float64 {
 
 // score combines the two factors per the configured scheme: R = R_P × R_T
 // for the Full scheme; the ablation schemes use one factor only
-// (Figs. 10–11).
+// (Figs. 10–11). In cost-aware mode (DESIGN.md §15) the score is
+// additionally weighted by the entry's refill cost, so at equal recency
+// a cheap-to-refill (near-target) entry scores lower and loses the
+// victim comparison to an expensive (far-target) one. The weight is a
+// constant factor per (target, size), so the ablation orderings within
+// one distance class are unchanged.
 func (c *Cache) score(e *entry) float64 {
+	var s float64
 	switch c.params.Scheme {
 	case SchemeTemporal:
-		return c.temporalScore(e)
+		s = c.temporalScore(e)
 	case SchemePositional:
-		return c.positionalScore(e)
+		s = c.positionalScore(e)
 	default:
-		return c.positionalScore(e) * c.temporalScore(e)
+		s = c.positionalScore(e) * c.temporalScore(e)
 	}
+	if c.costAware() {
+		s *= c.evictWeight(e)
+	}
+	return s
 }
 
 // selectCapacityVictim implements the sampling procedure of §III-D: visit

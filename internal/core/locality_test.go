@@ -1,0 +1,497 @@
+package core
+
+// Tests of the locality-aware machinery (DESIGN.md §15): cost-aware
+// admission bypass, refill-cost-weighted eviction, distance-scaled
+// resilience, the node-shared L2 tier and the per-distance/L2 counters.
+
+import (
+	"testing"
+
+	"clampi/internal/blockcache"
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+	"clampi/internal/rma"
+	"clampi/internal/simtime"
+)
+
+// withWorld runs fn on every rank of a size-rank world under cfg; every
+// rank's region holds regionSize bytes of pattern data. fn must report
+// failures via t.Errorf (Fatalf would desynchronize the collectives).
+func withWorld(t *testing.T, size int, cfg mpi.Config, regionSize int, fn func(r *mpi.Rank, win *mpi.Win) error) {
+	t.Helper()
+	err := mpi.Run(size, cfg, func(r *mpi.Rank) error {
+		region := make([]byte, regionSize)
+		for i := range region {
+			region[i] = pattern(i)
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		fnErr := fn(r, win)
+		r.Barrier()
+		return fnErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheapSkipAdmission: with locality awareness on, small same-socket
+// fills are served direct and never admitted, while larger same-socket
+// fills and same-node fills cache normally — and the per-distance-class
+// counters attribute every get to the right class.
+func TestCheapSkipAdmission(t *testing.T) {
+	// One 4-rank node: rank 1 shares rank 0's socket, rank 2 is on the
+	// other socket (mpi half-split mapping).
+	cfg := mpi.Config{RanksPerNode: 4}
+	params := alwaysParams()
+	params.LocalityAware = true
+	withWorld(t, 4, cfg, 16<<10, func(r *mpi.Rank, win *mpi.Win) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		c, err := New(win, params)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		defer win.UnlockAll()
+
+		if got := win.DistanceClass(1); got != rma.DistanceSameSocket {
+			t.Errorf("DistanceClass(1) = %d, want SameSocket", got)
+		}
+		if got := win.DistanceClass(2); got != rma.DistanceSameNode {
+			t.Errorf("DistanceClass(2) = %d, want SameNode", got)
+		}
+
+		dst := make([]byte, 256)
+		// Small same-socket get: bypassed twice — never cached.
+		for i := 0; i < 2; i++ {
+			if err := c.Get(dst, datatype.Byte, 256, 1, 0); err != nil {
+				return err
+			}
+			if got := c.LastAccess(); got.Type != AccessDirect || !got.Issued {
+				t.Errorf("cheap get %d = %+v, want direct+issued", i, got)
+			}
+			if err := win.FlushAll(); err != nil {
+				return err
+			}
+			checkData(t, dst, 0)
+		}
+		// Large same-socket get: fill cost above the threshold — admitted.
+		big := make([]byte, 4096)
+		if err := c.Get(big, datatype.Byte, 4096, 1, 1024); err != nil {
+			return err
+		}
+		if err := win.FlushAll(); err != nil {
+			return err
+		}
+		checkData(t, big, 1024)
+		if err := c.Get(big, datatype.Byte, 4096, 1, 1024); err != nil {
+			return err
+		}
+		if got := c.LastAccess(); got.Type != AccessHit {
+			t.Errorf("large same-socket re-get = %+v, want hit", got)
+		}
+		// Small same-node get: other socket, admitted regardless of size.
+		if err := c.Get(dst, datatype.Byte, 256, 2, 0); err != nil {
+			return err
+		}
+		if err := win.FlushAll(); err != nil {
+			return err
+		}
+		if err := c.Get(dst, datatype.Byte, 256, 2, 0); err != nil {
+			return err
+		}
+		if got := c.LastAccess(); got.Type != AccessHit {
+			t.Errorf("same-node re-get = %+v, want hit", got)
+		}
+		checkData(t, dst, 0)
+
+		s := c.Stats()
+		if s.CheapSkips != 2 {
+			t.Errorf("CheapSkips = %d, want 2", s.CheapSkips)
+		}
+		ds := c.DistanceStats()
+		if len(ds) != rma.NumDistanceClasses {
+			t.Fatalf("DistanceStats len = %d, want %d", len(ds), rma.NumDistanceClasses)
+		}
+		sock := ds[rma.DistanceSameSocket]
+		if sock.Gets != 4 || sock.Misses != 3 || sock.Hits != 1 {
+			t.Errorf("same-socket stats = %+v, want 4 gets / 3 misses / 1 hit", sock)
+		}
+		if want := int64(256 + 256 + 4096); sock.BytesFromNetwork != want {
+			t.Errorf("same-socket BytesFromNetwork = %d, want %d", sock.BytesFromNetwork, want)
+		}
+		node := ds[rma.DistanceSameNode]
+		if node.Gets != 2 || node.Misses != 1 || node.Hits != 1 || node.BytesFromNetwork != 256 {
+			t.Errorf("same-node stats = %+v, want 2 gets / 1 miss / 1 hit / 256 B", node)
+		}
+		if sock.FillTime <= 0 || node.FillTime <= sock.FillTime/4 {
+			t.Errorf("fill times sock=%v node=%v look wrong", sock.FillTime, node.FillTime)
+		}
+		return nil
+	})
+}
+
+// TestCostAwareEviction: at a capacity eviction with older-far vs
+// newer-near entries, the locality-blind temporal score evicts the far
+// (older) entry, while the cost-weighted score sacrifices the near one.
+func TestCostAwareEviction(t *testing.T) {
+	// Ranks 0,1 share a node (different sockets); rank 4 is other-group.
+	cfg := mpi.Config{RanksPerNode: 2, NodesPerGroup: 1}
+	for _, aware := range []bool{false, true} {
+		params := alwaysParams()
+		params.Scheme = SchemeTemporal
+		params.StorageBytes = 10 << 10 // two 4 KiB payloads fit, not three
+		params.SampleSize = 4096       // >= IndexSlots: scan sees every candidate
+		params.LocalityAware = aware
+		withWorld(t, 6, cfg, 16<<10, func(r *mpi.Rank, win *mpi.Win) error {
+			if r.ID() != 0 {
+				return nil
+			}
+			c, err := New(win, params)
+			if err != nil {
+				return err
+			}
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			defer win.UnlockAll()
+
+			buf := make([]byte, 4096)
+			get := func(target, disp int) error {
+				if err := c.Get(buf, datatype.Byte, 4096, target, disp); err != nil {
+					return err
+				}
+				return win.FlushAll()
+			}
+			// Older far entry, then newer near entry, then a third fill
+			// that forces one capacity eviction.
+			if err := get(4, 0); err != nil { // far, oldest
+				return err
+			}
+			if err := get(1, 0); err != nil { // near, newer
+				return err
+			}
+			if err := get(4, 8192); err != nil { // forces the eviction
+				return err
+			}
+			if got := c.LastAccess(); got.Type != AccessCapacity {
+				t.Errorf("aware=%v: third fill = %+v, want capacity eviction", aware, got)
+			}
+			if s := c.Stats(); s.Capacity != 1 {
+				t.Errorf("aware=%v: Capacity = %d, want exactly 1 eviction", aware, s.Capacity)
+			}
+			// Exactly one of {far, near} was evicted; probing far tells us
+			// which (probing both would trigger fresh evictions).
+			if err := c.Get(buf, datatype.Byte, 4096, 4, 0); err != nil {
+				return err
+			}
+			farHit := c.LastAccess().Type == AccessHit
+			if err := win.FlushAll(); err != nil {
+				return err
+			}
+			if aware && !farHit {
+				t.Errorf("cost-aware: far entry was evicted, want cheap near entry sacrificed")
+			}
+			if !aware && farHit {
+				t.Errorf("locality-blind: far entry survived, want oldest (far) evicted")
+			}
+			return nil
+		})
+	}
+}
+
+// TestL2SharedTier: sibling ranks on one node share an L2; the filler's
+// block-aligned overfetch serves later misses of BOTH siblings from node
+// memory, with forwards counted only across ranks, and the Stats/L2Stats
+// accounting matching exactly.
+func TestL2SharedTier(t *testing.T) {
+	cfg := mpi.Config{RanksPerNode: 2, NodesPerGroup: 1}
+	l2, err := blockcache.NewL2(1<<20, 0) // default 1 KiB blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := alwaysParams()
+	params.LocalityAware = true
+	params.L2 = l2
+	var rank0Stats, rank1Stats Stats
+	var rank0Dist []DistanceStats
+	withWorld(t, 4, cfg, 16<<10, func(r *mpi.Rank, win *mpi.Win) error {
+		// Target rank 2 lives on the other node → other group (npg=1).
+		switch r.ID() {
+		case 1:
+			c, err := New(win, params)
+			if err != nil {
+				return err
+			}
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			dst := make([]byte, 256)
+			// Miss: overfetches block [0,1024) and stages it for L2.
+			if err := c.Get(dst, datatype.Byte, 256, 2, 128); err != nil {
+				return err
+			}
+			if err := win.FlushAll(); err != nil { // publishes into L2
+				return err
+			}
+			checkData(t, dst, 128)
+			// Same key again: L1 hit, L2 not consulted.
+			if err := c.Get(dst, datatype.Byte, 256, 2, 128); err != nil {
+				return err
+			}
+			if got := c.LastAccess(); got.Type != AccessHit {
+				t.Errorf("rank1 L1 re-get = %+v, want hit", got)
+			}
+			// Different range of the same block: L1 miss, served from the
+			// rank's own L2 fill (no sibling forward).
+			if err := c.Get(dst, datatype.Byte, 256, 2, 512); err != nil {
+				return err
+			}
+			if got := c.LastAccess(); got.Type != AccessHit || got.Issued {
+				t.Errorf("rank1 L2 get = %+v, want unissued hit", got)
+			}
+			checkData(t, dst, 512)
+			rank1Stats = c.Stats()
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+			r.Barrier() // L2 fill published and verified; release rank 0
+		case 0:
+			r.Barrier() // wait for rank 1's fill
+			c, err := New(win, params)
+			if err != nil {
+				return err
+			}
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			dst := make([]byte, 128)
+			// First touch of the block on this rank: sibling forward.
+			if err := c.Get(dst, datatype.Byte, 128, 2, 640); err != nil {
+				return err
+			}
+			if got := c.LastAccess(); got.Type != AccessHit || got.Issued {
+				t.Errorf("rank0 L2 get = %+v, want unissued hit", got)
+			}
+			checkData(t, dst, 640)
+			rank0Stats = c.Stats()
+			rank0Dist = c.DistanceStats()
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+		default:
+			r.Barrier()
+		}
+		return nil
+	})
+
+	if rank1Stats.L2Hits != 1 || rank1Stats.SiblingForwards != 0 || rank1Stats.L2Fills != 1 {
+		t.Errorf("rank1 stats = L2Hits %d / SiblingForwards %d / L2Fills %d, want 1/0/1",
+			rank1Stats.L2Hits, rank1Stats.SiblingForwards, rank1Stats.L2Fills)
+	}
+	if rank1Stats.Hits != 2 || rank1Stats.FullHits != 2 {
+		t.Errorf("rank1 Hits/FullHits = %d/%d, want 2/2", rank1Stats.Hits, rank1Stats.FullHits)
+	}
+	if rank1Stats.BytesFromNetwork != 1024 { // one whole block, not 256
+		t.Errorf("rank1 BytesFromNetwork = %d, want 1024", rank1Stats.BytesFromNetwork)
+	}
+	if rank0Stats.L2Hits != 1 || rank0Stats.SiblingForwards != 1 || rank0Stats.L2Fills != 0 {
+		t.Errorf("rank0 stats = L2Hits %d / SiblingForwards %d / L2Fills %d, want 1/1/0",
+			rank0Stats.L2Hits, rank0Stats.SiblingForwards, rank0Stats.L2Fills)
+	}
+	if rank0Stats.BytesFromNetwork != 0 || rank0Stats.BytesFromCache != 128 {
+		t.Errorf("rank0 bytes net/cache = %d/%d, want 0/128",
+			rank0Stats.BytesFromNetwork, rank0Stats.BytesFromCache)
+	}
+	og := rank0Dist[rma.DistanceOtherGroup]
+	if og.Gets != 1 || og.Hits != 1 || og.Misses != 0 {
+		t.Errorf("rank0 other-group dist stats = %+v, want 1 get / 1 hit", og)
+	}
+	ls := l2.Stats()
+	if ls.Hits != 2 || ls.Fills != 1 || ls.Forwards != 1 || ls.Lookups != 3 {
+		t.Errorf("L2 tier stats = %+v, want 2 hits / 1 fill / 1 forward / 3 lookups", ls)
+	}
+}
+
+// TestL2RequiresAlwaysCache: in transparent mode the shared tier must
+// stay detached — per-rank epoch invalidation cannot be honoured by a
+// tier shared across ranks.
+func TestL2RequiresAlwaysCache(t *testing.T) {
+	cfg := mpi.Config{RanksPerNode: 2, NodesPerGroup: 1}
+	params := alwaysParams()
+	params.Mode = Transparent
+	l2, err := blockcache.NewL2(64<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.L2 = l2
+	withWorld(t, 4, cfg, 4096, func(r *mpi.Rank, win *mpi.Win) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		c, err := New(win, params)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		defer win.UnlockAll()
+		dst := make([]byte, 256)
+		if err := c.Get(dst, datatype.Byte, 256, 2, 0); err != nil {
+			return err
+		}
+		if err := win.FlushAll(); err != nil {
+			return err
+		}
+		if s := c.Stats(); s.L2Fills != 0 || s.L2Hits != 0 {
+			t.Errorf("transparent-mode L2 stats = fills %d hits %d, want 0/0", s.L2Fills, s.L2Hits)
+		}
+		return nil
+	})
+	if s := params.L2.Stats(); s.Lookups != 0 || s.Fills != 0 {
+		t.Errorf("transparent-mode tier saw traffic: %+v", s)
+	}
+}
+
+// TestDistanceScaledResilience: backoff and breaker cooldowns stretch
+// with the target's distance class, deterministically, and only in
+// cost-aware mode.
+func TestDistanceScaledResilience(t *testing.T) {
+	cfg := mpi.Config{RanksPerNode: 2, NodesPerGroup: 1}
+	for _, aware := range []bool{false, true} {
+		params := alwaysParams()
+		params.LocalityAware = aware
+		retry := rma.DefaultRetryPolicy()
+		brk := DefaultBreakerPolicy()
+		params.Retry = &retry
+		params.Breaker = &brk
+		withWorld(t, 6, cfg, 4096, func(r *mpi.Rank, win *mpi.Win) error {
+			if r.ID() != 0 {
+				return nil
+			}
+			c, err := New(win, params)
+			if err != nil {
+				return err
+			}
+			const base = 1000 * simtime.Nanosecond
+			near := c.scaledBackoff(base, 1) // same node
+			far := c.scaledBackoff(base, 4)  // other group
+			nearCD := c.breakerCooldown(1)
+			farCD := c.breakerCooldown(4)
+			if !aware {
+				if near != base || far != base {
+					t.Errorf("blind backoffs = %v/%v, want %v unchanged", near, far, base)
+				}
+				if nearCD != brk.Cooldown || farCD != brk.Cooldown {
+					t.Errorf("blind cooldowns = %v/%v, want %v", nearCD, farCD, brk.Cooldown)
+				}
+				return nil
+			}
+			if near < base || far <= near {
+				t.Errorf("aware backoffs near=%v far=%v, want base <= near < far", near, far)
+			}
+			if far > simtime.Duration(distScaleMax*float64(base)) {
+				t.Errorf("far backoff %v exceeds the %vx cap", far, distScaleMax)
+			}
+			if farCD <= nearCD {
+				t.Errorf("aware cooldowns near=%v far=%v, want near < far", nearCD, farCD)
+			}
+			if again := c.scaledBackoff(base, 4); again != far {
+				t.Errorf("backoff not deterministic: %v then %v", far, again)
+			}
+			return nil
+		})
+	}
+}
+
+// TestL2BatchPath: the vectorized path participates in the shared tier —
+// a sibling's coalesced (and block-widened) batch fill serves the other
+// rank's whole batch from node memory, with no merged message issued.
+func TestL2BatchPath(t *testing.T) {
+	cfg := mpi.Config{RanksPerNode: 2, NodesPerGroup: 1}
+	l2, err := blockcache.NewL2(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := alwaysParams()
+	params.LocalityAware = true
+	params.L2 = l2
+	var s0, s1 Stats
+	withWorld(t, 4, cfg, 16<<10, func(r *mpi.Rank, win *mpi.Win) error {
+		const width, opBytes = 4, 256
+		mkOps := func(dst []byte, base int) []GetOp {
+			ops := make([]GetOp, width)
+			for i := range ops {
+				lo := i * opBytes
+				ops[i] = GetOp{Dst: dst[lo : lo+opBytes], Target: 2, Disp: base + lo}
+			}
+			return ops
+		}
+		switch r.ID() {
+		case 1:
+			c, err := New(win, params)
+			if err != nil {
+				return err
+			}
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			dst := make([]byte, width*opBytes)
+			// Misses start at 128: the merged run [128,1152) widens to
+			// the aligned span [0,2048) before issue and publication.
+			if err := c.GetBatch(mkOps(dst, 128)); err != nil {
+				return err
+			}
+			if err := win.FlushAll(); err != nil {
+				return err
+			}
+			checkData(t, dst, 128)
+			s1 = c.Stats()
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+			r.Barrier()
+		case 0:
+			r.Barrier() // wait for the sibling's published fill
+			c, err := New(win, params)
+			if err != nil {
+				return err
+			}
+			if err := win.LockAll(); err != nil {
+				return err
+			}
+			dst := make([]byte, width*opBytes)
+			// Different offsets inside the same published span.
+			if err := c.GetBatch(mkOps(dst, 1024)); err != nil {
+				return err
+			}
+			checkData(t, dst, 1024)
+			s0 = c.Stats()
+			if err := win.UnlockAll(); err != nil {
+				return err
+			}
+		default:
+			r.Barrier()
+		}
+		return nil
+	})
+	if s1.BatchMessages != 1 || s1.BytesFromNetwork != 2048 {
+		t.Errorf("rank1 messages/netbytes = %d/%d, want 1 widened message of 2048",
+			s1.BatchMessages, s1.BytesFromNetwork)
+	}
+	if s1.L2Fills != 2 {
+		t.Errorf("rank1 L2Fills = %d, want 2 blocks", s1.L2Fills)
+	}
+	if s0.L2Hits != 4 || s0.SiblingForwards != 4 {
+		t.Errorf("rank0 L2Hits/SiblingForwards = %d/%d, want 4/4", s0.L2Hits, s0.SiblingForwards)
+	}
+	if s0.BytesFromNetwork != 0 || s0.BatchMessages != 0 {
+		t.Errorf("rank0 issued network traffic: %d bytes, %d messages",
+			s0.BytesFromNetwork, s0.BatchMessages)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+// Benchmarks of the node-shared L2 tier (DESIGN.md §15), in the
+// BenchmarkOp* set so cmd/clampi-perfgate gates them. The acceptance bar
+// is that an L2 hit costs < 50% of the other-group miss it replaces
+// (TestL2HitBeatsMiss asserts it in virtual time).
+
+import (
+	"testing"
+
+	"clampi/internal/blockcache"
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+	"clampi/internal/simtime"
+)
+
+// l2BenchConfig puts ranks 0,1 on node 0 and the target rank 2 on node 1
+// in its own group, so misses towards it are other-group — far enough
+// for L2 routing.
+func l2BenchConfig() mpi.Config {
+	return mpi.Config{RanksPerNode: 2, NodesPerGroup: 1}
+}
+
+func l2BenchParams(tb testing.TB) Params {
+	tb.Helper()
+	l2, err := blockcache.NewL2(1<<20, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p := alwaysParams()
+	p.LocalityAware = true
+	p.L2 = l2
+	return p
+}
+
+// BenchmarkOpL2Hit measures the steady-state L2-hit path: the key's
+// block is resident in the node-shared tier (published by this rank's
+// own earlier overfetch) but the exact range is not in L1, so every get
+// is an L1 miss served from node memory without touching the network.
+func BenchmarkOpL2Hit(b *testing.B) {
+	params := l2BenchParams(b)
+	err := mpi.Run(4, l2BenchConfig(), func(r *mpi.Rank) error {
+		region := make([]byte, 1<<20)
+		if r.ID() == 2 {
+			for i := range region {
+				region[i] = pattern(i)
+			}
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		var fnErr error
+		if r.ID() == 0 {
+			fnErr = func() error {
+				c, err := New(win, params)
+				if err != nil {
+					return err
+				}
+				if err := win.LockAll(); err != nil {
+					return err
+				}
+				defer win.UnlockAll()
+				dst := make([]byte, 256)
+				// Warm: miss overfetches block [0,1024) and the flush
+				// publishes it into L2. The bench key [512,768) is in that
+				// block but never enters L1 (exclusive tiers), so it stays
+				// an L2 hit at steady state.
+				if err := c.Get(dst, datatype.Byte, 256, 2, 0); err != nil {
+					return err
+				}
+				if err := win.FlushAll(); err != nil {
+					return err
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				v0 := r.Clock().Now()
+				for i := 0; i < b.N; i++ {
+					if err := c.Get(dst, datatype.Byte, 256, 2, 512); err != nil {
+						return err
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(r.Clock().Now()-v0)/float64(b.N), "vns/op")
+				if s := c.Stats(); s.L2Hits != int64(b.N) {
+					b.Errorf("L2Hits = %d, want %d", s.L2Hits, b.N)
+				}
+				return nil
+			}()
+		}
+		r.Barrier()
+		return fnErr
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkOpL2SiblingForward is BenchmarkOpL2Hit with the block filled
+// by the SIBLING rank: rank 1 pays the other-group miss once, rank 0 is
+// then served forwarded fills from node memory for the whole run.
+func BenchmarkOpL2SiblingForward(b *testing.B) {
+	params := l2BenchParams(b)
+	err := mpi.Run(4, l2BenchConfig(), func(r *mpi.Rank) error {
+		region := make([]byte, 1<<20)
+		if r.ID() == 2 {
+			for i := range region {
+				region[i] = pattern(i)
+			}
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		var fnErr error
+		if r.ID() == 1 {
+			fnErr = func() error {
+				c, err := New(win, params)
+				if err != nil {
+					return err
+				}
+				if err := win.LockAll(); err != nil {
+					return err
+				}
+				defer win.UnlockAll()
+				dst := make([]byte, 256)
+				if err := c.Get(dst, datatype.Byte, 256, 2, 0); err != nil {
+					return err
+				}
+				return win.FlushAll() // publish block [0,1024) into L2
+			}()
+		}
+		r.Barrier() // sibling fill visible before rank 0 starts
+		if r.ID() == 0 && fnErr == nil {
+			fnErr = func() error {
+				c, err := New(win, params)
+				if err != nil {
+					return err
+				}
+				if err := win.LockAll(); err != nil {
+					return err
+				}
+				defer win.UnlockAll()
+				dst := make([]byte, 256)
+				b.ReportAllocs()
+				b.ResetTimer()
+				v0 := r.Clock().Now()
+				for i := 0; i < b.N; i++ {
+					if err := c.Get(dst, datatype.Byte, 256, 2, 512); err != nil {
+						return err
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(r.Clock().Now()-v0)/float64(b.N), "vns/op")
+				if s := c.Stats(); s.SiblingForwards != int64(b.N) {
+					b.Errorf("SiblingForwards = %d, want %d", s.SiblingForwards, b.N)
+				}
+				return nil
+			}()
+		}
+		r.Barrier()
+		return fnErr
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestL2HitBeatsMiss pins the acceptance criterion in virtual time: one
+// steady-state L2 hit costs less than half of the other-group miss it
+// replaces.
+func TestL2HitBeatsMiss(t *testing.T) {
+	params := l2BenchParams(t)
+	err := mpi.Run(4, l2BenchConfig(), func(r *mpi.Rank) error {
+		region := make([]byte, 1<<20)
+		if r.ID() == 2 {
+			for i := range region {
+				region[i] = pattern(i)
+			}
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		var fnErr error
+		if r.ID() == 0 {
+			fnErr = func() error {
+				c, err := New(win, params)
+				if err != nil {
+					return err
+				}
+				if err := win.LockAll(); err != nil {
+					return err
+				}
+				defer win.UnlockAll()
+				dst := make([]byte, 256)
+				missV0 := r.Clock().Now()
+				if err := c.Get(dst, datatype.Byte, 256, 2, 0); err != nil {
+					return err
+				}
+				missCost := r.Clock().Now() - missV0
+				if err := win.FlushAll(); err != nil {
+					return err
+				}
+				var hitCost simtime.Duration
+				const rounds = 8
+				hitV0 := r.Clock().Now()
+				for i := 0; i < rounds; i++ {
+					if err := c.Get(dst, datatype.Byte, 256, 2, 512); err != nil {
+						return err
+					}
+				}
+				hitCost = (r.Clock().Now() - hitV0) / rounds
+				if s := c.Stats(); s.L2Hits != rounds {
+					t.Errorf("L2Hits = %d, want %d", s.L2Hits, rounds)
+				}
+				if hitCost*2 >= missCost {
+					t.Errorf("L2 hit %v vns not < 50%% of other-group miss %v vns", hitCost, missCost)
+				}
+				return nil
+			}()
+		}
+		r.Barrier()
+		return fnErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

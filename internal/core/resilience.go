@@ -42,6 +42,11 @@ var ErrBreakerOpen = fmt.Errorf("%w: circuit breaker open", rma.ErrTransient)
 // the origin's virtual clock with Advance (the origin is blocked
 // waiting, not computing, so the wait is modelled rather than measured).
 func (c *Cache) netGet(dst []byte, dtype datatype.Datatype, count, target, disp int) error {
+	if c.distStats != nil {
+		// Attribute the trip to the target's distance class at the
+		// single funnel every remote fetch passes through.
+		c.noteDistMiss(target, datatype.TransferSize(dtype, count))
+	}
 	if !c.resilient {
 		return c.win.Get(dst, dtype, count, target, disp)
 	}
@@ -91,7 +96,9 @@ func (c *Cache) retryGet(dst []byte, dtype datatype.Datatype, count, target, dis
 		if c.retry.Budget > 0 && c.retryBudget >= c.retry.Budget {
 			return err
 		}
-		d := c.retry.Backoff(attempt, c.retryRng)
+		// Cost-aware mode stretches the backoff by the target's distance:
+		// a far peer is probed on its own RTT scale (DESIGN.md §15).
+		d := c.scaledBackoff(c.retry.Backoff(attempt, c.retryRng), target)
 		if c.retry.Deadline > 0 && c.clock.Now()-start+d > c.retry.Deadline {
 			return err
 		}
@@ -120,7 +127,10 @@ func (c *Cache) tryGet(dst []byte, dtype datatype.Datatype, count, target, disp 
 		if err == nil {
 			c.brk.onSuccess(target)
 		} else if errors.Is(err, rma.ErrTransient) {
-			if c.brk.onFailure(target, c.clock.Now()) {
+			// The fail-fast window scales with the target's distance in
+			// cost-aware mode: re-certifying a far peer takes longer
+			// than a same-socket one (DESIGN.md §15).
+			if c.brk.onFailure(target, c.clock.Now(), c.breakerCooldown(target)) {
 				c.stats.BreakerOpens++
 			}
 		}

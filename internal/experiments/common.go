@@ -30,6 +30,14 @@ func runWorld(size int, program func(*mpi.Rank) error) error {
 	return mpi.Run(size, mpi.Config{Mode: execMode}, program)
 }
 
+// runWorldCfg is runWorld with an explicit machine shape (rank placement,
+// network model) — the execution mode still comes from the package
+// setting, so -mode flags keep governing every experiment uniformly.
+func runWorldCfg(size int, cfg mpi.Config, program func(*mpi.Rank) error) error {
+	cfg.Mode = execMode
+	return mpi.Run(size, cfg, program)
+}
+
 // microEnv is the two-process environment of §IV-A: an initiator (rank 0)
 // and a target (rank 1) exposing a data region.
 type microEnv struct {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"clampi/internal/core"
 	"clampi/internal/getter"
@@ -24,9 +23,20 @@ func BuildLCCGraph(scale, edgeFactor int, seed int64) *graph.CSR {
 // lccRun executes one LCC configuration over p ranks and returns the
 // aggregate result (times and counts summed over ranks).
 func lccRun(g *graph.CSR, p int, maxVerts int, mk func(win rma.Window) (getter.Getter, error), recs []*trace.Recorder) (lcc.Result, error) {
-	var total lcc.Result
-	var totalMu sync.Mutex
-	err := runWorld(p, func(r *mpi.Rank) error {
+	return lccRunCfg(g, p, mpi.Config{}, maxVerts, mk, recs)
+}
+
+// lccRunCfg is lccRun with an explicit machine shape — the locality
+// experiments place ranks on nodes/groups instead of the default flat
+// world.
+func lccRunCfg(g *graph.CSR, p int, cfg mpi.Config, maxVerts int, mk func(win rma.Window) (getter.Getter, error), recs []*trace.Recorder) (lcc.Result, error) {
+	// Per-rank slots, summed in rank order after the world ends: ranks
+	// finish in virtual-time (or scheduler) order, and SumLCC is a float
+	// — accumulating in completion order would make the aggregate's last
+	// ulp depend on timing, not on the kernel's (per-rank bit-identical)
+	// output.
+	perRank := make([]lcc.Result, p)
+	err := runWorldCfg(p, cfg, func(r *mpi.Rank) error {
 		d := graph.Distribute(g, p, r.ID())
 		win := r.WinCreate(d.LocalAdjBytes(), nil)
 		defer win.Free()
@@ -48,9 +58,12 @@ func lccRun(g *graph.CSR, p int, maxVerts int, mk func(win rma.Window) (getter.G
 		if err := win.UnlockAll(); err != nil {
 			return err
 		}
-		// Ranks may run concurrently in Throughput mode; serialize
-		// the shared accumulation.
-		totalMu.Lock()
+		perRank[r.ID()] = res
+		r.Barrier()
+		return nil
+	})
+	var total lcc.Result
+	for _, res := range perRank {
 		total.Vertices += res.Vertices
 		total.SumLCC += res.SumLCC
 		total.Wedges += res.Wedges
@@ -59,10 +72,7 @@ func lccRun(g *graph.CSR, p int, maxVerts int, mk func(win rma.Window) (getter.G
 		total.RemoteBytes += res.RemoteBytes
 		total.Time += res.Time
 		total.CommTime += res.CommTime
-		totalMu.Unlock()
-		r.Barrier()
-		return nil
-	})
+	}
 	return total, err
 }
 

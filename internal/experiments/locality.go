@@ -1,0 +1,224 @@
+package experiments
+
+// Locality-tier experiments (DESIGN.md §15): the per-distance-class
+// micro breakdown behind cmd/clampi-micro's by_distance JSON object, and
+// the skewed-placement LCC comparison of cost-aware vs locality-blind
+// caching that backs the tentpole acceptance criterion — identical
+// kernel results, less virtual network time.
+
+import (
+	"fmt"
+
+	"clampi/internal/blockcache"
+	"clampi/internal/core"
+	"clampi/internal/getter"
+	"clampi/internal/lsb"
+	"clampi/internal/mpi"
+	"clampi/internal/rma"
+	"clampi/internal/simtime"
+)
+
+// DistClassBench is one distance class's micro numbers: a fixed get
+// workload replayed against a target of that class.
+type DistClassBench struct {
+	Gets           int64   `json:"gets"`
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	VirtualNsPerOp float64 `json:"virtual_ns_per_op"`
+}
+
+// MicroDistance replays a fixed workload (distinct 256 B gets, then
+// re-gets) against one target of every distance class — same process,
+// same socket, same node, other node, other group — through one
+// locality-aware cache, and returns the per-class breakdown keyed by
+// class name. The near classes show the admission bypass (re-gets stay
+// misses), the far ones the cached steady state.
+func MicroDistance() (map[string]DistClassBench, error) {
+	// A 12-rank world shaped 4 ranks/node, 2 nodes/group puts one target
+	// in every class relative to rank 0: itself (same process), rank 1
+	// (same socket), rank 2 (other socket), rank 4 (other node, same
+	// group), rank 8 (other group).
+	const (
+		worldSize = 12
+		opBytes   = 256
+		distinct  = 32
+	)
+	targets := []int{0, 1, 2, 4, 8}
+	cfg := mpi.Config{RanksPerNode: 4, NodesPerGroup: 2}
+	p := alwaysCacheParams(4096, 256<<10)
+	p.LocalityAware = true
+
+	out := make(map[string]DistClassBench, len(targets))
+	err := runWorldCfg(worldSize, cfg, func(r *mpi.Rank) error {
+		region := make([]byte, distinct*opBytes)
+		for i := range region {
+			region[i] = byte(i * 31)
+		}
+		win := r.WinCreate(region, nil)
+		defer win.Free()
+		var fnErr error
+		if r.ID() == 0 {
+			fnErr = func() error {
+				pp := p
+				pp.Observer = newObserver()
+				cache, err := core.New(win, pp)
+				if err != nil {
+					return err
+				}
+				if err := win.LockAll(); err != nil {
+					return err
+				}
+				defer win.UnlockAll()
+				dst := make([]byte, opBytes)
+				clock := r.Clock()
+				phase := make([]simtime.Duration, len(targets))
+				for ti, target := range targets {
+					t0 := clock.Now()
+					for pass := 0; pass < 2; pass++ {
+						for i := 0; i < distinct; i++ {
+							if err := cache.Get(dst, byteType, opBytes, target, i*opBytes); err != nil {
+								return err
+							}
+						}
+						if err := win.FlushAll(); err != nil {
+							return err
+						}
+					}
+					phase[ti] = clock.Now() - t0
+				}
+				ds := cache.DistanceStats()
+				for ti, target := range targets {
+					class := win.DistanceClass(target)
+					d := ds[class]
+					out[rma.DistanceClassNames[class]] = DistClassBench{
+						Gets:           d.Gets,
+						Hits:           d.Hits,
+						Misses:         d.Misses,
+						VirtualNsPerOp: float64(phase[ti]) / float64(2*distinct),
+					}
+				}
+				return nil
+			}()
+		}
+		r.Barrier()
+		return fnErr
+	})
+	return out, err
+}
+
+// LCCLocalityRow is one system's outcome of the skewed-placement LCC
+// comparison.
+type LCCLocalityRow struct {
+	System          string  `json:"system"`
+	SumLCC          float64 `json:"sum_lcc"`
+	Wedges          int64   `json:"wedges"`
+	TotalVirtualNs  int64   `json:"total_virtual_ns"`
+	CommVirtualNs   int64   `json:"comm_virtual_ns"`
+	RemoteBytes     int64   `json:"remote_bytes"`
+	HitRate         float64 `json:"hit_rate"`
+	L2Hits          int64   `json:"l2_hits"`
+	L2Fills         int64   `json:"l2_fills"`
+	SiblingForwards int64   `json:"sibling_forwards"`
+	CheapSkips      int64   `json:"cheap_skips"`
+}
+
+// localityFleet builds per-rank caches that share one L2 per node: rank
+// r on a machine with rpn ranks per node attaches to L2 instance r/rpn.
+type localityFleet struct {
+	params core.Params
+	rpn    int
+	l2s    []*blockcache.L2
+	caches []*core.Cache
+}
+
+func newLocalityFleet(p, rpn int, params core.Params, l2Bytes, l2Block int) (*localityFleet, error) {
+	nodes := (p + rpn - 1) / rpn
+	f := &localityFleet{params: params, rpn: rpn, l2s: make([]*blockcache.L2, nodes), caches: make([]*core.Cache, p)}
+	for i := range f.l2s {
+		l2, err := blockcache.NewL2(l2Bytes, l2Block)
+		if err != nil {
+			return nil, err
+		}
+		f.l2s[i] = l2
+	}
+	return f, nil
+}
+
+func (f *localityFleet) factory(win rma.Window) (getter.Getter, error) {
+	params := f.params
+	params.L2 = f.l2s[win.Endpoint().ID()/f.rpn]
+	if params.Observer == nil {
+		params.Observer = newObserver()
+	}
+	c, err := core.New(win, params)
+	if err != nil {
+		return nil, err
+	}
+	f.caches[win.Endpoint().ID()] = c
+	return getter.NewCached(c), nil
+}
+
+func (f *localityFleet) totals() core.Stats {
+	var t core.Stats
+	for _, c := range f.caches {
+		if c != nil {
+			t = t.Add(c.Stats())
+		}
+	}
+	return t
+}
+
+// LCCLocalityCompare runs the same LCC instance twice over a skewed rank
+// placement (rpn ranks per node, one node per group, so inter-node
+// traffic pays the most expensive distance class): once locality-blind,
+// once cost-aware with a node-shared L2 per node. The kernel results
+// (SumLCC, Wedges) must be bit-identical — caching tiers change where
+// bytes come from, never what they are — while the cost-aware run
+// spends less virtual time communicating.
+func LCCLocalityCompare(scale, edgeFactor, p, rpn, maxVerts, indexSlots, storageBytes int) (blind, aware LCCLocalityRow, tbl *lsb.Table, err error) {
+	g := BuildLCCGraph(scale, edgeFactor, 777)
+	cfg := mpi.Config{RanksPerNode: rpn, NodesPerGroup: 1}
+	base := core.Params{Mode: core.AlwaysCache, IndexSlots: indexSlots, StorageBytes: storageBytes, Seed: 3}
+
+	blindFleet := newClampiFleet(p, base)
+	res, err := lccRunCfg(g, p, cfg, maxVerts, blindFleet.factory, nil)
+	if err != nil {
+		return blind, aware, nil, err
+	}
+	bs := blindFleet.totals()
+	blind = LCCLocalityRow{
+		System: "locality-blind", SumLCC: res.SumLCC, Wedges: res.Wedges,
+		TotalVirtualNs: int64(res.Time), CommVirtualNs: int64(res.CommTime),
+		RemoteBytes: res.RemoteBytes, HitRate: bs.HitRate(),
+	}
+
+	awareParams := base
+	awareParams.LocalityAware = true
+	// 256 B blocks bound the overfetch to the small-transfer regime of
+	// LCC adjacency reads while still sharing across sibling ranks.
+	fleet, err := newLocalityFleet(p, rpn, awareParams, 8<<20, 256)
+	if err != nil {
+		return blind, aware, nil, err
+	}
+	res, err = lccRunCfg(g, p, cfg, maxVerts, fleet.factory, nil)
+	if err != nil {
+		return blind, aware, nil, err
+	}
+	as := fleet.totals()
+	aware = LCCLocalityRow{
+		System: "cost-aware+L2", SumLCC: res.SumLCC, Wedges: res.Wedges,
+		TotalVirtualNs: int64(res.Time), CommVirtualNs: int64(res.CommTime),
+		RemoteBytes: res.RemoteBytes, HitRate: as.HitRate(),
+		L2Hits: as.L2Hits, L2Fills: as.L2Fills,
+		SiblingForwards: as.SiblingForwards, CheapSkips: as.CheapSkips,
+	}
+
+	tbl = lsb.NewTable(fmt.Sprintf("Locality tiers: LCC under skewed placement (scale=%d, P=%d, %d ranks/node)", scale, p, rpn),
+		"system", "sum LCC", "wedges", "total vns", "comm vns", "remote bytes", "hit rate", "L2 hits", "forwards")
+	for _, row := range []LCCLocalityRow{blind, aware} {
+		tbl.AddRow(row.System, fmt.Sprintf("%.6f", row.SumLCC), row.Wedges,
+			row.TotalVirtualNs, row.CommVirtualNs, row.RemoteBytes,
+			fmt.Sprintf("%.3f", row.HitRate), row.L2Hits, row.SiblingForwards)
+	}
+	return blind, aware, tbl, nil
+}

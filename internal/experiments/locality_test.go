@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+
+	"clampi/internal/mpi"
+	"clampi/internal/rma"
+)
+
+// TestMicroDistance checks the by_distance breakdown: every class
+// reported, near classes bypassing admission (re-gets stay misses),
+// far classes cached (half the gets hit on the re-pass), and per-op
+// virtual cost monotonically non-decreasing with distance among the
+// miss-priced classes.
+func TestMicroDistance(t *testing.T) {
+	by, err := MicroDistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(by) != rma.NumDistanceClasses {
+		t.Fatalf("classes reported = %d, want %d (%v)", len(by), rma.NumDistanceClasses, by)
+	}
+	for _, name := range rma.DistanceClassNames {
+		d, ok := by[name]
+		if !ok {
+			t.Fatalf("missing class %q", name)
+		}
+		if d.Gets != 64 {
+			t.Errorf("%s: gets = %d, want 64", name, d.Gets)
+		}
+	}
+	// Same-process and same-socket 256 B fills are below the cheap-fill
+	// threshold: nothing admitted, every get a miss.
+	for _, near := range []string{"same_process", "same_socket"} {
+		if by[near].Hits != 0 || by[near].Misses != 64 {
+			t.Errorf("%s: hits/misses = %d/%d, want 0/64 (admission bypass)", near, by[near].Hits, by[near].Misses)
+		}
+	}
+	// Far classes cache the first pass and hit on the second.
+	for _, far := range []string{"same_node", "other_node", "other_group"} {
+		if by[far].Hits != 32 || by[far].Misses != 32 {
+			t.Errorf("%s: hits/misses = %d/%d, want 32/32 (cached re-pass)", far, by[far].Hits, by[far].Misses)
+		}
+	}
+	// Distance ordering holds for per-op virtual cost across the
+	// miss-priced near classes, and the farthest cached class still
+	// costs more per op than the nearest one.
+	if !(by["same_process"].VirtualNsPerOp < by["same_socket"].VirtualNsPerOp) {
+		t.Errorf("same_process %.0f !< same_socket %.0f vns/op",
+			by["same_process"].VirtualNsPerOp, by["same_socket"].VirtualNsPerOp)
+	}
+	if !(by["same_node"].VirtualNsPerOp < by["other_group"].VirtualNsPerOp) {
+		t.Errorf("same_node %.0f !< other_group %.0f vns/op",
+			by["same_node"].VirtualNsPerOp, by["other_group"].VirtualNsPerOp)
+	}
+}
+
+// TestLCCLocalityCompare is the tentpole acceptance run: an LCC instance
+// over a skewed rank placement must compute bit-identical kernel results
+// with and without the locality tiers, while the cost-aware run spends
+// strictly less virtual time communicating — in both execution engines.
+func TestLCCLocalityCompare(t *testing.T) {
+	prev := ExecMode()
+	defer SetExecMode(prev)
+	for _, mode := range []mpi.ExecMode{mpi.FidelityMeasured, mpi.Throughput} {
+		SetExecMode(mode)
+		blind, aware, _, err := LCCLocalityCompare(10, 8, 8, 4, 96, 1<<12, 1<<18)
+		if err != nil {
+			t.Fatalf("mode=%v: %v", mode, err)
+		}
+		if blind.SumLCC != aware.SumLCC || blind.Wedges != aware.Wedges {
+			t.Errorf("mode=%v: kernel results differ: blind (lcc=%v wedges=%d) vs aware (lcc=%v wedges=%d)",
+				mode, blind.SumLCC, blind.Wedges, aware.SumLCC, aware.Wedges)
+		}
+		if aware.CommVirtualNs >= blind.CommVirtualNs {
+			t.Errorf("mode=%v: comm time not reduced: aware %d vns >= blind %d vns",
+				mode, aware.CommVirtualNs, blind.CommVirtualNs)
+		}
+		if aware.L2Hits == 0 {
+			t.Errorf("mode=%v: node-shared tier never hit", mode)
+		}
+		t.Logf("mode=%v: comm %d -> %d vns (%.1f%%), L2 hits %d, forwards %d, cheap skips %d",
+			mode, blind.CommVirtualNs, aware.CommVirtualNs,
+			100*float64(aware.CommVirtualNs)/float64(blind.CommVirtualNs),
+			aware.L2Hits, aware.SiblingForwards, aware.CheapSkips)
+	}
+}

@@ -33,6 +33,10 @@ type MicroBenchResult struct {
 	BatchCoalesceRatio  float64 `json:"batch_coalesce_ratio"`
 	BatchVirtualNsPerOp float64 `json:"batch_virtual_ns_per_op"`
 	SeqVirtualNsPerOp   float64 `json:"seq_virtual_ns_per_op"`
+	// Per-distance-class breakdown of a fixed locality-aware workload
+	// (MicroDistance), keyed by class name — shows the admission bypass
+	// keeping near classes miss-priced and far classes cache-priced.
+	ByDistance map[string]DistClassBench `json:"by_distance"`
 }
 
 // MicroBench replays the §IV-A micro workload (N distinct gets sampled Z
@@ -76,6 +80,10 @@ func MicroBench(n, z int) (MicroBenchResult, error) {
 	res.BatchCoalesceRatio = batch.CoalesceRatio
 	res.BatchVirtualNsPerOp = batch.BatchVirtualNsPerOp
 	res.SeqVirtualNsPerOp = batch.SeqVirtualNsPerOp
+	res.ByDistance, err = MicroDistance()
+	if err != nil {
+		return res, err
+	}
 	return res, nil
 }
 

@@ -468,11 +468,25 @@ func (w *Win) Rank() *Rank { return w.rank }
 // Endpoint returns the owning rank as a transport endpoint (rma.Window).
 func (w *Win) Endpoint() rma.Endpoint { return w.rank }
 
+// DistanceClass reports the placement distance of target on the
+// rma.Distance* scale (rma.LocalityWindow). netsim.Distance ordinals
+// coincide with the rma scale by construction.
+func (w *Win) DistanceClass(target int) int {
+	return int(w.rank.Distance(target))
+}
+
+// FillCost returns the modelled LogGP latency of a size-byte get from
+// target under the world's network model (rma.LocalityWindow).
+func (w *Win) FillCost(target, size int) simtime.Duration {
+	return w.rank.Model().GetLatency(size, w.rank.Distance(target))
+}
+
 // Compile-time checks: this runtime implements the transport contract.
 var (
 	_ rma.Window          = (*Win)(nil)
 	_ rma.BatchWindow     = (*Win)(nil)
 	_ rma.IntegrityWindow = (*Win)(nil)
+	_ rma.LocalityWindow  = (*Win)(nil)
 	_ rma.Endpoint        = (*Rank)(nil)
 )
 

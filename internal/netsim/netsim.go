@@ -133,6 +133,27 @@ func (m *Model) GetLatency(size int, d Distance) simtime.Duration {
 	return p.Base + p.Overhead + transfer
 }
 
+// Validate checks that the model is physically sensible: moving the
+// target farther away must never make an operation cheaper. It verifies
+// the sufficient (and, for the affine LogGP form, necessary) condition
+// that Base+Overhead is non-decreasing and BytesPerSecond is
+// non-increasing from SameProcess to OtherGroup — which implies
+// GetLatency(size, d) is non-decreasing in d for every op size.
+func (m *Model) Validate() error {
+	for i := 1; i < int(numDistances); i++ {
+		near, far := m.params[i-1], m.params[i]
+		if far.Base+far.Overhead < near.Base+near.Overhead {
+			return fmt.Errorf("netsim: base+overhead inverts between %s (%d ns) and %s (%d ns)",
+				Distance(i-1), near.Base+near.Overhead, Distance(i), far.Base+far.Overhead)
+		}
+		if far.BytesPerSecond > near.BytesPerSecond {
+			return fmt.Errorf("netsim: bandwidth inverts between %s (%.3g B/s) and %s (%.3g B/s)",
+				Distance(i-1), near.BytesPerSecond, Distance(i), far.BytesPerSecond)
+		}
+	}
+	return nil
+}
+
 // PutLatency returns the modelled latency of an RMA put. Puts complete
 // remotely; the paper does not cache them, so the model simply mirrors the
 // get cost (an RDMA write and read of equal size cost the same on Aries).

@@ -160,3 +160,43 @@ func TestMemcpyCost(t *testing.T) {
 			MemcpyCost(64*1024), m.GetLatency(64*1024, OtherNode))
 	}
 }
+
+// TestLatencyMonotonicInDistance is the locality-tier invariant: for
+// every op size, the modelled latency must be non-decreasing from
+// SameProcess to OtherGroup. The cost-aware cache (core locality mode)
+// derives admission and eviction weights from these latencies; an
+// inversion would make it prefer evicting expensive entries.
+func TestLatencyMonotonicInDistance(t *testing.T) {
+	m := DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("DefaultModel invalid: %v", err)
+	}
+	sizes := []int{0, 1, 8, 64, 256, 1 << 10, 8 << 10, 64 << 10, 1 << 20, 16 << 20}
+	for _, size := range sizes {
+		ds := Distances()
+		for i := 1; i < len(ds); i++ {
+			near, far := m.GetLatency(size, ds[i-1]), m.GetLatency(size, ds[i])
+			if far < near {
+				t.Errorf("size %d: latency inverts %s (%d) -> %s (%d)",
+					size, ds[i-1], near, ds[i], far)
+			}
+		}
+	}
+}
+
+// TestValidateCatchesInversion checks that Validate rejects a model
+// whose distance ordering is broken in either parameter.
+func TestValidateCatchesInversion(t *testing.T) {
+	bad := NewModel(map[Distance]Params{
+		OtherGroup: {Base: 100, Overhead: 10, BytesPerSecond: 9e9},
+	})
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("base+overhead inversion not caught")
+	}
+	bad = NewModel(map[Distance]Params{
+		OtherGroup: {Base: 5000, Overhead: 500, BytesPerSecond: 99e9},
+	})
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("bandwidth inversion not caught")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"clampi/internal/blockcache"
 	"clampi/internal/core"
 	"clampi/internal/simtime"
 )
@@ -278,5 +279,66 @@ func TestPublishSharedStats(t *testing.T) {
 	}
 	if used < fills*256 {
 		t.Fatalf("used gauges sum to %d, want >= %d", used, fills*256)
+	}
+}
+
+// TestPublishLocalityStats proves the locality bridges: the four new
+// Stats gauges, the per-distance-class breakdown and the L2 tier gauges
+// all land in the registry with the expected labels and values.
+func TestPublishLocalityStats(t *testing.T) {
+	r := NewRegistry()
+	PublishStats(r, core.Stats{L2Hits: 7, L2Fills: 3, SiblingForwards: 2, CheapSkips: 5})
+	for name, want := range map[string]int64{
+		"clampi_stats_l2_hits":          7,
+		"clampi_stats_l2_fills":         3,
+		"clampi_stats_sibling_forwards": 2,
+		"clampi_stats_cheap_skips":      5,
+	} {
+		if got := r.Gauge(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	ds := make([]core.DistanceStats, 5)
+	ds[2] = core.DistanceStats{Gets: 10, Hits: 6, Misses: 4, BytesFromNetwork: 4096, FillTime: 1000}
+	ds[4] = core.DistanceStats{Gets: 3, Misses: 3, BytesFromNetwork: 768, FillTime: 9000}
+	PublishDistanceStats(r, ds, L("rank", "0"))
+	node := []Label{L("rank", "0"), L("class", "same_node")}
+	if got := r.Gauge("clampi_dist_gets", node...).Value(); got != 10 {
+		t.Errorf("same_node gets gauge = %d, want 10", got)
+	}
+	if got := r.Gauge("clampi_dist_hits", node...).Value(); got != 6 {
+		t.Errorf("same_node hits gauge = %d, want 6", got)
+	}
+	far := []Label{L("rank", "0"), L("class", "other_group")}
+	if got := r.Gauge("clampi_dist_fill_vtime_ns", far...).Value(); got != 9000 {
+		t.Errorf("other_group fill time gauge = %d, want 9000", got)
+	}
+	if got := r.Gauge("clampi_dist_bytes_from_network", far...).Value(); got != 768 {
+		t.Errorf("other_group network bytes gauge = %d, want 768", got)
+	}
+
+	l2, err := blockcache.NewL2(8<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, blockcache.DefaultBlockSize)
+	l2.Publish(1, 2, 0, src)
+	dst := make([]byte, 128)
+	if hit, fwd := l2.Lookup(0, 2, 64, dst); !hit || !fwd {
+		t.Fatalf("lookup = hit %v fwd %v, want hit+forward", hit, fwd)
+	}
+	PublishL2Stats(r, l2.Stats(), L("node", "0"))
+	n0 := L("node", "0")
+	for name, want := range map[string]int64{
+		"clampi_l2_lookups":  1,
+		"clampi_l2_hits":     1,
+		"clampi_l2_fills":    1,
+		"clampi_l2_forwards": 1,
+		"clampi_l2_misses":   0,
+	} {
+		if got := r.Gauge(name, n0).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
 	}
 }

@@ -1,0 +1,48 @@
+package rma
+
+import "clampi/internal/simtime"
+
+// Distance classes a LocalityWindow may report, mirroring the ordinals
+// of netsim.Distance without importing it (rma is the portable
+// transport contract; netsim is one backend's cost model). The wire
+// backend maps measured per-target RTT bands onto the same scale.
+const (
+	// DistanceSameProcess is the initiator's own address space.
+	DistanceSameProcess = 0
+	// DistanceSameSocket is a target sharing the initiator's socket.
+	DistanceSameSocket = 1
+	// DistanceSameNode is a target on the same node, other socket.
+	DistanceSameNode = 2
+	// DistanceOtherNode is a target one network hop away.
+	DistanceOtherNode = 3
+	// DistanceOtherGroup is the farthest class (optical hop / WAN).
+	DistanceOtherGroup = 4
+	// NumDistanceClasses bounds the class ordinals; DistanceClass
+	// results are clamped into [0, NumDistanceClasses).
+	NumDistanceClasses = 5
+)
+
+// DistanceClassNames labels the distance classes 0..4 for metrics and
+// reports, in ordinal order.
+var DistanceClassNames = [NumDistanceClasses]string{
+	"same_process", "same_socket", "same_node", "other_node", "other_group",
+}
+
+// LocalityWindow is the optional placement-awareness extension of
+// Window: backends that know (or can measure) how far each target is
+// implement it, and cost-aware layers use it to skip caching cheap
+// fills, weight eviction victims by refill cost, and scale retry
+// backoff with distance. Layers probe for it with a type assertion —
+// exactly like IntegrityWindow — and fall back to locality-blind
+// behaviour when the backend cannot tell targets apart.
+type LocalityWindow interface {
+	Window
+	// DistanceClass reports how far target is from the initiator on
+	// the Distance* scale above. Implementations must be cheap and
+	// allocation-free: callers may consult the class on eviction scans.
+	DistanceClass(target int) int
+	// FillCost estimates the cost of fetching size bytes from target —
+	// modelled (netsim LogGP latency) or measured (wire per-target RTT
+	// EWMA). Like DistanceClass it must be cheap and allocation-free.
+	FillCost(target, size int) simtime.Duration
+}

@@ -70,6 +70,17 @@ type Window struct {
 	opDeadline simtime.Duration
 
 	eb []byte // request encode scratch
+
+	// rtt holds the per-target round-trip EWMAs behind the
+	// rma.LocalityWindow answers. Origin state, single-goroutine like
+	// the rest of the Window — no atomics needed.
+	rtt []rttStat
+}
+
+// rttStat is one target's measured fill-cost estimate.
+type rttStat struct {
+	ewmaNs float64 // EWMA of the per-op round-trip duration
+	seen   bool
 }
 
 // Static interface conformance, matching the simulated backend plus the
@@ -78,6 +89,7 @@ var (
 	_ rma.Window          = (*Window)(nil)
 	_ rma.BatchWindow     = (*Window)(nil)
 	_ rma.IntegrityWindow = (*Window)(nil)
+	_ rma.LocalityWindow  = (*Window)(nil)
 	_ rma.DeadlineWindow  = (*Window)(nil)
 	_ rma.Endpoint        = (*Endpoint)(nil)
 )
@@ -89,6 +101,7 @@ func (cl *Client) NewWindow(info rma.Info) *Window {
 		cl:   cl,
 		ep:   &Endpoint{id: cl.rank, size: cl.World(), clock: simtime.NewClock()},
 		info: info,
+		rtt:  make([]rttStat, len(cl.regions)),
 	}
 }
 
@@ -178,13 +191,76 @@ func (w *Window) closeEpoch() {
 // getRange fetches one contiguous validated range into dst.
 func (w *Window) getRange(dst []byte, target, disp int) error {
 	w.eb = appendRange(w.eb[:0], rangeReq{Target: int32(target), Disp: int64(disp), Size: int64(len(dst))})
-	return w.rpc(OpGet, w.eb, w.opDeadline, func(data []byte) error {
+	start := w.ep.clock.Now() // rpc charges measured wall time, so the clock delta IS the RTT
+	err := w.rpc(OpGet, w.eb, w.opDeadline, func(data []byte) error {
 		if len(data) != len(dst) {
 			return fmt.Errorf("%w: get returned %dB (want %d)", ErrProto, len(data), len(dst))
 		}
 		copy(dst, data)
 		return nil
 	})
+	if err == nil {
+		w.noteRTT(target, w.ep.clock.Now()-start)
+	}
+	return err
+}
+
+// noteRTT folds one successful round trip into the target's fill-cost
+// estimate: a 1/4-weight EWMA, heavy enough to track route changes,
+// smooth enough to ignore scheduler jitter.
+func (w *Window) noteRTT(target int, d simtime.Duration) {
+	if target < 0 || target >= len(w.rtt) || d <= 0 {
+		return
+	}
+	s := &w.rtt[target]
+	if !s.seen {
+		s.ewmaNs, s.seen = float64(d), true
+		return
+	}
+	s.ewmaNs += (float64(d) - s.ewmaNs) / 4
+}
+
+// Fill-cost parameters of the wire backend's locality answers. A socket
+// transport has no modelled topology, so the distance class is derived
+// from the measured RTT bands below, and the size term assumes a
+// 10 GB/s pipe (0.1 ns/B) — conservative for loopback, about right for
+// a datacenter link.
+const (
+	rttDefaultNs   = 100e3 // unmeasured target: assume a 100 µs RTT
+	rttSameNodeNs  = 30e3  // < 30 µs: loopback / unix socket → same-node
+	rttOtherNodeNs = 200e3 // < 200 µs: one datacenter hop → other-node
+	rttNsPerByte   = 0.1
+)
+
+// DistanceClass maps the target's measured RTT EWMA onto the
+// rma.Distance* scale (rma.LocalityWindow). A socket is never as close
+// as local DRAM, so the nearest class a wire target can earn is
+// same-node; unmeasured targets default to other-node.
+func (w *Window) DistanceClass(target int) int {
+	if target < 0 || target >= len(w.rtt) || !w.rtt[target].seen {
+		return rma.DistanceOtherNode
+	}
+	switch ns := w.rtt[target].ewmaNs; {
+	case ns < rttSameNodeNs:
+		return rma.DistanceSameNode
+	case ns < rttOtherNodeNs:
+		return rma.DistanceOtherNode
+	default:
+		return rma.DistanceOtherGroup
+	}
+}
+
+// FillCost estimates fetching size bytes from target as the measured
+// per-op RTT EWMA plus a bandwidth term (rma.LocalityWindow).
+func (w *Window) FillCost(target, size int) simtime.Duration {
+	base := rttDefaultNs
+	if target >= 0 && target < len(w.rtt) && w.rtt[target].seen {
+		base = w.rtt[target].ewmaNs
+	}
+	if size < 0 {
+		size = 0
+	}
+	return simtime.Duration(base + float64(size)*rttNsPerByte)
 }
 
 // Get reads count elements of dtype from target's region at byte
@@ -393,7 +469,15 @@ func (w *Window) GetBatch(ops []rma.GetOp) error {
 // concatenated response into the ops' dst buffers.
 func (w *Window) getBatchChunk(ops []rma.GetOp, want int) error {
 	w.eb = appendBatch(w.eb[:0], ops)
-	return w.rpc(OpGetBatch, w.eb, w.opDeadline, func(data []byte) error {
+	// A single-target chunk is one more RTT sample for that target;
+	// mixed-target chunks are not attributed (no way to split the
+	// round trip fairly).
+	sameTarget := len(ops) > 0
+	for i := 1; i < len(ops) && sameTarget; i++ {
+		sameTarget = ops[i].Target == ops[0].Target
+	}
+	start := w.ep.clock.Now()
+	err := w.rpc(OpGetBatch, w.eb, w.opDeadline, func(data []byte) error {
 		if len(data) != want {
 			return fmt.Errorf("%w: batch returned %dB (want %d)", ErrProto, len(data), want)
 		}
@@ -403,6 +487,10 @@ func (w *Window) getBatchChunk(ops []rma.GetOp, want int) error {
 		}
 		return nil
 	})
+	if err == nil && sameTarget {
+		w.noteRTT(ops[0].Target, w.ep.clock.Now()-start)
+	}
+	return err
 }
 
 // Checksum returns the server-computed rma.ChecksumBytes of target's
