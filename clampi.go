@@ -9,6 +9,7 @@ import (
 	"clampi/internal/fault"
 	"clampi/internal/mpi"
 	"clampi/internal/netsim"
+	"clampi/internal/notify"
 	"clampi/internal/obsv"
 	"clampi/internal/rma"
 	"clampi/internal/simtime"
@@ -28,6 +29,9 @@ var (
 	// ErrNoEpoch reports an RMA call outside an access epoch (e.g. a
 	// Get before Lock/Fence).
 	ErrNoEpoch = rma.ErrNoEpoch
+	// ErrNoNotify reports a PutNotify on a window whose backend does not
+	// implement the notified-RMA extension (rma.NotifyWindow).
+	ErrNoNotify = core.ErrNoNotify
 )
 
 // Re-exported runtime types. The transport-agnostic vocabulary (Info,
@@ -66,6 +70,13 @@ type (
 	RMA = rma.Window
 	// Endpoint is a rank's attachment to the transport.
 	Endpoint = rma.Endpoint
+	// NotifyWindow is the optional notified-RMA extension of RMA: both
+	// backends implement it, and WithNotify/PutNotify build on it.
+	// Probe with a type assertion when holding a bare RMA.
+	NotifyWindow = rma.NotifyWindow
+	// Notification is one delivered write descriptor (advanced use:
+	// draining a raw window's queue directly via NotifyWindow).
+	Notification = notify.Notification
 	// ExecMode selects how the simulated ranks execute (see Run).
 	ExecMode = mpi.ExecMode
 )
@@ -419,6 +430,30 @@ func WithL2(l2 *L2) Option {
 	return func(c *config) { c.params.L2 = l2 }
 }
 
+// WithNotify subscribes the caching layer to the backend's notified-RMA
+// extension (DESIGN.md §16): remote PutNotify writes deliver bounded
+// descriptors that the cache drains at access time and epoch closure to
+// invalidate — or patch in place — only the affected spans, so a
+// Transparent-mode window keeps its cache across epoch boundaries
+// instead of dropping everything at every closure. Queue overflow and
+// out-of-order delivery degrade conservatively to blanket invalidation,
+// never to stale data. Construction fails if the backend does not
+// implement rma.NotifyWindow. queueCap bounds the per-rank descriptor
+// queue; <= 0 selects the backend default.
+func WithNotify(queueCap int) Option {
+	return func(c *config) {
+		c.params.NotifyTargeted = true
+		c.params.NotifyQueueCap = queueCap
+	}
+}
+
+// WithWriteBack switches Put/PutNotify from write-through to write-back:
+// contiguous writes are staged as dirty spans and flushed — sorted,
+// adjacent runs coalesced into one message — at epoch closure or under
+// staging pressure. Reads of a dirty span flush it first, so a rank
+// always sees its own writes.
+func WithWriteBack() Option { return func(c *config) { c.params.WriteBack = true } }
+
 // Transport options (Dial only).
 
 // WithTransport selects the socket family for Dial: "tcp" (default) or
@@ -583,15 +618,33 @@ func (w *Window) GetUncached(dst []byte, dtype Datatype, count, target, disp int
 	return w.win.Get(dst, dtype, count, target, disp)
 }
 
-// Put writes through to the underlying window; puts are not cached
-// (paper §II: the epoch model makes write caching pointless). As a
-// safety extension beyond the paper, cached entries of this origin that
-// overlap the written range are invalidated first, so a process never
-// reads its own stale writes back through the cache. Writes by *other*
-// processes remain the application's responsibility, as in the paper.
+// Put writes src to target's region. By default it writes through; with
+// WithWriteBack the span is staged dirty and flushed coalesced at epoch
+// closure. Cached entries of this origin overlapping the written range
+// are patched in place when the write exactly covers them
+// (Stats.WriteHits) and invalidated otherwise, so a process never reads
+// its own stale writes back through the cache. Writes by *other*
+// processes are the application's responsibility unless the window uses
+// notified writes (see PutNotify and WithNotify).
 func (w *Window) Put(src []byte, dtype Datatype, count, target, disp int) error {
 	return w.cache.Put(src, dtype, count, target, disp)
 }
+
+// PutNotify is Put plus a notification (DESIGN.md §16): the backend
+// delivers a bounded descriptor of the written span — tagged with tag —
+// to every other rank, and ranks that subscribed with WithNotify drain
+// those descriptors to invalidate or patch exactly the affected cached
+// spans instead of dropping their whole cache at the next epoch
+// closure. Requires a backend implementing rma.NotifyWindow
+// (ErrNoNotify otherwise).
+func (w *Window) PutNotify(src []byte, dtype Datatype, count, target, disp int, tag uint32) error {
+	return w.cache.PutNotify(src, dtype, count, target, disp, tag)
+}
+
+// NotifyQueueDepth returns the number of delivered but not yet drained
+// notification descriptors (0 when not subscribed) — the queue-depth
+// gauge behind the obsv metric.
+func (w *Window) NotifyQueueDepth() int { return w.cache.NotifyQueueDepth() }
 
 // InvalidateRange drops cached entries of target overlapping the byte
 // range [disp, disp+size), returning how many were dropped. Useful when

@@ -1,5 +1,5 @@
-// Package clampi is a transparent caching layer for MPI-3 RMA get
-// operations, reproducing "Transparent Caching for RMA Systems"
+// Package clampi is a transparent caching layer for MPI-3 RMA,
+// reproducing and extending "Transparent Caching for RMA Systems"
 // (Di Girolamo, Vella, Hoefler — IPDPS 2017).
 //
 // CLaMPI caches the payloads of remote get operations in local memory so
@@ -10,6 +10,19 @@
 // and consistency comes for free from the MPI-3 epoch model — cached
 // data is only handed out in the epochs where MPI itself guarantees it
 // cannot have changed.
+//
+// The surface is read-write. Put writes through the cache (patching an
+// exactly-covering cached entry in place so the writer's own reads keep
+// hitting), WithWriteBack stages dense spans and flushes them as
+// coalesced runs at epoch close, and PutNotify — the notifiable-RMA
+// extension — additionally enqueues a notification naming the written
+// span at every rank subscribed with WithNotify. Subscribed caches
+// replace blanket epoch invalidation with targeted coherence: only the
+// spans remote writers touched are invalidated (or patched from the
+// carried bytes), so regular producer/consumer workloads like the
+// bundled 2-D Jacobi halo exchange (internal/stencil, cmd/clampi-stencil
+// — the regular-access counterpoint to the LCC/BFS/N-body suite) keep
+// their unchanged halos cached across epochs.
 //
 // # Runtime
 //
@@ -43,5 +56,7 @@
 // cache at every epoch closure. AlwaysCache suits windows whose memory
 // is read-only for their whole lifespan (e.g. a distributed graph).
 // The paper's user-defined mode is AlwaysCache plus explicit
-// (*Window).Invalidate calls at the end of each read-only phase.
+// (*Window).Invalidate calls at the end of each read-only phase. On
+// notify-enabled windows (WithNotify), transparent mode's blanket
+// invalidation narrows to the notified spans — see DESIGN.md §16.
 package clampi

@@ -299,7 +299,8 @@ func classifyCall(info *types.Info, call *ast.CallExpr, req types.Object, escape
 	}
 	switch {
 	case typeutil.IsNamed(tv.Type, RMAPath, "Window"),
-		typeutil.IsNamed(tv.Type, RMAPath, "BatchWindow"):
+		typeutil.IsNamed(tv.Type, RMAPath, "BatchWindow"),
+		typeutil.IsNamed(tv.Type, RMAPath, "NotifyWindow"):
 		recv := typeutil.ObjectOf(info, sel.X)
 		name := sel.Sel.Name
 		switch name {
@@ -324,7 +325,7 @@ func classifyCall(info *types.Info, call *ast.CallExpr, req types.Object, escape
 				*ops = append(*ops, op{kind: opIssue, pos: call.End(), obj: dst, req: req, name: "rma.Window." + name})
 			}
 			*ops = append(*ops, op{kind: opData, pos: call.Pos(), obj: recv, name: name})
-		case "Put", "Rput", "Accumulate":
+		case "Put", "Rput", "Accumulate", "PutNotify":
 			*ops = append(*ops, op{kind: opData, pos: call.Pos(), obj: recv, name: name})
 		case "Flush", "FlushAll", "Wait":
 			*ops = append(*ops, op{kind: opCompleteAll, pos: call.Pos()})

@@ -198,3 +198,35 @@ func annotatedPreCompletionRead(w rma.Window) byte {
 	_ = w.FlushAll()
 	return b
 }
+
+// putNotifyAfterUnlock: PutNotify is data movement exactly like Put —
+// notified writes after the epoch closed are flagged, and the
+// rma.NotifyWindow receiver type is recognized as a window.
+func putNotifyAfterUnlock(w rma.NotifyWindow) {
+	src := make([]byte, 64)
+	_ = w.LockAll()
+	_ = w.PutNotify(src, datatype.Byte, 64, 1, 0, 7)
+	_ = w.UnlockAll()
+	_ = w.PutNotify(src, datatype.Byte, 64, 1, 0, 7) // want `rma\.Window\.PutNotify after the epoch was closed`
+	_ = w.FlushAll()
+}
+
+// putNotifyInEpoch is the sanctioned notified-write pattern: publish
+// inside the epoch, close, reopen before the next round.
+func putNotifyInEpoch(w rma.NotifyWindow) {
+	src := make([]byte, 64)
+	_ = w.LockAll()
+	_ = w.PutNotify(src, datatype.Byte, 64, 1, 0, 7)
+	_ = w.UnlockAll()
+	_ = w.LockAll()
+	_ = w.PutNotify(src, datatype.Byte, 64, 1, 0, 8)
+	_ = w.UnlockAll()
+}
+
+// getViaNotifyWindowTracked: reads through a NotifyWindow-typed handle
+// carry the same pre-completion contract as through rma.Window.
+func getViaNotifyWindowTracked(w rma.NotifyWindow) byte {
+	dst := make([]byte, 64)
+	_ = w.Get(dst, datatype.Byte, 64, 1, 0)
+	return dst[0] // want `buffer "dst" is read before the rma.Window.Get completes`
+}

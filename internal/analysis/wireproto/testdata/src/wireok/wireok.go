@@ -8,16 +8,21 @@ import "errors"
 
 // Op codes: requests have the high bit clear, responses set.
 const (
-	OpPing byte = 0x01
-	OpRead byte = 0x02
+	OpPing   byte = 0x01
+	OpRead   byte = 0x02
+	OpWriteN byte = 0x03 // notified write: request carrying a descriptor tag
 
 	OpPong byte = 0x81
 	OpData byte = 0x82
+	// OpPush is a server-initiated push (a notification descriptor):
+	// like any response op it is encoded by respond and needs a client
+	// dispatch arm, but the encode site lives outside handle.
+	OpPush byte = 0x83
 )
 
 var opNames = map[byte]string{
-	OpPing: "ping", OpRead: "read",
-	OpPong: "pong", OpData: "data",
+	OpPing: "ping", OpRead: "read", OpWriteN: "write_notify",
+	OpPong: "pong", OpData: "data", OpPush: "push",
 }
 
 // Error codes.
@@ -60,7 +65,10 @@ func (c *conn) client() error {
 	if err := c.rpc(OpPing, nil); err != nil {
 		return err
 	}
-	return c.rpc(OpRead, nil)
+	if err := c.rpc(OpRead, nil); err != nil {
+		return err
+	}
+	return c.rpc(OpWriteN, nil)
 }
 
 // handle is the server dispatch switch: one arm per request op.
@@ -70,9 +78,17 @@ func handle(op byte, payload []byte) []byte {
 		return respond(OpPong, nil)
 	case OpRead:
 		return respond(OpData, payload)
+	case OpWriteN:
+		return respond(OpPong, broadcast(payload))
 	default:
 		return nil
 	}
+}
+
+// broadcast fans a notified write's descriptor out to subscribers as
+// unsolicited pushes — a response-op encode site outside handle.
+func broadcast(payload []byte) []byte {
+	return respond(OpPush, payload)
 }
 
 // dispatch is the client response switch: one arm per response op.
@@ -81,6 +97,9 @@ func dispatch(op byte, payload []byte) error {
 	case OpPong:
 		return nil
 	case OpData:
+		_ = payload
+		return nil
+	case OpPush:
 		_ = payload
 		return nil
 	default:

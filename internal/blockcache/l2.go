@@ -38,6 +38,7 @@ type L2 struct {
 	forwards   atomic.Int64 // clampi:atomic — hits served from a sibling's fill
 	overwrites atomic.Int64 // clampi:atomic — publishes that displaced another block
 	retries    atomic.Int64 // clampi:atomic — seqlock read brackets invalidated by a concurrent publish
+	invals     atomic.Int64 // clampi:atomic — blocks dropped by range invalidation
 }
 
 // l2slot is one direct-mapped cache slot: an atomically published box
@@ -70,13 +71,14 @@ const l2stripes = 64
 
 // L2Stats is a point-in-time snapshot of the shared tier's counters.
 type L2Stats struct {
-	Lookups    int64
-	Hits       int64
-	Misses     int64
-	Fills      int64
-	Forwards   int64
-	Overwrites int64
-	Retries    int64
+	Lookups       int64
+	Hits          int64
+	Misses        int64
+	Fills         int64
+	Forwards      int64
+	Overwrites    int64
+	Retries       int64
+	Invalidations int64
 }
 
 // NewL2 builds a node-shared block tier of memoryBytes bytes with the
@@ -209,6 +211,38 @@ func (l *L2) Publish(filler, target, disp int, src []byte) int {
 	return published
 }
 
+// InvalidateRange drops every resident block of target overlapping the
+// byte range [disp, disp+size) and returns the number dropped. This is
+// the targeted-coherence hook (DESIGN.md §16): a write notification
+// names an exact span, and only the blocks covering it leave the tier —
+// sibling ranks keep everything else. Each drop follows the publish
+// discipline (stripe lock, seqlock bracket around the box swap), so
+// concurrent lock-free readers observe either the old block or an empty
+// slot, never a torn state. Safe for concurrent use.
+func (l *L2) InvalidateRange(target, disp, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	dropped := 0
+	first := disp / l.blockSize
+	last := (disp + size - 1) / l.blockSize
+	for block := first; block <= last; block++ {
+		slot := l.slotOf(target, block)
+		st := &l.stripes[slot%l2stripes]
+		st.mu.Lock()
+		s := &l.slots[slot]
+		if b := s.box.Load(); b != nil && b.target == target && b.block == block {
+			s.seq.Add(1) // odd: swap in progress
+			s.box.Store(nil)
+			s.seq.Add(1) // even: emptied
+			dropped++
+		}
+		st.mu.Unlock()
+	}
+	l.invals.Add(int64(dropped))
+	return dropped
+}
+
 // Reset drops every cached block (tests and explicit node-wide
 // invalidation; per-rank epoch invalidation never clears the shared
 // tier — see DESIGN.md §15 on why L2 serves read-only windows).
@@ -227,12 +261,13 @@ func (l *L2) Reset() {
 // Stats returns a snapshot of the tier's counters.
 func (l *L2) Stats() L2Stats {
 	return L2Stats{
-		Lookups:    l.lookups.Load(),
-		Hits:       l.hits.Load(),
-		Misses:     l.misses.Load(),
-		Fills:      l.fills.Load(),
-		Forwards:   l.forwards.Load(),
-		Overwrites: l.overwrites.Load(),
-		Retries:    l.retries.Load(),
+		Lookups:       l.lookups.Load(),
+		Hits:          l.hits.Load(),
+		Misses:        l.misses.Load(),
+		Fills:         l.fills.Load(),
+		Forwards:      l.forwards.Load(),
+		Overwrites:    l.overwrites.Load(),
+		Retries:       l.retries.Load(),
+		Invalidations: l.invals.Load(),
 	}
 }

@@ -100,6 +100,44 @@ func TestL2UnalignedPublishRejected(t *testing.T) {
 	}
 }
 
+func TestL2InvalidateRange(t *testing.T) {
+	l2, err := NewL2(64<<10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := l2region(3, 4096)
+	l2.Publish(0, 3, 0, region)
+	l2.Publish(0, 4, 0, l2region(4, 1024))
+	// A span straddling blocks 1 and 2 drops exactly those two blocks.
+	if n := l2.InvalidateRange(3, 300, 300); n != 2 {
+		t.Fatalf("InvalidateRange dropped %d blocks, want 2", n)
+	}
+	dst := make([]byte, 16)
+	if hit, _ := l2.Lookup(0, 3, 300, dst); hit {
+		t.Fatal("hit inside invalidated span")
+	}
+	// Neighbouring blocks and other targets stay resident.
+	if hit, _ := l2.Lookup(0, 3, 0, dst); !hit {
+		t.Fatal("block 0 lost by a [300,600) invalidation")
+	}
+	if hit, _ := l2.Lookup(0, 3, 768, dst); !hit {
+		t.Fatal("block 3 lost by a [300,600) invalidation")
+	}
+	if hit, _ := l2.Lookup(0, 4, 256, dst); !hit {
+		t.Fatal("foreign target lost by the invalidation")
+	}
+	// Empty spans and absent blocks are no-ops.
+	if n := l2.InvalidateRange(3, 300, 0); n != 0 {
+		t.Fatalf("empty-span invalidation dropped %d", n)
+	}
+	if n := l2.InvalidateRange(9, 0, 4096); n != 0 {
+		t.Fatalf("absent-target invalidation dropped %d", n)
+	}
+	if st := l2.Stats(); st.Invalidations != 2 {
+		t.Fatalf("Invalidations = %d, want 2", st.Invalidations)
+	}
+}
+
 func TestL2Reset(t *testing.T) {
 	l2, err := NewL2(8<<10, 256)
 	if err != nil {

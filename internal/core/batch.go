@@ -90,6 +90,13 @@ func (c *Cache) GetBatch(ops []GetOp) error {
 		if len(op.Dst) < size {
 			return rma.ErrShortBuf
 		}
+		if len(c.dirty) > 0 {
+			// Read-your-writes, as in Get: a batched read overlapping a
+			// staged dirty span flushes the write-back buffer first.
+			if err := c.flushOverlap(op.Target, op.Disp, datatype.Span(dtype, count)); err != nil {
+				return err
+			}
+		}
 		c.beginGet(size)
 		key := cuckoo.Key{Target: op.Target, Disp: op.Disp}
 		e, found, lookupT := c.lookup(key)

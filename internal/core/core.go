@@ -27,6 +27,7 @@ import (
 	"clampi/internal/blockcache"
 	"clampi/internal/cuckoo"
 	"clampi/internal/datatype"
+	"clampi/internal/notify"
 	"clampi/internal/rma"
 	"clampi/internal/simtime"
 	"clampi/internal/storage"
@@ -182,18 +183,47 @@ type Params struct {
 	// path — block overfetch only pays off when the trip is expensive.
 	// Zero selects DefaultL2MinClass (other-node).
 	L2MinClass int
+
+	// NotifyTargeted subscribes the cache to the window's write
+	// notifications (rma.NotifyWindow) and replaces the transparent
+	// mode's blanket epoch invalidation with targeted span coherence
+	// (DESIGN.md §16): drained notifications invalidate — or patch in
+	// place, when they carry the written bytes — exactly the cached
+	// spans a remote PutNotify touched. Sound under the UNR contract
+	// that remote writers notify their writes; a shed or lost
+	// notification degrades to a full invalidation, never to silent
+	// staleness. Silently inert when the backend lacks the extension.
+	NotifyTargeted bool
+	// NotifyQueueCap bounds the local notification queue
+	// (notify.DefaultCapacity when zero); overflow costs a conservative
+	// full invalidation at the next drain.
+	NotifyQueueCap int
+	// WriteBack buffers dense Put/PutNotify spans locally and flushes
+	// coalesced runs at epoch closure (or under buffer pressure)
+	// instead of writing through per call. Legal under the §II epoch
+	// contract: remote visibility of a put is only promised at the next
+	// closure. Strided writes always write through.
+	WriteBack bool
+	// WriteBackMaxSpans caps the dirty-span buffer; staging past it (or
+	// a write overlapping an already-staged span) forces an early
+	// flush. Zero selects DefaultWriteBackMaxSpans.
+	WriteBackMaxSpans int
 }
 
 // Defaults for Params fields left zero.
 const (
-	DefaultIndexSlots     = 4096
-	DefaultStorageBytes   = 4 << 20
-	DefaultSampleSize     = 16
-	DefaultTuneInterval   = 1024
-	defaultConflictThresh = 0.10
-	defaultCapacityThresh = 0.10
-	defaultStableThresh   = 0.80
-	defaultSparsityThresh = 0.20
+	DefaultIndexSlots   = 4096
+	DefaultStorageBytes = 4 << 20
+	DefaultSampleSize   = 16
+	DefaultTuneInterval = 1024
+	// DefaultWriteBackMaxSpans bounds the write-back buffer: enough to
+	// coalesce a halo exchange's worth of edge writes, small enough that
+	// a forced flush stays cheap.
+	DefaultWriteBackMaxSpans = 64
+	defaultConflictThresh    = 0.10
+	defaultCapacityThresh    = 0.10
+	defaultStableThresh      = 0.80
+	defaultSparsityThresh    = 0.20
 	// Shrinking |S_w| only with >75% free keeps the tuner from
 	// oscillating between a shrink (stable, half-empty) and the
 	// capacity-driven grow it immediately causes.
@@ -247,6 +277,9 @@ func (p *Params) setDefaults() {
 	}
 	if p.MaxStorageBytes <= 0 {
 		p.MaxStorageBytes = 1 << 32
+	}
+	if p.WriteBackMaxSpans <= 0 {
+		p.WriteBackMaxSpans = DefaultWriteBackMaxSpans
 	}
 }
 
@@ -353,6 +386,20 @@ type Cache struct {
 	l2        *blockcache.L2     // node-shared second level, nil when detached
 	l2min     int                // nearest class routed through L2
 	l2pend    []l2Fill           // staged fills published to L2 at epoch closure
+
+	// Notifiable-RMA state (notify.go); nw is non-nil whenever the
+	// backend implements the extension, nsub only when NotifyTargeted
+	// subscribed this cache to its window's queue.
+	nw      rma.NotifyWindow
+	nsub    bool
+	nbuf    []notify.Notification // drain scratch, notifyDrainBatch long
+	nextSeq uint64                // next expected notification sequence
+
+	// Write-back state (notify.go); all empty unless Params.WriteBack.
+	dirty   []dirtySpan
+	wbArena []byte // staged dirty bytes; lives until the buffer flushes
+	wbMerge []byte // coalesced-run assembly scratch
+	wbErr   error  // deferred error from an epoch-closure flush
 }
 
 // Errors.
@@ -415,6 +462,15 @@ func New(win rma.Window, params Params) (*Cache, error) {
 		}
 	}
 	c.initLocality()
+	c.nw, _ = win.(rma.NotifyWindow)
+	if params.NotifyTargeted && c.nw != nil {
+		if err := c.nw.NotifyEnable(params.NotifyQueueCap); err != nil {
+			return nil, err
+		}
+		c.nsub = true
+		c.nbuf = make([]notify.Notification, notifyDrainBatch)
+		c.nextSeq = 1
+	}
 	win.AddEpochListener(c.onEpochClose)
 	return c, nil
 }
@@ -462,6 +518,13 @@ func (c *Cache) Get(dst []byte, dtype datatype.Datatype, count int, target, disp
 	if len(dst) < size {
 		return rma.ErrShortBuf
 	}
+	if len(c.dirty) > 0 {
+		// Read-your-writes: a read overlapping a staged dirty span must
+		// observe the buffered write, so the buffer flushes first.
+		if err := c.flushOverlap(target, disp, datatype.Span(dtype, count)); err != nil {
+			return err
+		}
+	}
 	c.beginGet(size)
 
 	key := cuckoo.Key{Target: target, Disp: disp}
@@ -479,8 +542,16 @@ func (c *Cache) Get(dst []byte, dtype datatype.Datatype, count int, target, disp
 	return err
 }
 
-// beginGet records the arrival of one get_c of the given size.
+// beginGet records the arrival of one get_c of the given size. It also
+// drains pending write notifications first (access-time coherence,
+// DESIGN.md §16): the stale spans must leave the cache before the lookup
+// below can hit them. The empty-queue probe is one nil check and one
+// atomic load — nothing is charged and nothing allocates, so the
+// steady-state hit path is unchanged.
 func (c *Cache) beginGet(size int) {
+	if c.nsub && c.nw.NotifyDepth() > 0 {
+		c.drainNotifications()
+	}
 	c.getSeq++
 	c.sumGetSizes += int64(size)
 	c.stats.Gets++
@@ -883,10 +954,21 @@ func (c *Cache) finish(t AccessType) {
 	}
 }
 
-// onEpochClose is the window epoch listener: it completes PENDING entries
-// (the deferred user→cache copies, §II), then applies transparent-mode
-// invalidation and adaptive tuning.
+// onEpochClose is the window epoch listener: it flushes buffered writes,
+// completes PENDING entries (the deferred user→cache copies, §II), then
+// applies transparent-mode invalidation — or, when subscribed to write
+// notifications, targeted coherence — and adaptive tuning. Epoch
+// listeners run before the transport's synchronization rendezvous
+// (mpi.Fence barriers and wire OpBarrier both close the epoch first), so
+// dirty spans flushed here are delivered before any peer passes its own
+// fence.
 func (c *Cache) onEpochClose(epoch int64) {
+	if len(c.dirty) > 0 {
+		if err := c.flushDirty(); err != nil && c.wbErr == nil {
+			// The listener cannot fail; surface at the next write call.
+			c.wbErr = err
+		}
+	}
 	copiedBytes := 0
 	completed := 0
 	copyT := c.chargeFn(func() {
@@ -940,7 +1022,15 @@ func (c *Cache) onEpochClose(epoch int64) {
 	c.arena = c.arena[:0]
 
 	invalidated := false
-	if c.mode == Transparent {
+	if c.nsub {
+		// Targeted coherence (DESIGN.md §16): spans written during the
+		// epoch leave (or are patched in) the cache individually, so the
+		// transparent blanket invalidation below is skipped and entries
+		// survive across closures — which also makes adaptive tuning
+		// meaningful in transparent mode (epochs no longer start cold).
+		c.drainNotifications()
+	}
+	if c.mode == Transparent && !c.nsub {
 		if c.params.ServeStale && c.brk != nil && c.brk.anyOpen() {
 			// Graceful degradation: a target's breaker is open, so the
 			// next epoch would alternate between guaranteed breaker

@@ -58,6 +58,15 @@ const (
 	// fill into L2 (stripe lock, box allocation bookkeeping); the block
 	// copy itself is charged via copyCost.
 	CostL2PublishPerBlock = 90 * simtime.Nanosecond
+	// CostNotifyApply is the fixed per-descriptor cost of applying one
+	// drained notification (sequence check, lookup decision); the span
+	// scan or patch copy is charged separately. The empty-queue probe on
+	// the hit path is one atomic load and charges nothing.
+	CostNotifyApply = 60 * simtime.Nanosecond
+	// CostWriteStage is the fixed per-span cost of staging one
+	// write-back span (overlap check, dirty-list bookkeeping); the byte
+	// copy is charged via copyCost.
+	CostWriteStage = 70 * simtime.Nanosecond
 )
 
 // copyCost models a size-byte cache<->user copy.

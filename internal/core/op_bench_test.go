@@ -110,6 +110,42 @@ func BenchmarkOpHitFullResilient(b *testing.B) {
 	})
 }
 
+// BenchmarkOpNotifyDrain measures the full-hit path with an active
+// notification subscription and an empty queue: the per-access depth
+// probe (one nil check plus one atomic load, see beginGet) must keep the
+// path at 0 allocs/op and must not move the L1 full-hit vns/op —
+// targeted coherence is free until a notification actually arrives.
+func BenchmarkOpNotifyDrain(b *testing.B) {
+	p := alwaysParams()
+	p.NotifyTargeted = true
+	benchCache(b, p, func(c *Cache, win *mpi.Win, clock *simtime.Clock) {
+		dst := make([]byte, 256)
+		if err := c.Get(dst, datatype.Byte, 256, 1, 128); err != nil {
+			b.Error(err)
+			return
+		}
+		if err := win.FlushAll(); err != nil {
+			b.Error(err)
+			return
+		}
+		if !c.nsub {
+			b.Error("subscription inactive: the probe is not on the path")
+			return
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := clock.Now()
+		for i := 0; i < b.N; i++ {
+			if err := c.Get(dst, datatype.Byte, 256, 1, 128); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(clock.Now()-v0)/float64(b.N), "vns/op")
+	})
+}
+
 // BenchmarkOpMissEvict measures the steady-state miss path under
 // capacity pressure: every get misses, evicts one entry and inserts a
 // pending one (pools keep it at <= 2 allocs/op).

@@ -57,13 +57,13 @@ func (c *Cache) InvalidateRange(target, disp, size int) int {
 	return len(victims)
 }
 
-// Put writes through to the window after invalidating the overlapping
-// cached range, keeping the origin's own cache coherent with its writes.
+// Put routes a write through the cache layer (notify.go), keeping the
+// origin's own cache coherent with its writes: an exactly-covering
+// cached entry is patched in place, anything else overlapping the span
+// is invalidated. Write-through by default; Params.WriteBack stages
+// dense spans for a coalesced flush at epoch closure.
 func (c *Cache) Put(src []byte, dtype datatype.Datatype, count, target, disp int) error {
-	// Invalidate the full extent touched by the (possibly strided)
-	// write: the span is conservative for sparse datatypes.
-	c.InvalidateRange(target, disp, datatype.Span(dtype, count))
-	return c.win.Put(src, dtype, count, target, disp)
+	return c.write(src, dtype, count, target, disp, 0, false)
 }
 
 // Prefetch warms the cache with size bytes at target's displacement disp

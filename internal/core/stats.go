@@ -87,6 +87,14 @@ type Stats struct {
 	SiblingForwards int64 // L2 hits served from a sibling rank's fill
 	CheapSkips      int64 // admissions bypassed: near target, fill below threshold
 
+	// Notifiable-RMA counters (DESIGN.md §16).
+	Notifications       int64 // notification descriptors drained
+	NotifyInvalidations int64 // descriptors applied as targeted range invalidations
+	NotifyPatches       int64 // descriptors applied as in-place payload patches
+	WriteHits           int64 // writes patched into an exactly-covering cached entry
+	WriteBacks          int64 // dirty spans staged by write-back
+	DirtyFlushes        int64 // coalesced dirty runs flushed to the network
+
 	// Time attribution (virtual, measured portions).
 	LookupTime simtime.Duration
 	EvictTime  simtime.Duration
@@ -191,6 +199,12 @@ func (s *Stats) add(o *Stats) {
 	s.L2Fills += o.L2Fills
 	s.SiblingForwards += o.SiblingForwards
 	s.CheapSkips += o.CheapSkips
+	s.Notifications += o.Notifications
+	s.NotifyInvalidations += o.NotifyInvalidations
+	s.NotifyPatches += o.NotifyPatches
+	s.WriteHits += o.WriteHits
+	s.WriteBacks += o.WriteBacks
+	s.DirtyFlushes += o.DirtyFlushes
 	s.LookupTime += o.LookupTime
 	s.EvictTime += o.EvictTime
 	s.CopyTime += o.CopyTime
@@ -233,6 +247,12 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.L2Fills -= prev.L2Fills
 	d.SiblingForwards -= prev.SiblingForwards
 	d.CheapSkips -= prev.CheapSkips
+	d.Notifications -= prev.Notifications
+	d.NotifyInvalidations -= prev.NotifyInvalidations
+	d.NotifyPatches -= prev.NotifyPatches
+	d.WriteHits -= prev.WriteHits
+	d.WriteBacks -= prev.WriteBacks
+	d.DirtyFlushes -= prev.DirtyFlushes
 	d.LookupTime -= prev.LookupTime
 	d.EvictTime -= prev.EvictTime
 	d.CopyTime -= prev.CopyTime

@@ -32,6 +32,7 @@ import (
 	"clampi/internal/mpi"
 	"clampi/internal/nbody"
 	"clampi/internal/rma"
+	"clampi/internal/stencil"
 )
 
 // chaosFleet is a clampiFleet whose windows are wrapped in seeded fault
@@ -155,12 +156,14 @@ func chaosApp(app string, p int, sc *fault.Scenario, seed int64) (chaosOutcome, 
 		return chaosBFS(p, sc, seed)
 	case "nbody":
 		return chaosNBody(p, sc, seed)
+	case "stencil":
+		return chaosStencil(p, sc, seed)
 	}
 	return chaosOutcome{}, fmt.Errorf("experiments: unknown chaos app %q", app)
 }
 
 // ChaosApps lists the applications ChaosBench exercises.
-func ChaosApps() []string { return []string{"lcc", "bfs", "nbody"} }
+func ChaosApps() []string { return []string{"lcc", "bfs", "nbody", "stencil"} }
 
 // chaosGraph is the shared small R-MAT input of the LCC and BFS cells.
 func chaosGraph() *graph.CSR { return BuildLCCGraph(8, 8, 77) }
@@ -272,6 +275,46 @@ func chaosNBody(p int, sc *fault.Scenario, seed int64) (chaosOutcome, error) {
 		}
 	}
 	return chaosOutcome{sig: uint64(sig), faults: fleet.faults(), stats: fleet.totals()}, nil
+}
+
+// chaosStencil runs the notification-driven halo exchange (DESIGN.md
+// §16) — the one chaos cell whose coherence depends on PutNotify
+// descriptors, so the "notify" scenario's dropped, duplicated and
+// reordered deliveries hit the targeted-invalidation fallback paths
+// directly. It signs the final grid checksum: conservative degradation
+// (gap → blanket invalidation, anomaly → invalidate-not-patch) must
+// keep the grid bit-identical to the fault-free run.
+func chaosStencil(p int, sc *fault.Scenario, seed int64) (chaosOutcome, error) {
+	params := chaosParams(core.Transparent, seed)
+	cfg := stencil.Config{
+		Ranks: p, Rows: 6, Cols: 48, Iters: 16,
+		Notify:     true,
+		Resilience: &params,
+	}
+	var mu sync.Mutex
+	var inj []*fault.Window
+	if sc != nil {
+		cfg.Wrap = func(win rma.Window) rma.Window {
+			fw := fault.Wrap(win, *sc, seed+int64(win.Endpoint().ID()))
+			mu.Lock()
+			inj = append(inj, fw)
+			mu.Unlock()
+			return fw
+		}
+	}
+	res, err := stencil.Run(cfg, execMode)
+	if err != nil {
+		return chaosOutcome{}, err
+	}
+	var fc fault.Counts
+	mu.Lock()
+	for _, w := range inj {
+		fc = fc.Add(w.Counts())
+	}
+	mu.Unlock()
+	sig := newSig()
+	sig.mix(res.Checksum)
+	return chaosOutcome{sig: uint64(sig), faults: fc, stats: res.Stats}, nil
 }
 
 // ChaosRow is one (application, scenario) cell of ChaosBench.

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 
 	"clampi/internal/datatype"
+	"clampi/internal/notify"
 	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
@@ -59,6 +60,13 @@ const (
 	// KindOutage fails the op because a scripted outage window covers
 	// its target.
 	KindOutage
+	// KindNotifyDrop discards one delivered notification descriptor
+	// (consumers observe a sequence gap).
+	KindNotifyDrop
+	// KindNotifyDup delivers one notification descriptor twice.
+	KindNotifyDup
+	// KindNotifyReorder swaps one notification with its successor.
+	KindNotifyReorder
 )
 
 func (k Kind) String() string {
@@ -77,6 +85,12 @@ func (k Kind) String() string {
 		return "spike"
 	case KindOutage:
 		return "outage"
+	case KindNotifyDrop:
+		return "notify-drop"
+	case KindNotifyDup:
+		return "notify-dup"
+	case KindNotifyReorder:
+		return "notify-reorder"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -87,19 +101,23 @@ func (k Kind) String() string {
 // — into one FNV-1a value: two runs injected the identical sequence iff
 // their digests (and Ops) match.
 type Counts struct {
-	Ops        int64 // get-path ops that passed the injection decision
-	Drops      int64
-	Timeouts   int64
-	Corrupts   int64
-	ShortReads int64
-	Spikes     int64
-	Outages    int64
-	Digest     uint64
+	Ops            int64 // get-path ops that passed the injection decision
+	Drops          int64
+	Timeouts       int64
+	Corrupts       int64
+	ShortReads     int64
+	Spikes         int64
+	Outages        int64
+	NotifyDrops    int64
+	NotifyDups     int64
+	NotifyReorders int64
+	Digest         uint64
 }
 
 // Total returns the number of injected faults of any kind.
 func (c Counts) Total() int64 {
-	return c.Drops + c.Timeouts + c.Corrupts + c.ShortReads + c.Spikes + c.Outages
+	return c.Drops + c.Timeouts + c.Corrupts + c.ShortReads + c.Spikes + c.Outages +
+		c.NotifyDrops + c.NotifyDups + c.NotifyReorders
 }
 
 // Add returns c + o field by field, keeping XOR of the digests (order
@@ -107,20 +125,24 @@ func (c Counts) Total() int64 {
 // schedule-independent).
 func (c Counts) Add(o Counts) Counts {
 	return Counts{
-		Ops:        c.Ops + o.Ops,
-		Drops:      c.Drops + o.Drops,
-		Timeouts:   c.Timeouts + o.Timeouts,
-		Corrupts:   c.Corrupts + o.Corrupts,
-		ShortReads: c.ShortReads + o.ShortReads,
-		Spikes:     c.Spikes + o.Spikes,
-		Outages:    c.Outages + o.Outages,
-		Digest:     c.Digest ^ o.Digest,
+		Ops:            c.Ops + o.Ops,
+		Drops:          c.Drops + o.Drops,
+		Timeouts:       c.Timeouts + o.Timeouts,
+		Corrupts:       c.Corrupts + o.Corrupts,
+		ShortReads:     c.ShortReads + o.ShortReads,
+		Spikes:         c.Spikes + o.Spikes,
+		Outages:        c.Outages + o.Outages,
+		NotifyDrops:    c.NotifyDrops + o.NotifyDrops,
+		NotifyDups:     c.NotifyDups + o.NotifyDups,
+		NotifyReorders: c.NotifyReorders + o.NotifyReorders,
+		Digest:         c.Digest ^ o.Digest,
 	}
 }
 
 func (c Counts) String() string {
-	return fmt.Sprintf("ops=%d drops=%d timeouts=%d corrupts=%d short=%d spikes=%d outages=%d",
-		c.Ops, c.Drops, c.Timeouts, c.Corrupts, c.ShortReads, c.Spikes, c.Outages)
+	return fmt.Sprintf("ops=%d drops=%d timeouts=%d corrupts=%d short=%d spikes=%d outages=%d ndrops=%d ndups=%d nreorders=%d",
+		c.Ops, c.Drops, c.Timeouts, c.Corrupts, c.ShortReads, c.Spikes, c.Outages,
+		c.NotifyDrops, c.NotifyDups, c.NotifyReorders)
 }
 
 // Window is the fault-injecting decorator. It implements rma.Window,
@@ -132,6 +154,7 @@ type Window struct {
 	inner rma.Window
 	bw    rma.BatchWindow     // inner batch extension, nil if absent
 	iw    rma.IntegrityWindow // inner integrity extension, nil if absent
+	nw    rma.NotifyWindow    // inner notification extension, nil if absent
 	clock *simtime.Clock
 	sc    Scenario
 	rng   *rand.Rand
@@ -141,6 +164,10 @@ type Window struct {
 
 	ops    int64
 	counts Counts
+
+	// npending holds faulted notifications (duplicates) that did not fit
+	// the caller's poll buffer; delivered first by the next poll.
+	npending []notify.Notification
 }
 
 // Wrap decorates win with the scenario's fault injection, drawing all
@@ -156,6 +183,7 @@ func Wrap(win rma.Window, sc Scenario, seed int64) *Window {
 	}
 	w.bw, _ = win.(rma.BatchWindow)
 	w.iw, _ = win.(rma.IntegrityWindow)
+	w.nw, _ = win.(rma.NotifyWindow)
 	w.thDrop = sc.DropRate
 	w.thTimeout = w.thDrop + sc.TimeoutRate
 	w.thCorrupt = w.thTimeout + sc.CorruptRate
@@ -239,6 +267,12 @@ func (w *Window) record(k Kind, op int64, target int) Kind {
 		w.counts.Spikes++
 	case KindOutage:
 		w.counts.Outages++
+	case KindNotifyDrop:
+		w.counts.NotifyDrops++
+	case KindNotifyDup:
+		w.counts.NotifyDups++
+	case KindNotifyReorder:
+		w.counts.NotifyReorders++
 	}
 	const prime64 = 1099511628211
 	h := w.counts.Digest

@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"errors"
+
+	"clampi/internal/datatype"
+	"clampi/internal/notify"
+	"clampi/internal/rma"
+)
+
+// errNoNotify reports a notification call on a wrapped window whose
+// inner backend does not implement rma.NotifyWindow.
+var errNoNotify = errors.New("fault: inner window does not deliver notifications")
+
+// PutNotify delegates the write untouched (the injector never perturbs
+// writes); the notification faults strike on the subscriber's poll side
+// instead, where drops, duplicates and reorders are observable per
+// descriptor (rma.NotifyWindow).
+func (w *Window) PutNotify(src []byte, dtype datatype.Datatype, count int, target, disp int, tag uint32) error {
+	if w.nw == nil {
+		return errNoNotify
+	}
+	return w.nw.PutNotify(src, dtype, count, target, disp, tag)
+}
+
+// NotifyEnable implements rma.NotifyWindow by delegation.
+func (w *Window) NotifyEnable(capacity int) error {
+	if w.nw == nil {
+		return errNoNotify
+	}
+	return w.nw.NotifyEnable(capacity)
+}
+
+// NotifyDepth implements rma.NotifyWindow. Duplicates held over from a
+// previous poll count: they are deliveries the consumer has not seen.
+func (w *Window) NotifyDepth() int {
+	if w.nw == nil {
+		return 0
+	}
+	return len(w.npending) + w.nw.NotifyDepth()
+}
+
+// NotifyWait implements rma.NotifyWindow by delegation; held-over
+// duplicates already satisfy it without blocking.
+func (w *Window) NotifyWait() error {
+	if w.nw == nil {
+		return errNoNotify
+	}
+	if len(w.npending) > 0 {
+		return nil
+	}
+	return w.nw.NotifyWait()
+}
+
+// NotifyLastSeq implements rma.NotifyWindow by delegation to the inner
+// window's register — truthfully: a descriptor this decorator drops has
+// already consumed its inner sequence number, which is exactly how the
+// consumer's post-drain reconciliation detects tail losses no in-queue
+// gap can reveal.
+func (w *Window) NotifyLastSeq() uint64 {
+	if w.nw == nil {
+		return 0
+	}
+	return w.nw.NotifyLastSeq()
+}
+
+// NotifyPoll drains the inner queue and injects the notification fault
+// class per delivered descriptor (rma.NotifyWindow): a drop discards the
+// descriptor — the consumer observes a sequence gap, exactly as if the
+// transport lost the message — a dup delivers it twice, and a reorder
+// swaps it with the descriptor delivered just before it. Each rate is an
+// independent draw (scenario notify rates are not a cumulative split);
+// a dropped descriptor draws nothing further. Duplicates that exceed buf
+// are held and delivered first by the next poll, so no injected delivery
+// is ever silently lost. The inner overflow flag passes through
+// untouched — shedding stays the queue's business.
+func (w *Window) NotifyPoll(buf []notify.Notification) (int, bool) {
+	if w.nw == nil {
+		return 0, false
+	}
+	out := w.npending
+	w.npending = nil
+	inner := make([]notify.Notification, len(buf))
+	n, overflowed := w.nw.NotifyPoll(inner)
+	faulting := w.sc.NotifyDropRate > 0 || w.sc.NotifyDupRate > 0 || w.sc.NotifyReorderRate > 0
+	for _, nf := range inner[:n] {
+		if !faulting || !w.targetSelected(nf.Origin) {
+			out = append(out, nf)
+			continue
+		}
+		if w.rng.Float64() < w.sc.NotifyDropRate {
+			w.record(KindNotifyDrop, int64(nf.Seq), nf.Origin)
+			continue
+		}
+		out = append(out, nf)
+		if w.rng.Float64() < w.sc.NotifyDupRate {
+			w.record(KindNotifyDup, int64(nf.Seq), nf.Origin)
+			out = append(out, nf)
+		}
+		if w.rng.Float64() < w.sc.NotifyReorderRate && len(out) >= 2 {
+			w.record(KindNotifyReorder, int64(nf.Seq), nf.Origin)
+			out[len(out)-1], out[len(out)-2] = out[len(out)-2], out[len(out)-1]
+		}
+	}
+	delivered := copy(buf, out)
+	if delivered < len(out) {
+		w.npending = append(w.npending, out[delivered:]...)
+	}
+	return delivered, overflowed
+}
+
+var _ rma.NotifyWindow = (*Window)(nil)

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"clampi/internal/datatype"
+	"clampi/internal/mpi"
+	"clampi/internal/notify"
+	"clampi/internal/rma"
+)
+
+// withNotifySubscriber runs a 2-rank world where rank 0 issues pushes
+// PutNotifys one-byte writes into rank 1's region and rank 1's window —
+// wrapped with (sc, seed) — polls them through the injector. fn runs on
+// rank 1 between the fence that publishes the writes and the final one.
+func withNotifySubscriber(t *testing.T, sc Scenario, seed int64, pushes int, fn func(w *Window) error) {
+	t.Helper()
+	err := mpi.Run(2, mpi.Config{}, func(r *mpi.Rank) error {
+		win, _ := r.WinAllocate(256, mpi.Info{})
+		defer win.Free()
+		var w *Window
+		if r.ID() == 1 {
+			w = Wrap(win, sc, seed)
+			if err := w.NotifyEnable(64); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			src := []byte{0xEE}
+			for i := 0; i < pushes; i++ {
+				if err := win.PutNotify(src, datatype.Byte, 1, 1, i, uint32(i)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		var fnErr error
+		if r.ID() == 1 {
+			fnErr = fn(w)
+		}
+		if err := win.Fence(); fnErr == nil {
+			fnErr = err
+		}
+		return fnErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotifyDropMakesSeqGaps(t *testing.T) {
+	sc := Scenario{Name: "ndrop", NotifyDropRate: 1}
+	withNotifySubscriber(t, sc, 7, 4, func(w *Window) error {
+		buf := make([]notify.Notification, 8)
+		n, ov := w.NotifyPoll(buf)
+		if n != 0 || ov {
+			t.Errorf("Poll = (%d, %v), want (0, false): every descriptor dropped", n, ov)
+		}
+		if c := w.Counts(); c.NotifyDrops != 4 || c.Digest == 0 {
+			t.Errorf("counts = %v, want 4 notify drops with a digest", c)
+		}
+		return nil
+	})
+}
+
+func TestNotifyDupDeliversTwice(t *testing.T) {
+	sc := Scenario{Name: "ndup", NotifyDupRate: 1}
+	withNotifySubscriber(t, sc, 7, 3, func(w *Window) error {
+		buf := make([]notify.Notification, 8)
+		n, ov := w.NotifyPoll(buf)
+		if n != 6 || ov {
+			t.Fatalf("Poll = (%d, %v), want (6, false)", n, ov)
+		}
+		for i := 0; i < 6; i += 2 {
+			if buf[i].Seq != buf[i+1].Seq || buf[i].Seq != uint64(i/2+1) {
+				t.Errorf("pair %d: seqs (%d, %d), want identical %d", i/2, buf[i].Seq, buf[i+1].Seq, i/2+1)
+			}
+		}
+		if c := w.Counts(); c.NotifyDups != 3 {
+			t.Errorf("NotifyDups = %d, want 3", c.NotifyDups)
+		}
+		return nil
+	})
+}
+
+func TestNotifyReorderSwapsAdjacent(t *testing.T) {
+	sc := Scenario{Name: "nreorder", NotifyReorderRate: 1}
+	withNotifySubscriber(t, sc, 7, 3, func(w *Window) error {
+		buf := make([]notify.Notification, 8)
+		n, ov := w.NotifyPoll(buf)
+		if n != 3 || ov {
+			t.Fatalf("Poll = (%d, %v), want (3, false)", n, ov)
+		}
+		// Every descriptor swaps with its predecessor once present:
+		// 1 | 2,1 | 2,3,1.
+		want := []uint64{2, 3, 1}
+		for i, s := range want {
+			if buf[i].Seq != s {
+				t.Errorf("slot %d Seq = %d, want %d", i, buf[i].Seq, s)
+			}
+		}
+		if c := w.Counts(); c.NotifyReorders != 2 {
+			t.Errorf("NotifyReorders = %d, want 2", c.NotifyReorders)
+		}
+		return nil
+	})
+}
+
+// TestNotifyDupHoldoverSurvivesShortBuffer checks duplicates beyond the
+// caller's buffer are held and delivered by the next poll, visible to
+// NotifyDepth in between.
+func TestNotifyDupHoldoverSurvivesShortBuffer(t *testing.T) {
+	sc := Scenario{Name: "ndup", NotifyDupRate: 1}
+	withNotifySubscriber(t, sc, 7, 3, func(w *Window) error {
+		buf := make([]notify.Notification, 4)
+		n, ov := w.NotifyPoll(buf)
+		if n != 4 || ov {
+			t.Fatalf("first Poll = (%d, %v), want (4, false)", n, ov)
+		}
+		if d := w.NotifyDepth(); d != 2 {
+			t.Errorf("held-over depth = %d, want 2", d)
+		}
+		n, ov = w.NotifyPoll(buf)
+		if n != 2 || ov {
+			t.Fatalf("second Poll = (%d, %v), want (2, false)", n, ov)
+		}
+		if buf[0].Seq != 3 || buf[1].Seq != 3 {
+			t.Errorf("held-over seqs (%d, %d), want (3, 3)", buf[0].Seq, buf[1].Seq)
+		}
+		return nil
+	})
+}
+
+// TestNotifyFaultsDeterministic reruns the mixed scenario and asserts
+// identical counts and digest for the same (scenario, seed).
+func TestNotifyFaultsDeterministic(t *testing.T) {
+	sc := Scenario{Name: "notify", NotifyDropRate: 0.3, NotifyDupRate: 0.3, NotifyReorderRate: 0.3}
+	runOnce := func(seed int64) Counts {
+		var c Counts
+		withNotifySubscriber(t, sc, seed, 40, func(w *Window) error {
+			buf := make([]notify.Notification, 128)
+			w.NotifyPoll(buf)
+			c = w.Counts()
+			return nil
+		})
+		return c
+	}
+	first, second := runOnce(42), runOnce(42)
+	if first.Total() == 0 {
+		t.Fatal("scenario injected nothing")
+	}
+	if first != second {
+		t.Errorf("same (scenario, seed) diverged:\n  run 1: %v\n  run 2: %v", first, second)
+	}
+	if other := runOnce(43); other == first {
+		t.Errorf("different seeds injected the identical sequence: %v", other)
+	}
+}
+
+// noNotifyWin hides the inner backend's notification extension.
+type noNotifyWin struct{ rma.Window }
+
+func TestNotifyWithoutInnerExtension(t *testing.T) {
+	err := mpi.Run(1, mpi.Config{}, func(r *mpi.Rank) error {
+		win, _ := r.WinAllocate(64, mpi.Info{})
+		defer win.Free()
+		w := Wrap(noNotifyWin{win}, Scenario{Name: "none"}, 1)
+		if err := w.NotifyEnable(4); !errors.Is(err, errNoNotify) {
+			t.Errorf("NotifyEnable = %v, want errNoNotify", err)
+		}
+		if err := w.PutNotify([]byte{1}, datatype.Byte, 1, 0, 0, 0); !errors.Is(err, errNoNotify) {
+			t.Errorf("PutNotify = %v, want errNoNotify", err)
+		}
+		if err := w.NotifyWait(); !errors.Is(err, errNoNotify) {
+			t.Errorf("NotifyWait = %v, want errNoNotify", err)
+		}
+		if d := w.NotifyDepth(); d != 0 {
+			t.Errorf("NotifyDepth = %d, want 0", d)
+		}
+		if n, ov := w.NotifyPoll(make([]notify.Notification, 1)); n != 0 || ov {
+			t.Errorf("NotifyPoll = (%d, %v), want (0, false)", n, ov)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

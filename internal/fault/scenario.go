@@ -61,6 +61,16 @@ type Scenario struct {
 	ShortReadRate float64 `json:"short_read_rate,omitempty"`
 	SpikeRate     float64 `json:"spike_rate,omitempty"`
 
+	// Notification-path probabilities, applied per delivered descriptor
+	// at NotifyPoll (DESIGN.md §16): a drop discards the descriptor
+	// (consumers observe a sequence gap), a dup delivers it twice, a
+	// reorder swaps it with its successor. Each rate stands alone — they
+	// gate independent draws, not a cumulative split — so each must be a
+	// probability but their sum is unconstrained.
+	NotifyDropRate    float64 `json:"notify_drop_rate,omitempty"`
+	NotifyDupRate     float64 `json:"notify_dup_rate,omitempty"`
+	NotifyReorderRate float64 `json:"notify_reorder_rate,omitempty"`
+
 	// Timeout is the virtual time burned by an injected timeout before
 	// it fails; zero selects DefaultTimeout.
 	Timeout simtime.Duration `json:"timeout_ns,omitempty"`
@@ -114,6 +124,11 @@ func (s *Scenario) Validate() error {
 	if sum > 1 {
 		return fmt.Errorf("fault: scenario %q: rates sum to %v > 1", s.Name, sum)
 	}
+	for _, r := range []float64{s.NotifyDropRate, s.NotifyDupRate, s.NotifyReorderRate} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("fault: scenario %q: notify rate %v outside [0, 1]", s.Name, r)
+		}
+	}
 	return nil
 }
 
@@ -146,6 +161,7 @@ func Canned() []Scenario {
 			{Target: 0, From: 50 * simtime.Microsecond, To: 250 * simtime.Microsecond},
 			{Target: 1, From: 400 * simtime.Microsecond, To: 600 * simtime.Microsecond},
 		}},
+		{Name: "notify", NotifyDropRate: 0.15, NotifyDupRate: 0.10, NotifyReorderRate: 0.10},
 	}
 }
 

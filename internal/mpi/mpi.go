@@ -39,9 +39,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"clampi/internal/datatype"
 	"clampi/internal/netsim"
+	"clampi/internal/notify"
 	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
@@ -384,6 +386,23 @@ type winShared struct {
 
 	lockOnce sync.Once
 	locks    []*targetLock
+
+	// notifyQ holds one bounded notification queue per subscribed rank
+	// (nil for unsubscribed ranks; the slice itself is nil until the
+	// first NotifyEnable). notifyStg stages broadcast descriptors per
+	// destination until a collective orders them (see notify.go:
+	// settlement gives delivery a canonical order, making fault-replay
+	// runs reproducible); notifyStgN mirrors each destination's staged
+	// count so the per-access depth probe stays one atomic load.
+	// notifyCond (on notifyMu) wakes NotifyWait blocked on a push.
+	// All guarded by notifyMu; the queues themselves are internally
+	// synchronized.
+	notifyMu   sync.Mutex
+	notifyCond *sync.Cond
+	notifyQ    []*notify.Queue
+	notifyStg  [][]stagedNotify
+	notifyStgN []atomic.Int64
+	notifyScr  []stagedNotify // settle scratch, reused under notifyMu
 }
 
 // EpochListener observes epoch closures on a window. CLaMPI registers one
@@ -410,6 +429,8 @@ type Win struct {
 	exposed       []int            // PSCW: origins of the current Post exposure
 	opSeq         int64            // issued-operation counter (request ids)
 	lastInj       simtime.Duration // last network injection (LogGP gap pacing)
+	notifyQ       *notify.Queue    // this rank's subscription, nil until NotifyEnable
+	notifyStgN    *atomic.Int64    // this rank's staged-descriptor count, nil until NotifyEnable
 	freed         bool
 
 	listeners []EpochListener
@@ -928,6 +949,10 @@ func (w *Win) Free() error {
 	}
 	w.rank.Barrier()
 	w.freed = true
+	if w.notifyQ != nil {
+		// Wake any NotifyWait blocked on this rank's subscription.
+		w.notifyQ.Close()
+	}
 	return nil
 }
 

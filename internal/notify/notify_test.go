@@ -1,0 +1,131 @@
+package notify
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPushPollOrder(t *testing.T) {
+	q := NewQueue(8)
+	for i := 0; i < 5; i++ {
+		if !q.Push(Notification{Origin: i, Target: 1, Disp: i * 8, Len: 8}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if d := q.Depth(); d != 5 {
+		t.Fatalf("Depth = %d, want 5", d)
+	}
+	buf := make([]Notification, 16)
+	n, ov := q.Poll(buf)
+	if n != 5 || ov {
+		t.Fatalf("Poll = (%d, %v), want (5, false)", n, ov)
+	}
+	for i := 0; i < 5; i++ {
+		if buf[i].Seq != uint64(i+1) || buf[i].Disp != i*8 {
+			t.Fatalf("notification %d = %+v, want seq %d disp %d", i, buf[i], i+1, i*8)
+		}
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("Depth after drain = %d, want 0", d)
+	}
+}
+
+func TestOverflowShedsAndFlags(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(Notification{Disp: 0})
+	q.Push(Notification{Disp: 8})
+	if q.Push(Notification{Disp: 16}) {
+		t.Fatal("push into a full queue accepted")
+	}
+	if q.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", q.Dropped())
+	}
+	buf := make([]Notification, 4)
+	n, ov := q.Poll(buf)
+	if n != 2 || !ov {
+		t.Fatalf("Poll = (%d, %v), want (2, true)", n, ov)
+	}
+	// The shed notification consumed sequence 3: the next accepted push
+	// exposes the gap to consumers.
+	q.Push(Notification{Disp: 24})
+	n, ov = q.Poll(buf)
+	if n != 1 || ov {
+		t.Fatalf("second Poll = (%d, %v), want (1, false)", n, ov)
+	}
+	if buf[0].Seq != 4 {
+		t.Fatalf("post-overflow Seq = %d, want 4 (gap at 3)", buf[0].Seq)
+	}
+}
+
+func TestPartialPollKeepsOrder(t *testing.T) {
+	q := NewQueue(8)
+	for i := 0; i < 6; i++ {
+		q.Push(Notification{Disp: i})
+	}
+	buf := make([]Notification, 4)
+	n, _ := q.Poll(buf)
+	if n != 4 || buf[0].Disp != 0 || buf[3].Disp != 3 {
+		t.Fatalf("first Poll drained %d starting at %d", n, buf[0].Disp)
+	}
+	n, _ = q.Poll(buf)
+	if n != 2 || buf[0].Disp != 4 {
+		t.Fatalf("second Poll drained %d starting at %d", n, buf[0].Disp)
+	}
+}
+
+func TestWaitWakesOnPush(t *testing.T) {
+	q := NewQueue(4)
+	done := make(chan error, 1)
+	go func() { done <- q.Wait() }()
+	q.Push(Notification{})
+	if err := <-done; err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+}
+
+func TestWaitFailsOnClose(t *testing.T) {
+	q := NewQueue(4)
+	done := make(chan error, 1)
+	go func() { done <- q.Wait() }()
+	q.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait after Close = %v, want ErrClosed", err)
+	}
+	if q.Push(Notification{}) {
+		t.Fatal("push after Close accepted")
+	}
+}
+
+func TestConcurrentPushers(t *testing.T) {
+	q := NewQueue(4096)
+	const pushers, each = 8, 128
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				q.Push(Notification{Origin: p, Disp: i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	buf := make([]Notification, pushers*each)
+	n, ov := q.Poll(buf)
+	if n != pushers*each || ov {
+		t.Fatalf("Poll = (%d, %v), want (%d, false)", n, ov, pushers*each)
+	}
+	seen := make(map[uint64]bool, n)
+	for _, nf := range buf[:n] {
+		if seen[nf.Seq] {
+			t.Fatalf("duplicate seq %d", nf.Seq)
+		}
+		seen[nf.Seq] = true
+	}
+	for s := uint64(1); s <= uint64(n); s++ {
+		if !seen[s] {
+			t.Fatalf("missing seq %d", s)
+		}
+	}
+}

@@ -27,6 +27,11 @@ const (
 	MetricIndexSlots   = "clampi_index_slots"         // gauge{rank}
 	MetricStorageBytes = "clampi_storage_bytes"       // gauge{rank}
 
+	// MetricNotifyDepth is the notification queue-depth gauge
+	// (DESIGN.md §16): the number of delivered but not yet drained
+	// descriptors, sampled by the workload (see PublishNotifyDepth).
+	MetricNotifyDepth = "clampi_notify_queue_depth" // gauge{rank}
+
 	// Per-shard gauges of the concurrent cache (core.Shared), published
 	// by PublishSharedStats. Occupancy is exported in permille so the
 	// integer gauge keeps three digits of resolution.
@@ -211,6 +216,12 @@ func PublishStats(reg *Registry, s core.Stats, labels ...Label) {
 	set("clampi_stats_stale_serves", s.StaleServes)
 	set("clampi_stats_breaker_opens", s.BreakerOpens)
 	set("clampi_stats_corrupt_fills", s.CorruptFills)
+	set("clampi_stats_notifications", s.Notifications)
+	set("clampi_stats_notify_invalidations", s.NotifyInvalidations)
+	set("clampi_stats_notify_patches", s.NotifyPatches)
+	set("clampi_stats_write_hits", s.WriteHits)
+	set("clampi_stats_write_backs", s.WriteBacks)
+	set("clampi_stats_dirty_flushes", s.DirtyFlushes)
 	set("clampi_stats_l2_hits", s.L2Hits)
 	set("clampi_stats_l2_fills", s.L2Fills)
 	set("clampi_stats_sibling_forwards", s.SiblingForwards)
@@ -219,6 +230,14 @@ func PublishStats(reg *Registry, s core.Stats, labels ...Label) {
 	set("clampi_stats_evict_vtime_ns", int64(s.EvictTime))
 	set("clampi_stats_copy_vtime_ns", int64(s.CopyTime))
 	set("clampi_stats_mgmt_vtime_ns", int64(s.MgmtTime))
+}
+
+// PublishNotifyDepth exports the notification queue-depth gauge: depth
+// delivered-but-undrained descriptors at sampling time (feed it
+// core.Cache.NotifyQueueDepth, or a workload's observed maximum for
+// final per-run totals).
+func PublishNotifyDepth(reg *Registry, depth int, labels ...Label) {
+	reg.Gauge(MetricNotifyDepth, labels...).Set(int64(depth))
 }
 
 // PublishDistanceStats exports a locality-aware cache's per-distance-

@@ -77,12 +77,15 @@ const (
 	OpChecksum   byte = 0x09 // integrity attestation of a target range
 	OpBarrier    byte = 0x0A // rendezvous of all world members
 	OpDetach     byte = 0x0B // orderly goodbye
+	OpPutNotify  byte = 0x0C // write one range and notify subscribed ranks
+	OpSubscribe  byte = 0x0D // dedicate this connection as a notification sink
 
 	// Responses.
 	OpWelcome byte = 0x81 // handshake reply: rank, region sizes
 	OpData    byte = 0x82 // payload-carrying success (Get/GetBatch/Checksum)
 	OpAck     byte = 0x83 // payload-free success
 	OpError   byte = 0x84 // failure: code + message
+	OpNotify  byte = 0x85 // server push: a PutNotify descriptor (seq 0)
 )
 
 // opNames labels op codes for diagnostics and metrics.
@@ -90,7 +93,9 @@ var opNames = map[byte]string{
 	OpHello: "hello", OpGet: "get", OpPut: "put", OpAccumulate: "accumulate",
 	OpGetBatch: "get_batch", OpFlush: "flush", OpLock: "lock", OpUnlock: "unlock",
 	OpChecksum: "checksum", OpBarrier: "barrier", OpDetach: "detach",
+	OpPutNotify: "put_notify", OpSubscribe: "subscribe",
 	OpWelcome: "welcome", OpData: "data", OpAck: "ack", OpError: "error",
+	OpNotify: "notify",
 }
 
 // OpName returns the human-readable name of an op code.
@@ -382,6 +387,86 @@ func decodePut(p []byte) (putReq, error) {
 		Disp:   int64(binary.LittleEndian.Uint64(p[4:12])),
 		Data:   p[12:],
 	}, nil
+}
+
+// putNotifyReq is the OpPutNotify body: a put plus the notification tag.
+// The origin span length is len(Data); the server derives the descriptor
+// from the request, so the frame carries no redundant fields.
+type putNotifyReq struct {
+	Target int32
+	Disp   int64
+	Tag    uint32
+	Data   []byte
+}
+
+func appendPutNotify(buf []byte, r putNotifyReq) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Target))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Disp))
+	buf = binary.LittleEndian.AppendUint32(buf, r.Tag)
+	return append(buf, r.Data...)
+}
+
+func decodePutNotify(p []byte) (putNotifyReq, error) {
+	if len(p) < 16 {
+		return putNotifyReq{}, fmt.Errorf("%w: put_notify payload %dB", ErrProto, len(p))
+	}
+	return putNotifyReq{
+		Target: int32(binary.LittleEndian.Uint32(p[0:4])),
+		Disp:   int64(binary.LittleEndian.Uint64(p[4:12])),
+		Tag:    binary.LittleEndian.Uint32(p[12:16]),
+		Data:   p[16:],
+	}, nil
+}
+
+// notifyPayload is the OpNotify push body: the descriptor of one remote
+// PutNotify. HasData distinguishes "no bytes attached" (readers must
+// invalidate the span) from a genuine zero-length write.
+type notifyPayload struct {
+	Origin  int32
+	Target  int32
+	Disp    int64
+	Len     int64
+	Tag     uint32
+	HasData bool
+	Data    []byte
+}
+
+func appendNotify(buf []byte, n notifyPayload) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Origin))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Target))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n.Disp))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n.Len))
+	buf = binary.LittleEndian.AppendUint32(buf, n.Tag)
+	if n.HasData {
+		buf = append(buf, 1)
+		return append(buf, n.Data...)
+	}
+	return append(buf, 0)
+}
+
+func decodeNotify(p []byte) (notifyPayload, error) {
+	if len(p) < 29 {
+		return notifyPayload{}, fmt.Errorf("%w: notify payload %dB", ErrProto, len(p))
+	}
+	n := notifyPayload{
+		Origin:  int32(binary.LittleEndian.Uint32(p[0:4])),
+		Target:  int32(binary.LittleEndian.Uint32(p[4:8])),
+		Disp:    int64(binary.LittleEndian.Uint64(p[8:16])),
+		Len:     int64(binary.LittleEndian.Uint64(p[16:24])),
+		Tag:     binary.LittleEndian.Uint32(p[24:28]),
+		HasData: p[28] == 1,
+	}
+	switch {
+	case p[28] == 1:
+		n.Data = p[29:]
+	case p[28] == 0:
+		if len(p) != 29 {
+			return notifyPayload{}, fmt.Errorf("%w: notify trailing bytes without data flag", ErrProto)
+		}
+	default:
+		return notifyPayload{}, fmt.Errorf("%w: notify data flag 0x%02x", ErrProto, p[28])
+	}
+	return n, nil
 }
 
 // Accumulate element kinds: the primitive arithmetic datatypes the

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clampi/internal/notify"
 	"clampi/internal/obsv"
 	"clampi/internal/rma"
 	"clampi/internal/simtime"
@@ -175,6 +176,48 @@ type serverWindow struct {
 	mu       sync.Mutex
 	world    int // 0 until pinned by config or the first handshake
 	nextRank int32
+
+	// sinks maps a rank to the connection it dedicated with OpSubscribe:
+	// the server pushes OpNotify frames for every PutNotify to all
+	// registered sinks except the writer's own rank. Guarded by sinkMu;
+	// snapshot under it, write to the sink outside it.
+	sinkMu sync.Mutex
+	sinks  map[int32]*serverConn
+}
+
+// setSink registers the notification sink of rank. A re-subscribe
+// replaces the previous sink: the newest dedicated connection wins,
+// matching a client that redialed after a failure.
+func (w *serverWindow) setSink(rank int32, c *serverConn) {
+	w.sinkMu.Lock()
+	if w.sinks == nil {
+		w.sinks = make(map[int32]*serverConn)
+	}
+	w.sinks[rank] = c
+	w.sinkMu.Unlock()
+}
+
+// dropSink clears rank's sink only if it is still c — a dead connection
+// must not deregister its replacement.
+func (w *serverWindow) dropSink(rank int32, c *serverConn) {
+	w.sinkMu.Lock()
+	if w.sinks[rank] == c {
+		delete(w.sinks, rank)
+	}
+	w.sinkMu.Unlock()
+}
+
+// snapshotSinks copies the sinks of every rank except skip.
+func (w *serverWindow) snapshotSinks(skip int32) []*serverConn {
+	w.sinkMu.Lock()
+	out := make([]*serverConn, 0, len(w.sinks))
+	for r, c := range w.sinks {
+		if r != skip && c != nil {
+			out = append(out, c)
+		}
+	}
+	w.sinkMu.Unlock()
+	return out
 }
 
 // setWorld pins or validates the window's world size.
@@ -375,11 +418,17 @@ type serverConn struct {
 	s    *Server
 	conn net.Conn
 	fr   *frameReader
+
+	// wmu serializes writers of the connection: the conn's own handler
+	// goroutine (responses) and any other conn's goroutine pushing
+	// OpNotify frames into a subscribed sink. It guards wbuf too.
+	wmu  sync.Mutex
 	wbuf []byte
 
-	win  *serverWindow
-	rank int32
-	held map[int32]bool // target -> exclusive? (locks to release on death)
+	win        *serverWindow
+	rank       int32
+	subscribed bool           // this conn is its rank's notification sink
+	held       map[int32]bool // target -> exclusive? (locks to release on death)
 }
 
 // serveConn runs one connection to completion.
@@ -392,6 +441,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if c.win != nil {
 			for t, excl := range c.held {
 				c.win.locks[t].release(excl)
+			}
+			if c.subscribed {
+				c.win.dropSink(c.rank, c)
 			}
 		}
 		conn.Close()
@@ -443,6 +495,10 @@ func (c *serverConn) handle(f Frame) (stop bool) {
 		err = c.getBatch(f)
 	case OpPut:
 		err = c.put(f)
+	case OpPutNotify:
+		err = c.putNotify(f)
+	case OpSubscribe:
+		err = c.subscribe(f)
 	case OpAccumulate:
 		err = c.accumulate(f)
 	case OpChecksum:
@@ -476,8 +532,11 @@ func (c *serverConn) handle(f Frame) (stop bool) {
 	return false
 }
 
-// respond writes one response frame.
+// respond writes one response frame. Serialized against notification
+// pushes from other connections' goroutines by wmu.
 func (c *serverConn) respond(op byte, seq uint64, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	c.wbuf = AppendFrame(c.wbuf[:0], op, seq, payload)
 	if c.s.mFramesOu != nil {
 		c.s.mFramesOu.Inc()
@@ -485,6 +544,24 @@ func (c *serverConn) respond(op byte, seq uint64, payload []byte) error {
 	}
 	_, err := c.conn.Write(c.wbuf)
 	return err
+}
+
+// push writes one OpNotify frame into this (subscribed) connection from
+// another connection's handler goroutine. Pushes carry sequence 0: they
+// answer no request, and the client's pump matches them by op alone.
+// A write failure is swallowed — the sink's own read loop observes the
+// broken connection and deregisters it; the writer's PutNotify must not
+// fail because one subscriber died (its queue overflow semantics cover
+// the loss).
+func (c *serverConn) push(payload []byte) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = AppendFrame(c.wbuf[:0], OpNotify, 0, payload)
+	if c.s.mFramesOu != nil {
+		c.s.mFramesOu.Inc()
+		c.s.mBytesOut.Add(int64(len(c.wbuf)))
+	}
+	_, _ = c.conn.Write(c.wbuf)
 }
 
 func (c *serverConn) ack(seq uint64) error { return c.respond(OpAck, seq, nil) }
@@ -582,6 +659,8 @@ func (c *serverConn) get(f Frame) error {
 		return c.fail(f.Seq, verr)
 	}
 	region := w.regions[r.Target]
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	c.wbuf = c.wbuf[:0]
 	// Build the data frame under the stripe read locks so the checksum
 	// and payload are a consistent snapshot even against concurrent puts.
@@ -644,6 +723,66 @@ func (c *serverConn) put(f Frame) error {
 	lo, hi := w.lockStripes(r.Target, r.Disp, r.Size, true)
 	copy(w.regions[r.Target][r.Disp:], p.Data)
 	w.unlockStripes(r.Target, lo, hi, true)
+	return c.ack(f.Seq)
+}
+
+// putNotify writes like put and then pushes an OpNotify descriptor into
+// every subscribed sink except the writer's own rank. Pushes complete
+// before the writer's ack, so by the time its PutNotify call returns the
+// descriptor is in every sink's socket; a subscriber that pumps after
+// the next barrier therefore observes every pre-barrier write (frames on
+// one connection are FIFO).
+func (c *serverConn) putNotify(f Frame) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	p, derr := decodePutNotify(f.Payload)
+	if derr != nil {
+		return c.fail(f.Seq, derr)
+	}
+	r := rangeReq{Target: p.Target, Disp: p.Disp, Size: int64(len(p.Data))}
+	if verr := checkRange(w, r); verr != nil {
+		return c.fail(f.Seq, verr)
+	}
+	lo, hi := w.lockStripes(r.Target, r.Disp, r.Size, true)
+	copy(w.regions[r.Target][r.Disp:], p.Data)
+	w.unlockStripes(r.Target, lo, hi, true)
+	n := notifyPayload{
+		Origin: c.rank,
+		Target: p.Target,
+		Disp:   p.Disp,
+		Len:    int64(len(p.Data)),
+		Tag:    p.Tag,
+	}
+	if len(p.Data) > 0 && len(p.Data) <= notify.DataMax {
+		n.HasData = true
+		n.Data = p.Data
+	}
+	sinks := w.snapshotSinks(c.rank)
+	if len(sinks) > 0 {
+		payload := appendNotify(nil, n)
+		for _, sink := range sinks {
+			sink.push(payload)
+		}
+	}
+	return c.ack(f.Seq)
+}
+
+// subscribe dedicates this connection as its rank's notification sink.
+// The client sends it on a freshly dialed connection that it thereafter
+// uses only for OpFlush pump markers, so pushed frames and the marker's
+// ack share one FIFO stream.
+func (c *serverConn) subscribe(f Frame) error {
+	w, err := c.needWindow(f.Seq)
+	if w == nil {
+		return err
+	}
+	if len(f.Payload) != 0 {
+		return c.fail(f.Seq, fmt.Errorf("%w: subscribe payload %dB", ErrProto, len(f.Payload)))
+	}
+	w.setSink(c.rank, c)
+	c.subscribed = true
 	return c.ack(f.Seq)
 }
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"clampi/internal/datatype"
+	"clampi/internal/notify"
 	"clampi/internal/rma"
 	"clampi/internal/simtime"
 )
@@ -75,6 +76,15 @@ type Window struct {
 	// rma.LocalityWindow answers. Origin state, single-goroutine like
 	// the rest of the Window — no atomics needed.
 	rtt []rttStat
+
+	// Notification state (rma.NotifyWindow, notify.go): the dedicated
+	// subscribe connection the server pushes OpNotify frames into, the
+	// local bounded queue a pump drains them into, and the latched
+	// pump-failure flag that degrades consumers to blanket invalidation.
+	nq        *notify.Queue
+	nc        *clientConn
+	nb        []byte // subscribe-connection encode scratch
+	notifyBad bool
 }
 
 // rttStat is one target's measured fill-cost estimate.
@@ -647,6 +657,14 @@ func (w *Window) Fence() error {
 	if err := w.rpc(OpBarrier, nil, 0, nil); err != nil {
 		return err
 	}
+	// Pump the subscribe connection after the rendezvous: every PutNotify
+	// acked before any rank entered the barrier has its push in our
+	// socket by now (per-connection FIFO), so post-Fence polls observe
+	// every pre-Fence notification — the simulated backend's guarantee,
+	// reproduced over real sockets.
+	if w.nq != nil {
+		w.pumpNotify()
+	}
 	w.fenceOpen = true
 	return nil
 }
@@ -667,6 +685,13 @@ func (w *Window) Free() error {
 		return rma.ErrFreed
 	}
 	w.freed = true
+	if w.nq != nil {
+		w.nq.Close() // wakes NotifyWait blockers with notify.ErrClosed
+	}
+	if w.nc != nil {
+		w.nc.c.Close()
+		w.nc = nil
+	}
 	if w.owns {
 		return w.cl.Close()
 	}
